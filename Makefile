@@ -1,0 +1,29 @@
+# Convenience targets; everything is stdlib-only `go` commands.
+
+.PHONY: test bench figures chaos examples vet
+
+test:
+	go test ./...
+
+short:
+	go test -short ./...
+
+bench:
+	go test -bench . -benchmem -run XXX .
+
+figures:
+	go run ./cmd/farm-bench -fig all
+
+chaos:
+	go run ./cmd/farm-chaos -runs 5
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/bank
+	go run ./examples/powerfail
+	go run ./examples/recovery
+	go run ./examples/tatp
+
+vet:
+	go vet ./...
+	gofmt -l .

@@ -1,0 +1,92 @@
+// farm-loadgen drives one workload at one load point and prints
+// throughput, latency percentiles and protocol counters — the tool for
+// exploring the simulator's operating envelope by hand.
+//
+//	farm-loadgen -workload tatp -machines 9 -threads 8 -concurrency 4
+//	farm-loadgen -workload tpcc -warehouses 36
+//	farm-loadgen -workload kv -measure 100ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"farm/internal/core"
+	"farm/internal/loadgen"
+	"farm/internal/sim"
+	"farm/internal/tatp"
+	"farm/internal/tpcc"
+	"farm/internal/ycsb"
+)
+
+var (
+	workload    = flag.String("workload", "tatp", "tatp | tpcc | kv")
+	machines    = flag.Int("machines", 9, "cluster size")
+	threads     = flag.Int("threads", 8, "active worker threads per machine")
+	concurrency = flag.Int("concurrency", 4, "transactions in flight per thread")
+	subscribers = flag.Uint64("subscribers", 2000, "TATP subscribers / KV keys")
+	warehouses  = flag.Int("warehouses", 18, "TPC-C warehouses")
+	warm        = flag.Duration("warm", 5*time.Millisecond, "warmup (simulated)")
+	measure     = flag.Duration("measure", 50*time.Millisecond, "measurement window (simulated)")
+	seed        = flag.Uint64("seed", 1, "simulation seed")
+)
+
+func main() {
+	flag.Parse()
+	opts := core.Options{NumMachines: *machines, Threads: *threads, Seed: *seed}
+	c := core.New(opts)
+
+	var op loadgen.Op
+	var tpccW *tpcc.Workload
+	switch *workload {
+	case "tatp":
+		w, err := tatp.Setup(c, *subscribers, 6)
+		must(err)
+		op = w.Mix()
+	case "tpcc":
+		w, err := tpcc.Setup(c, tpcc.DefaultConfig(*warehouses))
+		must(err)
+		w.MeasureFrom = c.Now() + sim.Time(warm.Nanoseconds())
+		tpccW = w
+		op = w.Mix()
+	case "kv":
+		w, err := ycsb.Setup(c, *subscribers, 6)
+		must(err)
+		op = w.LookupOp()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+
+	all := make([]int, *machines)
+	for i := range all {
+		all[i] = i
+	}
+	g := loadgen.New(c, op)
+	snap := c.Net.Counters.Snapshot()
+	tput, _, _ := g.RunPoint(all, *threads, *concurrency,
+		sim.Time(warm.Nanoseconds()), sim.Time(measure.Nanoseconds()))
+	diff := c.Net.Counters.Diff(snap)
+
+	fmt.Printf("workload=%s machines=%d threads=%d concurrency=%d (simulated %v + %v)\n",
+		*workload, *machines, *threads, *concurrency, *warm, *measure)
+	fmt.Printf("throughput: %.0f ops/s  (%.0f per machine)\n", tput, tput/float64(*machines))
+	fmt.Printf("latency:    p50=%v p90=%v p99=%v max=%v\n",
+		g.Latency.Median(), g.Latency.Percentile(90), g.Latency.P99(), g.Latency.Max())
+	fmt.Printf("aborts:     %d of %d attempts (%.2f%%)\n", g.Aborted(), g.Aborted()+g.Committed(),
+		100*float64(g.Aborted())/float64(g.Aborted()+g.Committed()))
+	if tpccW != nil {
+		fmt.Printf("new orders: %d committed, median %v\n", tpccW.NewOrders, tpccW.NewOrderLat.Median())
+	}
+	fmt.Printf("fabric:     rdma_read=%d rdma_write=%d local_read=%d local_write=%d msg=%d\n",
+		diff["rdma_read"], diff["rdma_write"], diff["local_read"], diff["local_write"], diff["msg_send"])
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

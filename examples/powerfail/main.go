@@ -1,0 +1,106 @@
+// Powerfail: demonstrate the paper's strongest durability claim (§2.1,
+// §5): "durability for all committed transactions even if the entire
+// cluster fails or loses power: all committed state can be recovered from
+// regions and logs stored in non-volatile DRAM". The distributed UPS saves
+// every machine's memory to SSD; on restoration the cluster reconfigures,
+// recovers every in-flight transaction by vote, and serves committed data.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"farm"
+)
+
+func main() {
+	c := farm.NewCluster(farm.Options{
+		NumMachines:   6,
+		Seed:          2026,
+		LeaseDuration: 5 * farm.Millisecond,
+	})
+	c.MustCreateRegions(3)
+	m := c.Machine(1)
+
+	// Commit a ledger of values.
+	const entries = 20
+	addrs := make([]farm.Addr, entries)
+	for i := range addrs {
+		i := i
+		err := c.Sync(func(done func(error)) {
+			tx := c.Machine(i % 6).Begin(0)
+			tx.Alloc(8, u64b(uint64(1000+i)), nil, func(a farm.Addr, err error) {
+				if err != nil {
+					done(err)
+					return
+				}
+				addrs[i] = a
+				tx.Commit(done)
+			})
+		})
+		if err != nil {
+			log.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	fmt.Printf("committed %d ledger entries across the cluster\n", entries)
+
+	// Leave transactions in flight when the lights go out.
+	inFlight := 0
+	for k := 0; k < 8; k++ {
+		k := k
+		tx := m.Begin(k % m.Threads())
+		tx.Read(addrs[k], 8, func(_ []byte, err error) {
+			if err != nil {
+				return
+			}
+			tx.Write(addrs[k], u64b(uint64(5000+k)))
+			tx.Commit(func(err error) {
+				if err == nil {
+					inFlight++ // these may or may not land; both are legal
+				}
+			})
+		})
+	}
+	c.RunFor(20 * farm.Microsecond) // cut power mid-commit
+
+	fmt.Printf("t=%v: POWER FAILURE (UPS saves all memory to SSD)\n", c.Now())
+	c.PowerFailure()
+	c.RunFor(150 * farm.Millisecond)
+	fmt.Printf("t=%v: power restored; recovery reconfiguration begins\n", c.Now())
+	c.RestorePower()
+	c.RunFor(500 * farm.Millisecond)
+
+	// Audit: every committed entry is served; in-flight ones resolved
+	// atomically (old or new value, never garbage).
+	ok := 0
+	for i, a := range addrs {
+		var got uint64
+		err := c.Sync(func(done func(error)) {
+			tx := c.Machine((i + 2) % 6).Begin(1)
+			tx.Read(a, 8, func(data []byte, err error) {
+				if err == nil {
+					got = binary.LittleEndian.Uint64(data)
+				}
+				done(err)
+			})
+		})
+		if err != nil {
+			log.Fatalf("entry %d unreadable after power cycle: %v", i, err)
+		}
+		if got == uint64(1000+i) || (i < 8 && got == uint64(5000+i)) {
+			ok++
+		} else {
+			log.Fatalf("entry %d corrupted: %d", i, got)
+		}
+	}
+	fmt.Printf("all %d entries intact after the power cycle (reconfigurations: %d)\n",
+		ok, c.Machine(0).ConfigID()-1)
+	fmt.Println("in-flight transactions were resolved by the vote/decide protocol (§5.3)")
+}
+
+func u64b(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}

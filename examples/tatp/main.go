@@ -1,0 +1,29 @@
+// TATP: run the paper's headline benchmark (§6.3, Figure 7) on a scaled
+// cluster and print one throughput–latency row per load point.
+package main
+
+import (
+	"fmt"
+
+	"farm/internal/exper"
+	"farm/internal/sim"
+)
+
+func main() {
+	sc := exper.DefaultScale()
+	sc.Machines = 6
+	sc.Threads = 6
+	sc.Subscribers = 1000
+
+	fmt.Printf("TATP on %d machines × %d threads, %d subscribers (simulated)\n",
+		sc.Machines, sc.Threads, sc.Subscribers)
+	fmt.Println("sweeping load as in Figure 7: threads first, then per-thread concurrency")
+	points := exper.Figure7(sc, [][2]int{{2, 1}, {4, 1}, {6, 1}, {6, 2}, {6, 4}},
+		5*sim.Millisecond, 25*sim.Millisecond)
+	fmt.Print(exper.FormatCurve(points))
+
+	best := points[len(points)-1]
+	fmt.Printf("\npeak: %.2f M txn/s total (%.0f per machine/s), median %v, p99 %v\n",
+		best.Tput/1e6, best.PerMachine, best.Median, best.P99)
+	fmt.Println("paper (90 machines): 140 M txn/s, median 58 µs, p99 645 µs at peak")
+}

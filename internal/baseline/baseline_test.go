@@ -1,0 +1,119 @@
+package baseline
+
+import (
+	"testing"
+
+	"farm/internal/sim"
+)
+
+func TestReadBenchRDMAbeatsRPC(t *testing.T) {
+	cfg := DefaultReadBench()
+	cfg.Machines = 6
+	cfg.Threads = 10
+	res := RunReadBench(cfg, 64, 3*sim.Millisecond)
+	if res.RDMA <= 0 || res.RPC <= 0 {
+		t.Fatalf("no throughput: %+v", res)
+	}
+	ratio := res.RDMA / res.RPC
+	// Figure 2's CPU-bound regime: gap ≈ 4x (we accept 2.5–6).
+	if ratio < 2.5 || ratio > 6 {
+		t.Fatalf("RDMA/RPC ratio = %.2f (rdma=%.2f rpc=%.2f), want ~4", ratio, res.RDMA, res.RPC)
+	}
+}
+
+func TestReadBenchSizeDependence(t *testing.T) {
+	cfg := DefaultReadBench()
+	cfg.Machines = 4
+	cfg.Threads = 8
+	small := RunReadBench(cfg, 16, 2*sim.Millisecond)
+	large := RunReadBench(cfg, 2048, 2*sim.Millisecond)
+	if large.RDMA >= small.RDMA {
+		t.Fatalf("RDMA rate should fall with size: %v vs %v", small.RDMA, large.RDMA)
+	}
+}
+
+func TestSpannerMessageCountMatchesFormula(t *testing.T) {
+	cfg := DefaultSpanner()
+	for _, p := range []int{1, 2, 3} {
+		res := MeasureSpannerCommit(cfg, p)
+		if res.Participants != p {
+			t.Fatalf("participants = %d", res.Participants)
+		}
+		// The measured count should be within ~2x of 4P(2f+1): the model
+		// counts accepts and acks individually and logs a BEGIN round,
+		// where the paper's formula counts coarser "round trips".
+		want := SpannerMessagesFormula(p, cfg.F)
+		lo, hi := want*6/10, want*17/10
+		if int(res.Messages) < lo || int(res.Messages) > hi {
+			t.Fatalf("p=%d messages=%d want ≈%d", p, res.Messages, want)
+		}
+		if res.Latency <= 0 {
+			t.Fatal("no latency measured")
+		}
+	}
+}
+
+func TestProtocolFormulas(t *testing.T) {
+	// §4: FaRM Pw(f+3) writes vs Spanner 4P(2f+1) messages. For Pw=P=2,
+	// f=1: FaRM 8 vs Spanner 24 — FaRM wins by 3x.
+	if FaRMWritesFormula(2, 1) != 8 {
+		t.Fatal("FaRM formula")
+	}
+	if SpannerMessagesFormula(2, 1) != 24 {
+		t.Fatal("Spanner formula")
+	}
+	// §7: the SOSP'15 protocol sends up to 44% fewer messages than
+	// NSDI'14. With f=2, Pw=1: old = 5+4 = 9, new = 5 → 44% fewer.
+	oldMsgs := NSDI14MessagesFormula(1, 2)
+	newMsgs := FaRMWritesFormula(1, 2)
+	saving := float64(oldMsgs-newMsgs) / float64(oldMsgs)
+	if saving < 0.43 || saving > 0.45 {
+		t.Fatalf("NSDI'14 saving = %.2f, want ≈0.44", saving)
+	}
+}
+
+func TestSpannerLatencyScalesWithParticipants(t *testing.T) {
+	cfg := DefaultSpanner()
+	r1 := MeasureSpannerCommit(cfg, 1)
+	r3 := MeasureSpannerCommit(cfg, 3)
+	if r3.Messages <= r1.Messages {
+		t.Fatalf("messages did not grow: %d vs %d", r1.Messages, r3.Messages)
+	}
+}
+
+func TestSiloCommitsAndConflicts(t *testing.T) {
+	s := NewSilo(DefaultSilo(8), 1000)
+	tput := s.RunUniform(2, 2, 20*sim.Millisecond)
+	if tput < 100000 {
+		t.Fatalf("silo throughput %.0f too low", tput)
+	}
+	if s.Aborted == 0 {
+		t.Log("no aborts (ok for low contention)")
+	}
+	if s.Latency.Median() <= 0 {
+		t.Fatal("no latency")
+	}
+}
+
+func TestSiloLoggingLatencyGap(t *testing.T) {
+	// Silo with logging: commit latency is dominated by the epoch (group
+	// commit), which is the paper's "latency 128x better" comparison.
+	fast := NewSilo(DefaultSilo(4), 500)
+	fastTput := fast.RunUniform(2, 2, 50*sim.Millisecond)
+
+	cfg := DefaultSilo(4)
+	cfg.Logging = true
+	logged := NewSilo(cfg, 500)
+	loggedTput := logged.RunUniform(2, 2, 200*sim.Millisecond)
+
+	if fastTput <= 0 || loggedTput <= 0 {
+		t.Fatal("no throughput")
+	}
+	if logged.Latency.Median() < 50*fast.Latency.Median() {
+		t.Fatalf("logged latency %v vs unlogged %v: epoch group commit should dominate",
+			logged.Latency.Median(), fast.Latency.Median())
+	}
+	if logged.Latency.Median() < 10*sim.Millisecond {
+		t.Fatalf("logged median %v, want ≳ epoch/2", logged.Latency.Median())
+	}
+}

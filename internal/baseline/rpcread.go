@@ -1,0 +1,159 @@
+// Package baseline implements the comparison systems the paper evaluates
+// FaRM against: the RDMA-vs-RPC read microbenchmark of Figure 2, a
+// Spanner-style commit protocol (2PC over Paxos-replicated participants,
+// §4's message-count analysis), and a Silo-style single-machine in-memory
+// OCC engine (§6.3, §7).
+package baseline
+
+import (
+	"fmt"
+
+	"farm/internal/fabric"
+	"farm/internal/nvram"
+	"farm/internal/sim"
+)
+
+// ReadBenchConfig drives the Figure 2 experiment: every machine reads
+// randomly chosen objects of a given size from the other machines, either
+// with one-sided RDMA reads (no remote CPU) or with an RPC implemented as
+// request + response messages (CPU at both ends). Both become CPU bound,
+// which is the paper's point: the RPC spends ~4 message handlings of CPU
+// per op where RDMA spends ~1 verb issue.
+type ReadBenchConfig struct {
+	Machines int
+	Threads  int
+	// CPUVerb is the worker cost to issue a one-sided verb; CPUMsg the
+	// cost to send or handle one message (same calibration as core).
+	CPUVerb sim.Time
+	CPUMsg  sim.Time
+	// CPUPerByte models per-byte handling cost (copies, cache pollution) —
+	// why larger transfers lower the op rate even when CPU bound.
+	CPUPerByte sim.Time
+	Fabric     fabric.Options
+	Seed       uint64
+}
+
+// DefaultReadBench mirrors the paper's per-machine setup (30 worker
+// threads); the cluster is scaled by the caller.
+func DefaultReadBench() ReadBenchConfig {
+	return ReadBenchConfig{
+		Machines:   10,
+		Threads:    30,
+		CPUVerb:    2500 * sim.Nanosecond,
+		CPUMsg:     2500 * sim.Nanosecond,
+		CPUPerByte: sim.Nanosecond,
+		Seed:       1,
+	}
+}
+
+// ReadBenchResult is one point of Figure 2 (ops/µs/machine).
+type ReadBenchResult struct {
+	Size int
+	RDMA float64
+	RPC  float64
+}
+
+type rpcReq struct {
+	From   fabric.MachineID
+	Size   int
+	Thread int
+}
+
+type rpcResp struct {
+	Thread int
+	Data   []byte
+}
+
+// RunReadBench measures both transports at one transfer size.
+func RunReadBench(cfg ReadBenchConfig, size int, duration sim.Time) ReadBenchResult {
+	return ReadBenchResult{
+		Size: size,
+		RDMA: runReadMode(cfg, size, duration, true),
+		RPC:  runReadMode(cfg, size, duration, false),
+	}
+}
+
+func runReadMode(cfg ReadBenchConfig, size int, duration sim.Time, rdma bool) float64 {
+	eng := sim.NewEngine(cfg.Seed)
+	net := fabric.NewNetwork(eng, cfg.Fabric)
+	type machine struct {
+		nic     *fabric.NIC
+		pool    *sim.ThreadPool
+		waiters [][]func() // per-thread RPC continuation queues (FIFO)
+	}
+	const region = 1
+	machines := make([]*machine, cfg.Machines)
+	perByte := sim.Time(size) * cfg.CPUPerByte
+	for i := range machines {
+		store := nvram.NewStore()
+		if _, err := store.Allocate(region, 1<<20); err != nil {
+			panic(err)
+		}
+		m := &machine{
+			nic:     net.AddMachine(fabric.MachineID(i), store),
+			pool:    sim.NewThreadPool(eng, cfg.Threads, fmt.Sprintf("rb%d", i)),
+			waiters: make([][]func(), cfg.Threads),
+		}
+		machines[i] = m
+		m.nic.SetMessageHandler(func(src fabric.MachineID, msg interface{}) {
+			switch v := msg.(type) {
+			case *rpcReq:
+				// Handle the request, then send the response: two CPU
+				// charges at the server.
+				m.pool.Dispatch(cfg.CPUMsg+perByte, func() {
+					m.pool.Dispatch(cfg.CPUMsg, func() {
+						m.nic.Send(v.From, &rpcResp{Thread: v.Thread, Data: make([]byte, v.Size)})
+					})
+				})
+			case *rpcResp:
+				if q := m.waiters[v.Thread]; len(q) > 0 {
+					m.waiters[v.Thread] = q[1:]
+					q[0]()
+				}
+			}
+		})
+	}
+
+	completed := uint64(0)
+	warm := duration / 5
+	// Several outstanding ops per thread keep the workers CPU bound (the
+	// paper's event loops pipeline verbs; with one outstanding op the
+	// wire round trip would dominate instead).
+	const pipeline = 4
+	for id, m := range machines {
+		id, m := id, m
+		rng := sim.NewRand(cfg.Seed + uint64(id)*97 + 3)
+		for th := 0; th < cfg.Threads; th++ {
+			th := th
+			var loop func()
+			loop = func() {
+				dst := fabric.MachineID((id + 1 + rng.Intn(cfg.Machines-1)) % cfg.Machines)
+				off := rng.Intn((1<<20)/size) * size
+				finish := func() {
+					if eng.Now() > warm {
+						completed++
+					}
+					loop()
+				}
+				if rdma {
+					m.pool.ByIndex(th).Do(cfg.CPUVerb+perByte, func() {
+						m.nic.Read(dst, region, off, size, func([]byte, error) { finish() })
+					})
+					return
+				}
+				m.pool.ByIndex(th).Do(cfg.CPUMsg, func() {
+					// Response handling costs CPU on the requester too.
+					m.waiters[th] = append(m.waiters[th],
+						func() { m.pool.ByIndex(th).Do(cfg.CPUMsg+perByte, finish) })
+					m.nic.Send(dst, &rpcReq{From: fabric.MachineID(id), Size: size, Thread: th})
+				})
+			}
+			for k := 0; k < pipeline; k++ {
+				loop()
+			}
+		}
+	}
+	eng.RunUntil(duration)
+	measured := duration - warm
+	return float64(completed) / measured.Micros() / float64(cfg.Machines)
+}

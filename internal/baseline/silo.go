@@ -1,0 +1,172 @@
+package baseline
+
+import (
+	"farm/internal/sim"
+	"farm/internal/stats"
+)
+
+// This file implements a compact Silo-style single-machine in-memory OCC
+// engine (Tu et al., SOSP'13), the paper's single-machine comparison point
+// (§6.3: "FaRM's throughput is 17x higher than Silo without logging, and
+// its latency at this throughput level is 128x better than Silo with
+// logging"; §7: recovery from storage takes orders of magnitude longer).
+//
+// The engine runs on the same simulation substrate: worker threads with
+// per-operation CPU costs, epoch-based group commit, and optional logging
+// to an SSD model with batching — which is exactly what makes Silo's
+// latency long: committed transactions wait for their epoch's log batch.
+
+// SiloConfig sizes the engine.
+type SiloConfig struct {
+	Threads int
+	// CPUAccess is the cost of one record access (read or write).
+	CPUAccess sim.Time
+	// CPUCommit is the commit-time overhead (validation, TID assignment).
+	CPUCommit sim.Time
+	// Logging enables SSD logging; EpochInterval is the group-commit
+	// epoch (40 ms in Silo); SSDLatency per batch write.
+	Logging       bool
+	EpochInterval sim.Time
+	SSDLatency    sim.Time
+	Seed          uint64
+}
+
+// DefaultSilo mirrors Silo's published setup, scaled to this simulator's
+// CPU calibration.
+func DefaultSilo(threads int) SiloConfig {
+	return SiloConfig{
+		Threads:       threads,
+		CPUAccess:     250 * sim.Nanosecond,
+		CPUCommit:     800 * sim.Nanosecond,
+		EpochInterval: 40 * sim.Millisecond,
+		SSDLatency:    500 * sim.Microsecond,
+		Seed:          1,
+	}
+}
+
+// Silo is the engine: records are versioned counters; transactions touch k
+// records with OCC semantics. Conflicts are modelled by version CAS on the
+// records, as in the real system.
+type Silo struct {
+	cfg  SiloConfig
+	eng  *sim.Engine
+	pool *sim.ThreadPool
+
+	versions []uint64
+	locks    []bool
+
+	Latency   *stats.Histogram
+	Committed uint64
+	Aborted   uint64
+
+	epochWaiters []func()
+}
+
+// NewSilo builds an engine with n records.
+func NewSilo(cfg SiloConfig, n int) *Silo {
+	eng := sim.NewEngine(cfg.Seed)
+	s := &Silo{
+		cfg:      cfg,
+		eng:      eng,
+		pool:     sim.NewThreadPool(eng, cfg.Threads, "silo"),
+		versions: make([]uint64, n),
+		locks:    make([]bool, n),
+		Latency:  stats.NewHistogram(),
+	}
+	if cfg.Logging {
+		s.epochTick()
+	}
+	return s
+}
+
+// Eng exposes the engine for driving.
+func (s *Silo) Eng() *sim.Engine { return s.eng }
+
+func (s *Silo) epochTick() {
+	s.eng.After(s.cfg.EpochInterval, func() {
+		waiters := s.epochWaiters
+		s.epochWaiters = nil
+		// One batched SSD write persists the epoch.
+		s.eng.After(s.cfg.SSDLatency, func() {
+			for _, w := range waiters {
+				w()
+			}
+		})
+		s.epochTick()
+	})
+}
+
+// Txn runs one transaction touching the given records (reads first, then
+// writes at commit). done(ok) reports the OCC outcome; with logging on,
+// completion waits for the epoch's group commit, as in Silo.
+func (s *Silo) Txn(thread int, reads, writes []int, done func(ok bool)) {
+	begin := s.eng.Now()
+	cost := sim.Time(len(reads)+len(writes))*s.cfg.CPUAccess + s.cfg.CPUCommit
+	observed := make([]uint64, len(reads))
+	s.pool.ByIndex(thread).Do(cost, func() {
+		for i, r := range reads {
+			observed[i] = s.versions[r]
+		}
+		// Commit: lock writes, validate reads, install.
+		for _, w := range writes {
+			if s.locks[w] {
+				s.Aborted++
+				done(false)
+				return
+			}
+		}
+		for i, r := range reads {
+			if s.versions[r] != observed[i] {
+				s.Aborted++
+				done(false)
+				return
+			}
+		}
+		for _, w := range writes {
+			s.locks[w] = true
+		}
+		// Install after a short lock-hold window (models the write phase).
+		s.eng.After(s.cfg.CPUCommit, func() {
+			for _, w := range writes {
+				s.versions[w]++
+				s.locks[w] = false
+			}
+			finish := func() {
+				s.Committed++
+				s.Latency.Record(s.eng.Now() - begin)
+				done(true)
+			}
+			if s.cfg.Logging {
+				s.epochWaiters = append(s.epochWaiters, finish)
+				return
+			}
+			finish()
+		})
+	})
+}
+
+// RunUniform drives a closed-loop uniform workload: each of the threads
+// keeps one transaction outstanding doing nReads reads + nWrites writes
+// over the record space; returns throughput (txn/s).
+func (s *Silo) RunUniform(nReads, nWrites int, duration sim.Time) float64 {
+	rng := sim.NewRand(s.cfg.Seed + 5)
+	n := len(s.versions)
+	for th := 0; th < s.cfg.Threads; th++ {
+		th := th
+		var loop func()
+		loop = func() {
+			reads := make([]int, nReads)
+			writes := make([]int, nWrites)
+			for i := range reads {
+				reads[i] = rng.Intn(n)
+			}
+			for i := range writes {
+				writes[i] = rng.Intn(n)
+			}
+			s.Txn(th, reads, writes, func(bool) { loop() })
+		}
+		loop()
+	}
+	s.eng.RunUntil(duration)
+	return float64(s.Committed) / duration.Seconds()
+}

@@ -1,0 +1,627 @@
+// Package btree implements the FaRM B-tree used for TPC-C's range indexes
+// (§6.2): a B-link tree whose nodes are FaRM objects. Internal nodes are
+// cached at each machine so a lookup costs a single (RDMA) leaf read in the
+// common case; fence keys on every node make stale-cache traversals safe —
+// a reader that lands on the wrong node detects it from the fences and
+// either follows the right-link or re-traverses transactionally, as in
+// Minuet [37].
+//
+// All mutations run inside the caller's transaction; structure
+// modifications (splits) update the whole affected path atomically within
+// that transaction.
+package btree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"farm/internal/core"
+	"farm/internal/proto"
+)
+
+// maxKey is the hiFence of the rightmost path.
+const maxKey = math.MaxUint64
+
+// Tree is a B-tree descriptor, shared by all machines (like a kv.Table,
+// this is application-distributed metadata; the anchor object holds the
+// root address so the descriptor never changes).
+type Tree struct {
+	Name   string
+	anchor proto.Addr
+	order  int
+	maxVal int
+
+	// caches holds per-machine internal-node caches ("The B-Tree caches
+	// internal nodes at each machine", §6.2).
+	caches map[int]*cache
+}
+
+type cache struct {
+	nodes map[proto.Addr][]byte
+	hits  uint64
+	miss  uint64
+}
+
+// Node layout (payload bytes):
+//
+//	isLeaf u8 | pad u8 | nkeys u16 | pad u32
+//	loFence u64 | hiFence u64 | next (u32 region, u32 off)
+//	keys   order × u64
+//	leaf:  vals order × (u16 len | maxVal bytes)
+//	inner: children (order+1) × (u32 region, u32 off)
+const nodeHeader = 8 + 8 + 8 + 8
+
+func (t *Tree) valSlot() int { return 2 + t.maxVal }
+
+// NodeBytes is the payload size of one node object.
+func (t *Tree) NodeBytes() int {
+	leaf := t.order * t.valSlot()
+	inner := (t.order + 1) * 8
+	body := leaf
+	if inner > body {
+		body = inner
+	}
+	return nodeHeader + t.order*8 + body
+}
+
+type node struct {
+	t    *Tree
+	data []byte
+}
+
+func (n node) isLeaf() bool   { return n.data[0] != 0 }
+func (n node) setLeaf(v bool) { n.data[0] = b2u(v) }
+func (n node) nkeys() int     { return int(binary.LittleEndian.Uint16(n.data[2:])) }
+func (n node) setNKeys(k int) { binary.LittleEndian.PutUint16(n.data[2:], uint16(k)) }
+func (n node) lo() uint64     { return binary.LittleEndian.Uint64(n.data[8:]) }
+func (n node) hi() uint64     { return binary.LittleEndian.Uint64(n.data[16:]) }
+func (n node) setLo(v uint64) { binary.LittleEndian.PutUint64(n.data[8:], v) }
+func (n node) setHi(v uint64) { binary.LittleEndian.PutUint64(n.data[16:], v) }
+func (n node) next() proto.Addr {
+	return proto.Addr{Region: binary.LittleEndian.Uint32(n.data[24:]), Off: binary.LittleEndian.Uint32(n.data[28:])}
+}
+func (n node) setNext(a proto.Addr) {
+	binary.LittleEndian.PutUint32(n.data[24:], a.Region)
+	binary.LittleEndian.PutUint32(n.data[28:], a.Off)
+}
+
+func (n node) key(i int) uint64 { return binary.LittleEndian.Uint64(n.data[nodeHeader+i*8:]) }
+func (n node) setKey(i int, k uint64) {
+	binary.LittleEndian.PutUint64(n.data[nodeHeader+i*8:], k)
+}
+
+func (n node) valOff(i int) int { return nodeHeader + n.t.order*8 + i*n.t.valSlot() }
+
+func (n node) val(i int) []byte {
+	off := n.valOff(i)
+	l := int(binary.LittleEndian.Uint16(n.data[off:]))
+	return n.data[off+2 : off+2+l]
+}
+
+func (n node) setVal(i int, v []byte) {
+	off := n.valOff(i)
+	binary.LittleEndian.PutUint16(n.data[off:], uint16(len(v)))
+	copy(n.data[off+2:], v)
+}
+
+func (n node) childOff(i int) int { return nodeHeader + n.t.order*8 + i*8 }
+
+func (n node) child(i int) proto.Addr {
+	off := n.childOff(i)
+	return proto.Addr{Region: binary.LittleEndian.Uint32(n.data[off:]), Off: binary.LittleEndian.Uint32(n.data[off+4:])}
+}
+
+func (n node) setChild(i int, a proto.Addr) {
+	off := n.childOff(i)
+	binary.LittleEndian.PutUint32(n.data[off:], a.Region)
+	binary.LittleEndian.PutUint32(n.data[off+4:], a.Off)
+}
+
+func b2u(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// childIndex returns which child to descend into for key.
+func (n node) childIndex(key uint64) int {
+	i := 0
+	for i < n.nkeys() && key >= n.key(i) {
+		i++
+	}
+	return i
+}
+
+// leafIndex returns the slot of key in a leaf, or (insertPos, false).
+func (n node) leafIndex(key uint64) (int, bool) {
+	i := 0
+	for i < n.nkeys() && n.key(i) < key {
+		i++
+	}
+	if i < n.nkeys() && n.key(i) == key {
+		return i, true
+	}
+	return i, false
+}
+
+// insertAt shifts keys/vals (leaf) right from position i.
+func (n node) leafInsertAt(i int, key uint64, val []byte) {
+	for j := n.nkeys(); j > i; j-- {
+		n.setKey(j, n.key(j-1))
+		n.setVal(j, n.val(j-1))
+	}
+	n.setKey(i, key)
+	n.setVal(i, val)
+	n.setNKeys(n.nkeys() + 1)
+}
+
+func (n node) leafRemoveAt(i int) {
+	for j := i; j < n.nkeys()-1; j++ {
+		n.setKey(j, n.key(j+1))
+		n.setVal(j, n.val(j+1))
+	}
+	n.setNKeys(n.nkeys() - 1)
+}
+
+func (n node) innerInsertAt(i int, key uint64, right proto.Addr) {
+	for j := n.nkeys(); j > i; j-- {
+		n.setKey(j, n.key(j-1))
+	}
+	for j := n.nkeys() + 1; j > i+1; j-- {
+		n.setChild(j, n.child(j-1))
+	}
+	n.setKey(i, key)
+	n.setChild(i+1, right)
+	n.setNKeys(n.nkeys() + 1)
+}
+
+// Config sizes a tree.
+type Config struct {
+	Name   string
+	Order  int // keys per node (default 8)
+	MaxVal int
+	Region uint32 // region for the anchor and root
+}
+
+// Create allocates the anchor and an empty root leaf from machine m.
+func Create(m *core.Machine, cfg Config, cb func(*Tree, error)) {
+	if cfg.Order == 0 {
+		cfg.Order = 8
+	}
+	if cfg.Order < 3 || cfg.Region == 0 {
+		cb(nil, fmt.Errorf("btree: bad config %+v", cfg))
+		return
+	}
+	t := &Tree{Name: cfg.Name, order: cfg.Order, maxVal: cfg.MaxVal, caches: make(map[int]*cache)}
+	hint := proto.Addr{Region: cfg.Region}
+	tx := m.Begin(0)
+	root := node{t: t, data: make([]byte, t.NodeBytes())}
+	root.setLeaf(true)
+	root.setHi(maxKey)
+	tx.Alloc(len(root.data), root.data, &hint, func(rootAddr proto.Addr, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		anchor := make([]byte, 8)
+		binary.LittleEndian.PutUint32(anchor, rootAddr.Region)
+		binary.LittleEndian.PutUint32(anchor[4:], rootAddr.Off)
+		tx.Alloc(8, anchor, &hint, func(anchorAddr proto.Addr, err error) {
+			if err != nil {
+				cb(nil, err)
+				return
+			}
+			t.anchor = anchorAddr
+			tx.Commit(func(err error) {
+				if err != nil {
+					cb(nil, err)
+					return
+				}
+				cb(t, nil)
+			})
+		})
+	})
+}
+
+// MustCreate drives the simulation until Create completes.
+func MustCreate(c *core.Cluster, m *core.Machine, cfg Config) *Tree {
+	var tree *Tree
+	var cerr error
+	done := false
+	Create(m, cfg, func(t *Tree, err error) { tree, cerr, done = t, err, true })
+	for !done {
+		if !c.Eng.Step() {
+			break
+		}
+	}
+	if !done || cerr != nil {
+		panic(fmt.Sprintf("btree: MustCreate(%s): %v", cfg.Name, cerr))
+	}
+	return tree
+}
+
+func (t *Tree) cacheFor(id int) *cache {
+	c := t.caches[id]
+	if c == nil {
+		c = &cache{nodes: make(map[proto.Addr][]byte)}
+		t.caches[id] = c
+	}
+	return c
+}
+
+// CacheStats reports (hits, misses) of a machine's internal-node cache.
+func (t *Tree) CacheStats(machine int) (uint64, uint64) {
+	c := t.cacheFor(machine)
+	return c.hits, c.miss
+}
+
+// Get looks key up within tx. The descent uses the machine-local cache of
+// internal nodes; only the leaf is read transactionally, so the common
+// case costs one remote read. Fence keys catch stale cache entries.
+func (t *Tree) Get(tx *core.Tx, m *core.Machine, key uint64, cb func(val []byte, ok bool, err error)) {
+	t.cachedDescend(tx, m, key, 0, func(leafAddr proto.Addr, leafData []byte, err error) {
+		if err != nil {
+			cb(nil, false, err)
+			return
+		}
+		n := node{t: t, data: leafData}
+		if i, found := n.leafIndex(key); found {
+			cb(append([]byte(nil), n.val(i)...), true, nil)
+		} else {
+			cb(nil, false, nil)
+		}
+	})
+}
+
+// cachedDescend finds the leaf covering key: cached internal hops, a
+// transactional leaf read, fence validation, right-links for splits, and a
+// full transactional re-traverse when the cache proves stale.
+func (t *Tree) cachedDescend(tx *core.Tx, m *core.Machine, key uint64, attempt int, cb func(proto.Addr, []byte, error)) {
+	if attempt > 2 {
+		// Cache hopeless: transactional descent from the anchor.
+		t.txDescend(tx, key, cb)
+		return
+	}
+	c := t.cacheFor(m.ID)
+	var step func(addr proto.Addr, depth int)
+	step = func(addr proto.Addr, depth int) {
+		if depth > 64 {
+			cb(proto.Addr{}, nil, fmt.Errorf("btree: descent too deep"))
+			return
+		}
+		if cached, ok := c.nodes[addr]; ok {
+			c.hits++
+			n := node{t: t, data: cached}
+			if n.isLeaf() || key < n.lo() || key >= n.hi() {
+				// A cached leaf (root just created) or a stale span:
+				// resolve transactionally below.
+				delete(c.nodes, addr)
+				t.cachedDescend(tx, m, key, attempt+1, cb)
+				return
+			}
+			step(n.child(n.childIndex(key)), depth+1)
+			return
+		}
+		c.miss++
+		// Fetch the node with a lock-free read; cache it if internal.
+		m.LockFreeRead(tx2thread(tx), addr, t.NodeBytes(), func(data []byte, err error) {
+			if err != nil {
+				cb(proto.Addr{}, nil, err)
+				return
+			}
+			n := node{t: t, data: data}
+			if key < n.lo() {
+				// Stale parent pointed too far right: re-traverse.
+				t.cachedDescend(tx, m, key, attempt+1, cb)
+				return
+			}
+			if key >= n.hi() {
+				// Node split since: follow the right-link (B-link move).
+				step(n.next(), depth+1)
+				return
+			}
+			if !n.isLeaf() {
+				cp := append([]byte(nil), data...)
+				c.nodes[addr] = cp
+				step(n.child(n.childIndex(key)), depth+1)
+				return
+			}
+			// Leaf: (re)read transactionally so commit-time validation
+			// covers it.
+			tx.Read(addr, t.NodeBytes(), func(ld []byte, err error) {
+				if err != nil {
+					cb(proto.Addr{}, nil, err)
+					return
+				}
+				ln := node{t: t, data: ld}
+				if key < ln.lo() || key >= ln.hi() {
+					t.cachedDescend(tx, m, key, attempt+1, cb)
+					return
+				}
+				cb(addr, ld, nil)
+			})
+		})
+	}
+	// The anchor is tiny and hot: cache it like an internal node.
+	if cachedRoot, ok := c.nodes[t.anchor]; ok && len(cachedRoot) == 8 {
+		c.hits++
+		step(addrFromBytes(cachedRoot), 0)
+		return
+	}
+	c.miss++
+	m.LockFreeRead(tx2thread(tx), t.anchor, 8, func(data []byte, err error) {
+		if err != nil {
+			cb(proto.Addr{}, nil, err)
+			return
+		}
+		c.nodes[t.anchor] = append([]byte(nil), data...)
+		step(addrFromBytes(data), 0)
+	})
+}
+
+func addrFromBytes(b []byte) proto.Addr {
+	return proto.Addr{Region: binary.LittleEndian.Uint32(b), Off: binary.LittleEndian.Uint32(b[4:])}
+}
+
+// tx2thread recovers the coordinator thread for auxiliary lock-free reads.
+func tx2thread(tx *core.Tx) int { return tx.Thread() }
+
+// txDescend is the fully transactional descent used by writers and by
+// readers whose cache failed: every node on the path joins the read set.
+func (t *Tree) txDescend(tx *core.Tx, key uint64, cb func(proto.Addr, []byte, error)) {
+	t.txDescendPath(tx, key, func(path []pathEntry, err error) {
+		if err != nil {
+			cb(proto.Addr{}, nil, err)
+			return
+		}
+		last := path[len(path)-1]
+		cb(last.addr, last.data, nil)
+	})
+}
+
+type pathEntry struct {
+	addr proto.Addr
+	data []byte
+}
+
+// txDescendPath returns the whole root→leaf path (transactionally read).
+func (t *Tree) txDescendPath(tx *core.Tx, key uint64, cb func([]pathEntry, error)) {
+	tx.Read(t.anchor, 8, func(ab []byte, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		var path []pathEntry
+		var step func(addr proto.Addr, depth int)
+		step = func(addr proto.Addr, depth int) {
+			if depth > 64 {
+				cb(nil, fmt.Errorf("btree: descent too deep"))
+				return
+			}
+			tx.Read(addr, t.NodeBytes(), func(data []byte, err error) {
+				if err != nil {
+					cb(nil, err)
+					return
+				}
+				n := node{t: t, data: data}
+				if key >= n.hi() {
+					// Concurrent split: B-link right move (replace the
+					// path tail with the right sibling).
+					step(n.next(), depth)
+					return
+				}
+				path = append(path, pathEntry{addr: addr, data: data})
+				if n.isLeaf() {
+					cb(path, nil)
+					return
+				}
+				step(n.child(n.childIndex(key)), depth+1)
+			})
+		}
+		step(addrFromBytes(ab), 0)
+	})
+}
+
+// Put inserts or updates key within tx, splitting full nodes along the
+// path (all inside the transaction, so the structure change is atomic).
+func (t *Tree) Put(tx *core.Tx, key uint64, val []byte, cb func(err error)) {
+	if len(val) > t.maxVal {
+		cb(fmt.Errorf("btree: value too long"))
+		return
+	}
+	t.txDescendPath(tx, key, func(path []pathEntry, err error) {
+		if err != nil {
+			cb(err)
+			return
+		}
+		leaf := path[len(path)-1]
+		n := node{t: t, data: leaf.data}
+		if i, found := n.leafIndex(key); found {
+			n.setVal(i, val)
+			tx.Write(leaf.addr, n.data)
+			cb(nil)
+			return
+		}
+		if n.nkeys() < t.order {
+			i, _ := n.leafIndex(key)
+			n.leafInsertAt(i, key, val)
+			tx.Write(leaf.addr, n.data)
+			cb(nil)
+			return
+		}
+		t.splitAndInsert(tx, path, key, val, cb)
+	})
+}
+
+// splitAndInsert splits the full leaf at the end of path and inserts the
+// separator upward, splitting parents as needed.
+func (t *Tree) splitAndInsert(tx *core.Tx, path []pathEntry, key uint64, val []byte, cb func(error)) {
+	leafE := path[len(path)-1]
+	left := node{t: t, data: leafE.data}
+
+	right := node{t: t, data: make([]byte, t.NodeBytes())}
+	right.setLeaf(true)
+	mid := t.order / 2
+	sep := left.key(mid)
+	// Move upper half to right.
+	for i := mid; i < left.nkeys(); i++ {
+		right.setKey(i-mid, left.key(i))
+		right.setVal(i-mid, left.val(i))
+	}
+	right.setNKeys(left.nkeys() - mid)
+	left.setNKeys(mid)
+	right.setLo(sep)
+	right.setHi(left.hi())
+	right.setNext(left.next())
+	left.setHi(sep)
+
+	// Insert the new pair into the proper half.
+	if key < sep {
+		i, _ := left.leafIndex(key)
+		left.leafInsertAt(i, key, val)
+	} else {
+		i, _ := right.leafIndex(key)
+		right.leafInsertAt(i, key, val)
+	}
+
+	hint := leafE.addr
+	tx.Alloc(len(right.data), right.data, &hint, func(rightAddr proto.Addr, err error) {
+		if err != nil {
+			cb(err)
+			return
+		}
+		left.setNext(rightAddr)
+		tx.Write(leafE.addr, left.data)
+		t.insertUp(tx, path[:len(path)-1], sep, rightAddr, leafE.addr, cb)
+	})
+}
+
+// insertUp adds (sep → right) into the parent chain.
+func (t *Tree) insertUp(tx *core.Tx, path []pathEntry, sep uint64, right, leftAddr proto.Addr, cb func(error)) {
+	if len(path) == 0 {
+		// Root split: new root with two children; update the anchor.
+		newRoot := node{t: t, data: make([]byte, t.NodeBytes())}
+		newRoot.setLeaf(false)
+		newRoot.setHi(maxKey)
+		newRoot.setNKeys(1)
+		newRoot.setKey(0, sep)
+		newRoot.setChild(0, leftAddr)
+		newRoot.setChild(1, right)
+		hint := leftAddr
+		tx.Alloc(len(newRoot.data), newRoot.data, &hint, func(rootAddr proto.Addr, err error) {
+			if err != nil {
+				cb(err)
+				return
+			}
+			anchor := make([]byte, 8)
+			binary.LittleEndian.PutUint32(anchor, rootAddr.Region)
+			binary.LittleEndian.PutUint32(anchor[4:], rootAddr.Off)
+			tx.Write(t.anchor, anchor)
+			cb(nil)
+		})
+		return
+	}
+	parentE := path[len(path)-1]
+	p := node{t: t, data: parentE.data}
+	if p.nkeys() < t.order {
+		p.innerInsertAt(p.childIndex(sep), sep, right)
+		tx.Write(parentE.addr, p.data)
+		cb(nil)
+		return
+	}
+	// Split the internal node.
+	rn := node{t: t, data: make([]byte, t.NodeBytes())}
+	rn.setLeaf(false)
+	mid := t.order / 2
+	upSep := p.key(mid)
+	for i := mid + 1; i < p.nkeys(); i++ {
+		rn.setKey(i-mid-1, p.key(i))
+	}
+	for i := mid + 1; i <= p.nkeys(); i++ {
+		rn.setChild(i-mid-1, p.child(i))
+	}
+	rn.setNKeys(p.nkeys() - mid - 1)
+	p.setNKeys(mid)
+	rn.setLo(upSep)
+	rn.setHi(p.hi())
+	rn.setNext(p.next())
+	p.setHi(upSep)
+
+	if sep < upSep {
+		p.innerInsertAt(p.childIndex(sep), sep, right)
+	} else {
+		rn.innerInsertAt(rn.childIndex(sep), sep, right)
+	}
+	hint := parentE.addr
+	tx.Alloc(len(rn.data), rn.data, &hint, func(rightAddr proto.Addr, err error) {
+		if err != nil {
+			cb(err)
+			return
+		}
+		p.setNext(rightAddr)
+		tx.Write(parentE.addr, p.data)
+		t.insertUp(tx, path[:len(path)-1], upSep, rightAddr, parentE.addr, cb)
+	})
+}
+
+// Delete removes key within tx (lazy deletion: leaves may underflow but
+// are never merged, which keeps fence keys stable).
+func (t *Tree) Delete(tx *core.Tx, key uint64, cb func(ok bool, err error)) {
+	t.txDescend(tx, key, func(addr proto.Addr, data []byte, err error) {
+		if err != nil {
+			cb(false, err)
+			return
+		}
+		n := node{t: t, data: data}
+		i, found := n.leafIndex(key)
+		if !found {
+			cb(false, nil)
+			return
+		}
+		n.leafRemoveAt(i)
+		tx.Write(addr, n.data)
+		cb(true, nil)
+	})
+}
+
+// Pair is one key/value result of a Scan.
+type Pair struct {
+	Key uint64
+	Val []byte
+}
+
+// Scan returns up to limit pairs with key >= from, in key order, reading
+// leaves transactionally (TPC-C's range queries).
+func (t *Tree) Scan(tx *core.Tx, from uint64, limit int, cb func(pairs []Pair, err error)) {
+	t.txDescend(tx, from, func(addr proto.Addr, data []byte, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		var out []Pair
+		var walk func(data []byte)
+		walk = func(data []byte) {
+			n := node{t: t, data: data}
+			for i := 0; i < n.nkeys() && len(out) < limit; i++ {
+				if n.key(i) >= from {
+					out = append(out, Pair{Key: n.key(i), Val: append([]byte(nil), n.val(i)...)})
+				}
+			}
+			next := n.next()
+			if len(out) >= limit || next == (proto.Addr{}) {
+				cb(out, nil)
+				return
+			}
+			tx.Read(next, t.NodeBytes(), func(nd []byte, err error) {
+				if err != nil {
+					cb(nil, err)
+					return
+				}
+				walk(nd)
+			})
+		}
+		walk(data)
+	})
+}

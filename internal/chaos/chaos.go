@@ -1,0 +1,310 @@
+// Package chaos long-runs the platform under randomized fault injection —
+// machine kills, minority partitions, whole-cluster power cycles — while a
+// bank-transfer workload executes, then audits the invariants FaRM
+// promises: conservation (serializable transfers never create or destroy
+// money), durability (committed state survives every fault the
+// configuration tolerates), agreement (one configuration), and liveness
+// (the surviving majority keeps committing). Every run is deterministic in
+// its seed, so a violated invariant is a replayable bug report.
+package chaos
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"farm/internal/core"
+	"farm/internal/loadgen"
+	"farm/internal/proto"
+	"farm/internal/sim"
+)
+
+// Config parameterizes a chaos campaign.
+type Config struct {
+	Machines int
+	Accounts int
+	Initial  uint64
+	// Duration is virtual time per run.
+	Duration sim.Time
+	// FaultEvery is the mean interval between injected faults.
+	FaultEvery sim.Time
+	// KillWeight / PartitionWeight / PowerWeight select fault kinds.
+	KillWeight      int
+	PartitionWeight int
+	PowerWeight     int
+	// MaxKills bounds how many machines may stay dead at once (the
+	// cluster must keep a ZK-probe majority and f+1 replicas).
+	MaxKills int
+	Lease    sim.Time
+	Seed     uint64
+}
+
+// DefaultConfig returns a campaign tuned to finish one run in a few wall
+// seconds.
+func DefaultConfig() Config {
+	return Config{
+		Machines:        6,
+		Accounts:        24,
+		Initial:         1000,
+		Duration:        1200 * sim.Millisecond,
+		FaultEvery:      150 * sim.Millisecond,
+		KillWeight:      3,
+		PartitionWeight: 2,
+		PowerWeight:     1,
+		MaxKills:        1,
+		Lease:           5 * sim.Millisecond,
+		Seed:            1,
+	}
+}
+
+// Result summarizes one run.
+type Result struct {
+	Seed        uint64
+	Commits     uint64
+	Aborts      uint64
+	Kills       int
+	Partitions  int
+	PowerCycles int
+	// Violations lists invariant failures (empty = clean run).
+	Violations []string
+}
+
+// String renders the result.
+func (r Result) String() string {
+	status := "OK"
+	if len(r.Violations) > 0 {
+		status = fmt.Sprintf("VIOLATED %v", r.Violations)
+	}
+	return fmt.Sprintf("seed=%d commits=%d aborts=%d kills=%d partitions=%d powercycles=%d → %s",
+		r.Seed, r.Commits, r.Aborts, r.Kills, r.Partitions, r.PowerCycles, status)
+}
+
+// Run executes one chaos run.
+func Run(cfg Config) Result {
+	res := Result{Seed: cfg.Seed}
+	opts := core.Options{NumMachines: cfg.Machines, Seed: cfg.Seed, LeaseDuration: cfg.Lease}
+	c := core.New(opts)
+	if _, err := c.CreateRegions(0, 3, 0); err != nil {
+		res.Violations = append(res.Violations, "setup: "+err.Error())
+		return res
+	}
+
+	// Open accounts.
+	addrs := make([]proto.Addr, cfg.Accounts)
+	for i := range addrs {
+		i := i
+		err := loadgen.RunSync(c, c.Machine(i%cfg.Machines), 0, func(tx *core.Tx, done func(error)) {
+			tx.Alloc(8, u64b(cfg.Initial), nil, func(a proto.Addr, err error) {
+				if err != nil {
+					done(err)
+					return
+				}
+				addrs[i] = a
+				done(nil)
+			})
+		})
+		if err != nil {
+			res.Violations = append(res.Violations, "open: "+err.Error())
+			return res
+		}
+	}
+	total := cfg.Initial * uint64(cfg.Accounts)
+
+	// Transfer drivers on every machine (dead drivers just stop).
+	var commits, aborts uint64
+	for mi := 0; mi < cfg.Machines; mi++ {
+		m := c.Machine(mi)
+		rng := sim.NewRand(cfg.Seed*977 + uint64(mi))
+		for th := 0; th < 2; th++ {
+			th := th
+			var drive func()
+			drive = func() {
+				if !m.Alive() || c.Now() > cfg.Duration {
+					return
+				}
+				from := addrs[rng.Intn(cfg.Accounts)]
+				to := addrs[rng.Intn(cfg.Accounts)]
+				if from == to {
+					c.Eng.After(5*sim.Microsecond, drive)
+					return
+				}
+				amount := uint64(rng.Intn(9) + 1)
+				tx := m.Begin(th)
+				tx.Read(from, 8, func(fb []byte, err error) {
+					if err != nil {
+						aborts++
+						c.Eng.After(100*sim.Microsecond, drive)
+						return
+					}
+					tx.Read(to, 8, func(tb []byte, err error) {
+						if err != nil {
+							aborts++
+							c.Eng.After(100*sim.Microsecond, drive)
+							return
+						}
+						if u64(fb) < amount {
+							tx.Commit(func(error) { drive() })
+							return
+						}
+						tx.Write(from, u64b(u64(fb)-amount))
+						tx.Write(to, u64b(u64(tb)+amount))
+						tx.Commit(func(err error) {
+							if err == nil {
+								commits++
+							} else {
+								aborts++
+							}
+							drive()
+						})
+					})
+				})
+			}
+			drive()
+		}
+	}
+
+	// Fault injector.
+	frng := sim.NewRand(cfg.Seed*31337 + 7)
+	partitioned := false
+	var inject func()
+	inject = func() {
+		if c.Now() > cfg.Duration-200*sim.Millisecond {
+			return // quiesce window at the end
+		}
+		weightSum := cfg.KillWeight + cfg.PartitionWeight + cfg.PowerWeight
+		pick := frng.Intn(weightSum)
+		switch {
+		case pick < cfg.KillWeight:
+			alive := c.AliveMachines()
+			dead := cfg.Machines - len(alive)
+			if dead < cfg.MaxKills && len(alive) > cfg.Machines/2+1 {
+				// Never the CM's machine 0 in this campaign: CM failover is
+				// exercised by the power cycles and dedicated tests.
+				v := alive[frng.Intn(len(alive))]
+				if v != 0 {
+					c.Kill(v)
+					res.Kills++
+				}
+			}
+		case pick < cfg.KillWeight+cfg.PartitionWeight:
+			if !partitioned {
+				// Cut off one non-CM machine for a while.
+				v := 1 + frng.Intn(cfg.Machines-1)
+				c.Partition(map[int]int{v: 1})
+				partitioned = true
+				res.Partitions++
+				c.Eng.After(frng.Between(20*sim.Millisecond, 60*sim.Millisecond), func() {
+					c.Heal()
+					partitioned = false
+				})
+			}
+		default:
+			if len(c.AliveMachines()) == cfg.Machines && !partitioned {
+				c.PowerFailure()
+				res.PowerCycles++
+				c.Eng.After(frng.Between(20*sim.Millisecond, 80*sim.Millisecond), func() {
+					c.RestorePower()
+				})
+			}
+		}
+		c.Eng.After(sim.Time(float64(cfg.FaultEvery)*(0.5+frng.Float64())), inject)
+	}
+	c.Eng.After(cfg.FaultEvery, inject)
+
+	c.Eng.RunUntil(cfg.Duration)
+	// Quiesce: let recovery and truncation settle.
+	c.RunFor(500 * sim.Millisecond)
+	res.Commits, res.Aborts = commits, aborts
+
+	// --- Audits ---
+	if len(c.LostRegions) > 0 {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("regions lost all replicas: %v", c.LostRegions))
+	}
+	// Agreement: the latest configuration's members agree on it. Evicted
+	// machines (e.g. cut off by a healed partition) legitimately hold
+	// stale configurations: precise membership keeps them harmless, and
+	// they are excluded here as they would be replaced in production.
+	var latest uint64
+	for _, id := range c.AliveMachines() {
+		if v := c.Machine(id).ConfigID(); v > latest {
+			latest = v
+		}
+	}
+	var member0 *core.Machine
+	for _, id := range c.AliveMachines() {
+		m := c.Machine(id)
+		if m.ConfigID() == latest {
+			member0 = m
+			break
+		}
+	}
+	if member0 == nil {
+		res.Violations = append(res.Violations, "no machine reached the latest configuration")
+		return res
+	}
+	// Agreement judged against the LATEST configuration's membership (a
+	// stale machine's own view would trivially include itself).
+	for _, id := range c.AliveMachines() {
+		m := c.Machine(id)
+		if member0.Member(id) && m.ConfigID() != latest {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("member %d lags at config %d (latest %d)", id, m.ConfigID(), latest))
+		}
+	}
+	// Conservation + liveness: audit reads must succeed and sum to total.
+	reader := member0
+	var sum uint64
+	for i, a := range addrs {
+		var val []byte
+		err := loadgen.RunSync(c, reader, 1, func(tx *core.Tx, done func(error)) {
+			tx.Read(a, 8, func(data []byte, err error) {
+				val = data
+				done(err)
+			})
+		})
+		if err != nil {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("liveness: account %d unreadable: %v", i, err))
+			return res
+		}
+		sum += u64(val)
+	}
+	if sum != total {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("conservation: Σ=%d want %d", sum, total))
+	}
+	// Liveness: a fresh transfer commits.
+	err := loadgen.RunSync(c, reader, 0, func(tx *core.Tx, done func(error)) {
+		tx.Read(addrs[0], 8, func(data []byte, err error) {
+			if err != nil {
+				done(err)
+				return
+			}
+			tx.Write(addrs[0], data)
+			done(nil)
+		})
+	})
+	if err != nil {
+		res.Violations = append(res.Violations, "liveness: post-chaos commit failed: "+err.Error())
+		for dst, rep := range reader.LogSpaceReport() {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("  logW[%d]: free=%d reserved=%d appended=%d consumed=%d",
+					dst, rep[0], rep[1], rep[2], rep[3]))
+		}
+	}
+	return res
+}
+
+// Campaign runs n seeds and returns all results.
+func Campaign(cfg Config, n int) []Result {
+	out := make([]Result, 0, n)
+	for i := 0; i < n; i++ {
+		run := cfg
+		run.Seed = cfg.Seed + uint64(i)*7919
+		out = append(out, Run(run))
+	}
+	return out
+}
+
+func u64(b []byte) uint64  { return binary.LittleEndian.Uint64(b) }
+func u64b(v uint64) []byte { b := make([]byte, 8); binary.LittleEndian.PutUint64(b, v); return b }

@@ -1,0 +1,23 @@
+package chaos
+
+import "testing"
+
+func TestChaosCampaignHoldsInvariants(t *testing.T) {
+	cfg := DefaultConfig()
+	if testing.Short() {
+		cfg.Duration = cfg.Duration / 2
+	}
+	results := Campaign(cfg, 3)
+	for _, r := range results {
+		t.Log(r)
+		if len(r.Violations) > 0 {
+			t.Fatalf("invariants violated: %v", r)
+		}
+		if r.Commits == 0 {
+			t.Fatalf("no commits: %v", r)
+		}
+		if r.Kills+r.Partitions+r.PowerCycles == 0 {
+			t.Fatalf("no faults injected: %v", r)
+		}
+	}
+}

@@ -1,0 +1,471 @@
+package core
+
+import (
+	"farm/internal/proto"
+	"farm/internal/regionmem"
+)
+
+// This file is the participant side of the commit protocol: processing of
+// log records polled out of ring buffers (§4) and the reliable-message
+// router shared by all protocol components.
+
+// handleRecord processes one parsed log record from the ring of lr.src.
+func (m *Machine) handleRecord(lr *logReader, rec *proto.Record, seq uint64) {
+	m.handleRecordInner(lr, rec, seq, false)
+}
+
+// handleRecordInner is handleRecord with drain semantics: records that
+// were already in the log when draining started bypass the stale-record
+// rejection, because the drain must examine them (§5.3 step 2).
+func (m *Machine) handleRecordInner(lr *logReader, rec *proto.Record, seq uint64, preDrain bool) {
+	if rec.Type == proto.RecTruncate {
+		// Explicit truncation carrier: apply its piggyback and reclaim the
+		// record itself immediately.
+		m.c.Counters.Inc("rec TRUNCATE", 1)
+		m.applyPiggyback(lr, rec)
+		lr.rd.Truncate(seq)
+		return
+	}
+	// Reject stale records from transactions that recovery already dealt
+	// with (§5.3 step 2: "Log records for transactions with configuration
+	// identifiers less than or equal to LastDrained are rejected").
+	if !preDrain && rec.Tx.Config < m.config.ID && m.lastDrained >= m.config.ID && m.recordIsRecovering(rec) {
+		m.c.Counters.Inc("stale_record_rejected", 1)
+		lr.rd.Truncate(seq)
+		m.applyPiggyback(lr, rec)
+		return
+	}
+
+	m.c.Counters.Inc("rec "+rec.Type.String(), 1)
+	key := mtlOf(rec.Tx)
+	rt := m.pend[key]
+	if rt == nil {
+		d := m.truncDomainFor(rec.Tx.Coord())
+		if d.truncated(rec.Tx.Local) {
+			// A record for an already-truncated transaction (late commit-
+			// primary after recovery truncated): drop it.
+			lr.rd.Truncate(seq)
+			m.applyPiggyback(lr, rec)
+			return
+		}
+		rt = &remoteTx{id: rec.Tx}
+		m.pend[key] = rt
+	}
+	rt.frameSeqs = append(rt.frameSeqs, seq)
+	lr.frames[key] = append(lr.frames[key], seq)
+	if len(rec.Regions) > 0 {
+		rt.regionHint = rec.Regions
+	}
+
+	switch rec.Type {
+	case proto.RecLock:
+		rt.saw |= proto.SawLock
+		rt.lock = rec
+		m.processLock(rt, rec)
+	case proto.RecCommitBackup:
+		rt.saw |= proto.SawCommitBackup
+		if rt.lock == nil {
+			rt.lock = rec // same payload as LOCK (§4 step 3)
+		} else {
+			// Merge writes this machine backs that the LOCK record (which
+			// carries only primary-owned objects) did not include.
+			rt.lock = mergeRecords(rt.lock, rec)
+		}
+	case proto.RecCommitPrimary:
+		rt.saw |= proto.SawCommitPrimary
+		m.applyCommitPrimary(rt)
+	case proto.RecAbort:
+		rt.saw |= proto.SawAbort
+		m.releaseLocks(rt)
+	}
+	m.applyPiggyback(lr, rec)
+}
+
+// mergeRecords combines the object writes of two records for the same
+// transaction (a machine can be primary for one written region and backup
+// for another; it then receives both LOCK and COMMIT-BACKUP records with
+// different write subsets).
+func mergeRecords(a, b *proto.Record) *proto.Record {
+	seen := make(map[proto.Addr]bool, len(a.Writes))
+	for _, w := range a.Writes {
+		seen[w.Addr] = true
+	}
+	merged := *a
+	merged.Writes = append(append([]proto.ObjectWrite(nil), a.Writes...), nil...)
+	for _, w := range b.Writes {
+		if !seen[w.Addr] {
+			merged.Writes = append(merged.Writes, w)
+		}
+	}
+	return &merged
+}
+
+// applyPiggyback processes the truncation metadata every record carries.
+func (m *Machine) applyPiggyback(lr *logReader, rec *proto.Record) {
+	if rec.TruncLow > 0 {
+		m.truncDomainFor(rec.Tx.Coord()).setLow(rec.TruncLow)
+	}
+	for _, packed := range rec.TruncIDs {
+		thread, local := unpackTruncID(packed)
+		m.truncateTx(lr, proto.CoordKey{Machine: rec.Tx.Machine, Thread: thread}, local)
+	}
+}
+
+// processLock attempts to lock every named object at its expected version
+// (§4 step 1) and reports the outcome to the coordinator.
+func (m *Machine) processLock(rt *remoteTx, rec *proto.Record) {
+	ok := true
+	var acquired []proto.ObjectWrite
+	for _, w := range rec.Writes {
+		rep := m.replicas[w.Addr.Region]
+		if rep == nil || !rep.primary {
+			ok = false
+			break
+		}
+		if !regionmem.TryLock(rep.mem, int(w.Addr.Off), w.Version) {
+			ok = false
+			break
+		}
+		rep.lockOwner[w.Addr.Off] = rec.Tx
+		acquired = append(acquired, w)
+		rt.lockedObjs = append(rt.lockedObjs, w.Addr)
+	}
+	if !ok {
+		// Roll back partial locks; the coordinator will write ABORT.
+		for _, w := range acquired {
+			rep := m.replicas[w.Addr.Region]
+			regionmem.Unlock(rep.mem, int(w.Addr.Off))
+			delete(rep.lockOwner, w.Addr.Off)
+		}
+		rt.lockedObjs = nil
+		m.c.Counters.Inc("lock_failed", 1)
+	}
+	m.send(int(rec.Tx.Machine), &proto.LockReply{Tx: rec.Tx, OK: ok})
+}
+
+// applyCommitPrimary installs a committed transaction's writes at regions
+// this machine is primary for: update in place, bump version, unlock (§4
+// step 4).
+func (m *Machine) applyCommitPrimary(rt *remoteTx) {
+	if rt.applied || rt.lock == nil {
+		return
+	}
+	rt.applied = true
+	for _, w := range rt.lock.Writes {
+		rep := m.replicas[w.Addr.Region]
+		if rep == nil || !rep.primary {
+			continue
+		}
+		// Version-gated for recovery replays: never regress an object.
+		cur := regionmem.ReadHeader(rep.mem, int(w.Addr.Off))
+		if regionmem.Version(cur) <= w.Version {
+			regionmem.CommitWrite(rep.mem, int(w.Addr.Off), w.Version+1, w.Allocated, w.Value)
+			delete(rep.lockOwner, w.Addr.Off)
+			if !w.Allocated {
+				m.freeSlotAtPrimary(rep, int(w.Addr.Off))
+			}
+		} else if owner, ok := rep.lockOwner[w.Addr.Off]; ok && owner == rt.id {
+			// Already applied by an earlier replay: just drop our lock.
+			// Another transaction's lock (and its owner entry) must be
+			// left strictly alone — its own decision releases it.
+			regionmem.Unlock(rep.mem, int(w.Addr.Off))
+			delete(rep.lockOwner, w.Addr.Off)
+		}
+	}
+	rt.lockedObjs = nil
+}
+
+// freeSlotAtPrimary returns a freed object's slot to the allocator,
+// queueing it while allocator recovery is scanning (§5.5).
+func (m *Machine) freeSlotAtPrimary(rep *replica, off int) {
+	if rep.allocRecovering {
+		rep.freeQ = append(rep.freeQ, off)
+		return
+	}
+	if rep.alloc != nil {
+		rep.alloc.Free(off)
+	}
+}
+
+// releaseLocks undoes a transaction's locks after an ABORT record.
+func (m *Machine) releaseLocks(rt *remoteTx) {
+	for _, addr := range rt.lockedObjs {
+		rep := m.replicas[addr.Region]
+		if rep == nil {
+			continue
+		}
+		if owner, ok := rep.lockOwner[addr.Off]; ok && owner == rt.id {
+			regionmem.Unlock(rep.mem, int(addr.Off))
+			delete(rep.lockOwner, addr.Off)
+		}
+	}
+	rt.lockedObjs = nil
+}
+
+// truncateTx performs §4 step 5 at a participant: backups apply the
+// transaction's writes to their replicas, the transaction's log frames are
+// reclaimed, and the id joins the truncated set.
+func (m *Machine) truncateTx(lr *logReader, key proto.CoordKey, local uint64) {
+	k := mtl{m: key.Machine, t: key.Thread, local: local}
+	if rt := m.pend[k]; rt != nil {
+		if rt.saw&(proto.SawAbort|proto.SawAbortRecovery) == 0 {
+			m.applyAtBackup(rt)
+		}
+		delete(m.pend, k)
+	}
+	m.truncDomainFor(key).add(local)
+	for _, seq := range lr.frames[k] {
+		lr.rd.Truncate(seq)
+	}
+	delete(lr.frames, k)
+}
+
+// applyAtBackup applies a committed transaction's writes to regions this
+// machine backs. Updates are version-gated so replay and reordering are
+// harmless.
+func (m *Machine) applyAtBackup(rt *remoteTx) {
+	if rt.lock == nil {
+		return
+	}
+	for _, w := range rt.lock.Writes {
+		rep := m.replicas[w.Addr.Region]
+		if rep == nil || rep.primary {
+			continue
+		}
+		cur := regionmem.ReadHeader(rep.mem, int(w.Addr.Off))
+		if w.Version+1 > regionmem.Version(cur) {
+			regionmem.CommitWrite(rep.mem, int(w.Addr.Off), w.Version+1, w.Allocated, w.Value)
+		}
+	}
+}
+
+// recordIsRecovering evaluates the §5.3 step 3 predicate for a record
+// using the region epochs distributed in NEW-CONFIG. Participants see only
+// written regions; the coordinator additionally checks its read set.
+func (m *Machine) recordIsRecovering(rec *proto.Record) bool {
+	if rec.Tx.Config >= m.config.ID {
+		return false
+	}
+	if !m.config.Member(rec.Tx.Machine) {
+		return true
+	}
+	for _, region := range rec.Regions {
+		rm := m.mappings[region]
+		if rm == nil || rm.LastReplicaChange >= m.config.ID {
+			return true
+		}
+	}
+	return false
+}
+
+// msgName maps a message to its Table 2 (or infrastructure) name for the
+// protocol-vocabulary counters.
+func msgName(msg interface{}) string {
+	switch msg.(type) {
+	case *proto.LockReply:
+		return "LOCK-REPLY"
+	case *proto.ValidateReq:
+		return "VALIDATE"
+	case *proto.ValidateReply:
+		return "VALIDATE-REPLY"
+	case *proto.NeedRecovery:
+		return "NEED-RECOVERY"
+	case *proto.FetchTxState:
+		return "FETCH-TX-STATE"
+	case *proto.SendTxState:
+		return "SEND-TX-STATE"
+	case *proto.ReplicateTxState:
+		return "REPLICATE-TX-STATE"
+	case *proto.RecoveryVote:
+		return "RECOVERY-VOTE"
+	case *proto.RequestVote:
+		return "REQUEST-VOTE"
+	case *proto.CommitRecovery:
+		return "COMMIT-RECOVERY"
+	case *proto.AbortRecovery:
+		return "ABORT-RECOVERY"
+	case *proto.TruncateRecovery:
+		return "TRUNCATE-RECOVERY"
+	case *proto.NewConfig:
+		return "NEW-CONFIG"
+	case *proto.NewConfigAck:
+		return "NEW-CONFIG-ACK"
+	case *proto.NewConfigCommit:
+		return "NEW-CONFIG-COMMIT"
+	case *proto.RegionsActive:
+		return "REGIONS-ACTIVE"
+	case *proto.AllRegionsActive:
+		return "ALL-REGIONS-ACTIVE"
+	default:
+		return ""
+	}
+}
+
+// handleMessage is the reliable-message router (runs on a worker thread
+// with its handling cost already charged).
+func (m *Machine) handleMessage(src int, msg interface{}) {
+	if n := msgName(msg); n != "" {
+		m.c.Counters.Inc("msg "+n, 1)
+	}
+	switch v := msg.(type) {
+	// Transaction protocol (Table 2).
+	case *proto.LockReply:
+		m.onLockReply(v)
+	case *proto.ValidateReq:
+		m.onValidateReq(src, v)
+	case *proto.ValidateReply:
+		m.onValidateReply(v)
+
+	// Slot allocation and mapping RPCs.
+	case *rpcEnvelope:
+		m.onRPC(src, v)
+	case *rpcReply:
+		if w := m.rpcWaiters[v.ID]; w != nil {
+			delete(m.rpcWaiters, v.ID)
+			w(v.Body)
+		}
+	case *releaseSlotReq:
+		if rep := m.replicas[v.Region]; rep != nil && rep.primary && !rep.allocRecovering {
+			rep.alloc.Free(int(v.Off))
+		}
+	case *proto.MappingResp:
+		if v.OK {
+			cp := v.Map
+			m.mappings[cp.Region] = &cp
+			m.wakeMappingWaiters(cp.Region)
+		}
+
+	// Region allocation (CM side + replica side).
+	case *proto.AllocRegionPrepare:
+		m.onAllocPrepare(src, v)
+	case *proto.AllocRegionPrepared:
+		m.onAllocPrepared(src, v)
+	case *proto.AllocRegionCommit:
+		m.onAllocCommit(v)
+
+	// Leases over the RPC transport (LeaseRPC variant).
+	case *proto.LeaseRequest:
+		m.lease.onRequest(src, v)
+	case *proto.LeaseGrant:
+		m.lease.onGrant(src, v)
+
+	// Hierarchical lease suspicions (§5.1).
+	case *suspectReport:
+		if v.Config == m.config.ID && m.IsCM() {
+			m.suspect(v.Suspect)
+		}
+
+	// Reconfiguration (§5.2).
+	case *reconfigAsk:
+		m.onReconfigAsk(v)
+	case *proto.NewConfig:
+		m.onNewConfig(src, v)
+	case *proto.NewConfigAck:
+		m.onNewConfigAck(src, v)
+	case *proto.NewConfigCommit:
+		m.onNewConfigCommit(v)
+	case *proto.RegionsActive:
+		m.onRegionsActive(src, v)
+	case *proto.AllRegionsActive:
+		m.onAllRegionsActive(v)
+	case *regionActiveAnnounce:
+		m.unblockRegion(v.Region)
+	case *proto.BlockHeaderSync:
+		m.onBlockHeaderSync(v)
+
+	// Transaction state recovery (§5.3).
+	case *proto.NeedRecovery:
+		m.onNeedRecovery(src, v)
+	case *proto.FetchTxState:
+		m.onFetchTxState(src, v)
+	case *proto.SendTxState:
+		m.onSendTxState(v)
+	case *proto.ReplicateTxState:
+		m.onReplicateTxState(src, v)
+	case *proto.ReplicateTxStateAck:
+		m.onReplicateTxStateAck(v)
+	case *proto.RecoveryVote:
+		m.onRecoveryVote(src, v)
+	case *proto.RequestVote:
+		m.onRequestVote(src, v)
+	case *proto.CommitRecovery:
+		m.onRecoveryDecision(src, v.Tx, true)
+	case *proto.AbortRecovery:
+		m.onRecoveryDecision(src, v.Tx, false)
+	case *proto.RecoveryDecisionAck:
+		m.onRecoveryDecisionAck(v)
+	case *proto.TruncateRecovery:
+		m.onTruncateRecovery(v)
+
+	// Data recovery (§5.4).
+	case *dataRecoveryDone:
+		m.onDataRecoveryDone(v)
+
+	// Cluster growth (§3).
+	case *joinReq:
+		m.onJoinReq(v)
+
+	// External clients (§5.2).
+	case *clientReadReq:
+		m.onClientRead(src, v)
+	case *clientUpdateReq:
+		m.onClientUpdate(src, v)
+
+	// Application messages (function shipping, §6.2).
+	case *appMsg:
+		if m.appHandler != nil {
+			m.appHandler(src, v.Body)
+		}
+	}
+}
+
+// onRPC serves request/response envelopes.
+func (m *Machine) onRPC(src int, env *rpcEnvelope) {
+	switch req := env.Body.(type) {
+	case *allocSlotReq:
+		off, ver, err := m.allocSlotLocal(req.Region, req.Size)
+		m.send(env.From, &rpcReply{ID: env.ID, Body: &allocSlotResp{
+			Region: req.Region, OK: err == nil, Off: off, Version: ver,
+		}})
+	case *proto.ValidateReq:
+		// RPC validation for read-only transactions: the reply is matched
+		// by envelope id because there is no coordinator-side transaction
+		// record to route through.
+		ok := true
+		for i, addr := range req.Addrs {
+			rep := m.replicas[addr.Region]
+			if rep == nil || !rep.primary ||
+				!validHeaderWord(regionmem.ReadHeader(rep.mem, int(addr.Off)), req.Versions[i]) {
+				ok = false
+				break
+			}
+		}
+		m.send(env.From, &rpcReply{ID: env.ID, Body: &proto.ValidateReply{OK: ok}})
+	case *proto.MappingReq:
+		var resp proto.MappingResp
+		if m.cm != nil {
+			if rm := m.cm.regions[req.Region]; rm != nil {
+				resp = proto.MappingResp{OK: true, Map: *rm}
+			}
+		} else if rm := m.mappings[req.Region]; rm != nil {
+			resp = proto.MappingResp{OK: true, Map: *rm}
+		}
+		m.send(env.From, &resp)
+	case *proto.AllocRegionReq:
+		m.onAllocRegionReq(env.From, env.ID, req)
+	}
+}
+
+// onValidateReq validates a read set over RPC at the primary (§4 step 2).
+func (m *Machine) onValidateReq(src int, req *proto.ValidateReq) {
+	ok := true
+	for i, addr := range req.Addrs {
+		rep := m.replicas[addr.Region]
+		if rep == nil || !rep.primary ||
+			!validHeaderWord(regionmem.ReadHeader(rep.mem, int(addr.Off)), req.Versions[i]) {
+			ok = false
+			break
+		}
+	}
+	m.send(src, &proto.ValidateReply{Tx: req.Tx, OK: ok})
+}

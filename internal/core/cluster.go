@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+
+	"farm/internal/fabric"
+	"farm/internal/proto"
+	"farm/internal/sim"
+	"farm/internal/stats"
+	"farm/internal/zk"
+)
+
+// TraceEvent is one recovery milestone, matching the annotations on the
+// paper's Figures 9–11 (suspect, probe, zookeeper, config-commit,
+// all-active, data-rec-start, region recoveries).
+type TraceEvent struct {
+	At      sim.Time
+	Event   string
+	Machine int
+	Arg     int
+}
+
+// Cluster is a FaRM instance: machines, fabric, and the coordination
+// service, all on one simulation engine.
+type Cluster struct {
+	Eng      *sim.Engine
+	Net      *fabric.Network
+	ZK       *zk.Service
+	Opts     Options
+	Machines []*Machine
+
+	// Counters aggregates protocol-level counts (commits, aborts,
+	// recovering transactions, lease expiries, ...).
+	Counters *stats.Counters
+
+	// DisableRecovery makes lease expiries count-only (the Figure 16
+	// methodology: "We disabled recovery and counted the number of lease
+	// expiry events").
+	DisableRecovery bool
+
+	// Trace holds recovery milestones; RegionRecoveredAt records when each
+	// re-replicated region completed (the dashed line of Figures 9–10).
+	Trace             []TraceEvent
+	RegionRecoveredAt map[uint32]sim.Time
+
+	// LostRegions lists regions that lost all replicas (a fatal condition
+	// the CM signals, §5.2 step 4).
+	LostRegions []uint32
+
+	// clients counts attached external clients (their fabric ids).
+	clients int
+}
+
+// New builds and boots a cluster: configuration 1 contains all machines
+// with machine 0 as CM, stored in Zookeeper; leases are armed.
+func New(opts Options) *Cluster {
+	opts = opts.withDefaults()
+	eng := sim.NewEngine(opts.Seed)
+	c := &Cluster{
+		Eng:               eng,
+		Net:               fabric.NewNetwork(eng, opts.Fabric),
+		Opts:              opts,
+		Counters:          stats.NewCounters(),
+		RegionRecoveredAt: make(map[uint32]sim.Time),
+	}
+
+	cfg := proto.Config{ID: 1, CM: 0, Domains: make(map[uint16]int)}
+	for i := 0; i < opts.NumMachines; i++ {
+		cfg.Machines = append(cfg.Machines, uint16(i))
+		if opts.FailureDomains > 0 {
+			cfg.Domains[uint16(i)] = i % opts.FailureDomains
+		} else {
+			cfg.Domains[uint16(i)] = i
+		}
+	}
+	c.ZK = zk.New(eng, &cfg)
+
+	for i := 0; i < opts.NumMachines; i++ {
+		m := c.newMachine(i)
+		m.config = cfg
+		c.Machines = append(c.Machines, m)
+	}
+	for _, m := range c.Machines {
+		m.initLogs()
+		m.lease = newLeaseManager(m)
+	}
+	c.Machines[0].cm = newCMState()
+	for _, m := range c.Machines {
+		m.lease.start()
+		m.startTruncSweep()
+	}
+	return c
+}
+
+// Machine returns machine i.
+func (c *Cluster) Machine(i int) *Machine { return c.Machines[i] }
+
+// Kill crashes a machine's FaRM process: its CPU stops, its NIC stops
+// answering, and — per the non-volatile DRAM model — its memory contents
+// survive untouched in the Store.
+func (c *Cluster) Kill(i int) {
+	m := c.Machines[i]
+	if !m.alive {
+		return
+	}
+	m.alive = false
+	m.nic.SetPowered(false)
+	m.lease.stop()
+	c.trace("killed", i, 0)
+	c.Counters.Inc("machines_killed", 1)
+}
+
+// KillDomain crashes every machine in a failure domain (the §6.4
+// correlated-failure experiment: "We fail all the processes in one of
+// these failure domains at the same time").
+func (c *Cluster) KillDomain(domain int) int {
+	killed := 0
+	for _, m := range c.Machines {
+		if m.alive && m.config.Domains[uint16(m.ID)] == domain {
+			c.Kill(m.ID)
+			killed++
+		}
+	}
+	return killed
+}
+
+// Partition splits the network into connectivity groups.
+func (c *Cluster) Partition(groups map[int]int) {
+	g := make(map[fabric.MachineID]int, len(groups))
+	for id, grp := range groups {
+		g[fabric.MachineID(id)] = grp
+	}
+	c.Net.SetPartition(g)
+}
+
+// Heal restores full connectivity.
+func (c *Cluster) Heal() { c.Net.HealPartition() }
+
+// RunFor advances the simulation by d.
+func (c *Cluster) RunFor(d sim.Time) { c.Eng.RunFor(d) }
+
+// Now returns the current virtual time.
+func (c *Cluster) Now() sim.Time { return c.Eng.Now() }
+
+// CreateRegions synchronously allocates n regions (running the simulation
+// as needed) and returns their ids. It drives allocation requests from
+// machine `from`. A locality hint of 0 means none.
+func (c *Cluster) CreateRegions(from, n int, hint uint32) ([]uint32, error) {
+	var out []uint32
+	var lastErr error
+	for i := 0; i < n; i++ {
+		done := false
+		c.Machines[from].AllocateRegion(hint, func(region uint32, err error) {
+			done = true
+			lastErr = err
+			if err == nil {
+				out = append(out, region)
+			}
+		})
+		deadline := c.Eng.Now() + 10*sim.Second
+		for !done && c.Eng.Now() < deadline {
+			if !c.Eng.Step() {
+				break
+			}
+		}
+		if !done {
+			return out, fmt.Errorf("farm: region allocation stalled")
+		}
+		if lastErr != nil {
+			return out, lastErr
+		}
+	}
+	// Let mapping announcements settle.
+	c.RunFor(5 * sim.Millisecond)
+	return out, nil
+}
+
+// trace appends a recovery milestone.
+func (c *Cluster) trace(event string, machine, arg int) {
+	if len(c.Trace) < 100000 {
+		c.Trace = append(c.Trace, TraceEvent{At: c.Eng.Now(), Event: event, Machine: machine, Arg: arg})
+	}
+}
+
+// TraceTime returns the first occurrence of an event at or after `from`.
+func (c *Cluster) TraceTime(event string, from sim.Time) (sim.Time, bool) {
+	for _, e := range c.Trace {
+		if e.Event == event && e.At >= from {
+			return e.At, true
+		}
+	}
+	return 0, false
+}
+
+func (c *Cluster) noteLostRegion(region uint32) {
+	c.LostRegions = append(c.LostRegions, region)
+	c.trace("region-lost", -1, int(region))
+}
+
+func (c *Cluster) noteRegionRecovered(region uint32) {
+	c.RegionRecoveredAt[region] = c.Eng.Now()
+	c.trace("region-recovered", -1, int(region))
+}
+
+// TotalCommitted sums committed transactions across machines.
+func (c *Cluster) TotalCommitted() uint64 {
+	var total uint64
+	for _, m := range c.Machines {
+		total += m.Committed
+	}
+	return total
+}
+
+// AliveMachines returns the ids of machines whose process is running.
+func (c *Cluster) AliveMachines() []int {
+	var out []int
+	for _, m := range c.Machines {
+		if m.alive {
+			out = append(out, m.ID)
+		}
+	}
+	return out
+}

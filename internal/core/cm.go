@@ -1,0 +1,276 @@
+package core
+
+import (
+	"sort"
+
+	"farm/internal/nvram"
+	"farm/internal/proto"
+	"farm/internal/regionmem"
+)
+
+// cmState is the configuration manager's authoritative view (§3): the
+// region → replicas mapping, locality constraints, and allocation progress.
+// It exists only on the machine currently acting as CM; a new CM rebuilds
+// it during reconfiguration (the cost the paper measures in Figure 11).
+type cmState struct {
+	regions    map[uint32]*proto.RegionMap
+	locality   map[uint32]uint32 // region → co-located target region
+	nextRegion uint32
+
+	pendingAllocs map[uint32]*allocPending
+
+	// regionsActive tracks REGIONS-ACTIVE reports during recovery.
+	regionsActive map[int]bool
+}
+
+type allocPending struct {
+	rm        proto.RegionMap
+	requester int
+	reqID     uint64
+	awaiting  map[int]bool
+	failed    bool
+}
+
+func newCMState() *cmState {
+	return &cmState{
+		regions:       make(map[uint32]*proto.RegionMap),
+		locality:      make(map[uint32]uint32),
+		nextRegion:    1,
+		pendingAllocs: make(map[uint32]*allocPending),
+		regionsActive: make(map[int]bool),
+	}
+}
+
+// AllocateRegion asks the CM for a new region, optionally co-located with
+// the region containing hint (§3's locality constraint). cb receives the
+// new region id.
+func (m *Machine) AllocateRegion(hint uint32, cb func(region uint32, err error)) {
+	req := &proto.AllocRegionReq{Size: m.c.Opts.Layout.RegionSize}
+	if hint != 0 {
+		req.Locality = hint
+		req.HasHint = true
+	}
+	id := m.nextRPC
+	m.nextRPC++
+	m.rpcWaiters[id] = func(resp interface{}) {
+		r := resp.(*proto.AllocRegionResp)
+		if !r.OK {
+			cb(0, ErrNoSpace)
+			return
+		}
+		cp := r.Map
+		m.mappings[cp.Region] = &cp
+		cb(cp.Region, nil)
+	}
+	m.send(int(m.config.CM), &rpcEnvelope{ID: id, From: m.ID, Body: req})
+}
+
+// onAllocRegionReq runs at the CM: pick replicas, then run the two-phase
+// prepare/commit of §3 so the mapping is valid and replicated at all region
+// replicas before use.
+func (m *Machine) onAllocRegionReq(from int, reqID uint64, req *proto.AllocRegionReq) {
+	if m.cm == nil {
+		m.send(from, &rpcReply{ID: reqID, Body: &proto.AllocRegionResp{}})
+		return
+	}
+	var target *proto.RegionMap
+	if req.HasHint {
+		target = m.cm.regions[req.Locality]
+	}
+	replicas := m.pickReplicas(nil, m.c.Opts.Replication, target, int(m.cm.nextRegion))
+	if len(replicas) < m.c.Opts.Replication {
+		m.send(from, &rpcReply{ID: reqID, Body: &proto.AllocRegionResp{}})
+		return
+	}
+	region := m.cm.nextRegion
+	m.cm.nextRegion++
+	rm := proto.RegionMap{
+		Region:            region,
+		Replicas:          replicas,
+		Size:              req.Size,
+		LastPrimaryChange: m.config.ID,
+		LastReplicaChange: m.config.ID,
+	}
+	if req.HasHint && target != nil {
+		m.cm.locality[region] = req.Locality
+	}
+	p := &allocPending{rm: rm, requester: from, reqID: reqID, awaiting: make(map[int]bool)}
+	m.cm.pendingAllocs[region] = p
+	for _, r := range replicas {
+		p.awaiting[int(r)] = true
+		m.send(int(r), &proto.AllocRegionPrepare{Region: region, Size: req.Size})
+	}
+}
+
+// onAllocPrepare runs at a selected replica: reserve the NVRAM.
+func (m *Machine) onAllocPrepare(src int, req *proto.AllocRegionPrepare) {
+	_, err := m.store.Allocate(toNVRAM(req.Region), req.Size)
+	m.send(src, &proto.AllocRegionPrepared{Region: req.Region, OK: err == nil})
+}
+
+// onAllocPrepared collects prepare responses at the CM and commits or
+// aborts.
+func (m *Machine) onAllocPrepared(src int, resp *proto.AllocRegionPrepared) {
+	if m.cm == nil {
+		return
+	}
+	p := m.cm.pendingAllocs[resp.Region]
+	if p == nil || !p.awaiting[src] {
+		return
+	}
+	delete(p.awaiting, src)
+	if !resp.OK {
+		p.failed = true
+	}
+	if len(p.awaiting) > 0 {
+		return
+	}
+	delete(m.cm.pendingAllocs, resp.Region)
+	if p.failed {
+		for _, r := range p.rm.Replicas {
+			m.send(int(r), &proto.AllocRegionCommit{Region: resp.Region}) // empty map = abort
+		}
+		m.send(p.requester, &rpcReply{ID: p.reqID, Body: &proto.AllocRegionResp{}})
+		return
+	}
+	rm := p.rm
+	m.cm.regions[rm.Region] = &rm
+	cp := rm
+	m.mappings[rm.Region] = &cp
+	for _, r := range rm.Replicas {
+		m.send(int(r), &proto.AllocRegionCommit{Region: rm.Region, Map: rm})
+	}
+	// Announce the mapping to every other member so caches stay warm.
+	for _, member := range m.config.Machines {
+		m.send(int(member), &proto.MappingResp{OK: true, Map: rm})
+	}
+	m.send(p.requester, &rpcReply{ID: p.reqID, Body: &proto.AllocRegionResp{OK: true, Map: rm}})
+}
+
+// onAllocCommit finalizes (or aborts) a prepared region at a replica.
+func (m *Machine) onAllocCommit(msg *proto.AllocRegionCommit) {
+	if len(msg.Map.Replicas) == 0 {
+		m.store.Free(toNVRAM(msg.Region))
+		return
+	}
+	mem := m.store.Region(toNVRAM(msg.Region))
+	if mem == nil {
+		return
+	}
+	primary := int(msg.Map.Replicas[0]) == m.ID
+	r := &replica{
+		id:        msg.Region,
+		mem:       mem,
+		size:      msg.Map.Size,
+		primary:   primary,
+		active:    true,
+		headers:   make(map[int]int),
+		lockOwner: make(map[uint32]proto.TxID),
+	}
+	m.replicas[msg.Region] = r
+	cp := msg.Map
+	m.mappings[msg.Region] = &cp
+	if primary {
+		r.alloc = regionmem.NewAllocator(m.c.Opts.Layout, mem)
+		m.installAllocHook(r)
+	}
+}
+
+// pickReplicas chooses count machines for a region, balancing hosted
+// region counts subject to failure-domain separation, skipping machines in
+// exclude. A locality target pins placement to the target's replica set
+// (§3: "the region is co-located with a target region when the application
+// specifies a locality constraint").
+func (m *Machine) pickReplicas(exclude map[uint16]bool, count int, target *proto.RegionMap, rotate int) []uint16 {
+	if target != nil {
+		var out []uint16
+		for _, r := range target.Replicas {
+			if m.config.Member(r) && !exclude[r] {
+				out = append(out, r)
+			}
+			if len(out) == count {
+				return out
+			}
+		}
+		// Target shrank below count: fall through and fill the remainder.
+		if len(out) > 0 {
+			extra := m.fillReplicas(out, exclude, count, rotate)
+			return extra
+		}
+	}
+	return m.fillReplicas(nil, exclude, count, rotate)
+}
+
+// fillReplicas extends a partial replica list to count machines. Ties in
+// load are broken by a rotation so primaries spread across the cluster.
+func (m *Machine) fillReplicas(have []uint16, exclude map[uint16]bool, count, rotate int) []uint16 {
+	load := make(map[uint16]int)
+	if m.cm != nil {
+		for _, rm := range m.cm.regions {
+			for _, r := range rm.Replicas {
+				load[r]++
+			}
+		}
+	}
+	usedDomains := make(map[int]bool)
+	used := make(map[uint16]bool)
+	for _, r := range have {
+		used[r] = true
+		usedDomains[m.config.Domains[r]] = true
+	}
+	candidates := candidates0(m)
+	n := len(candidates)
+	rank := func(x uint16) int { return (int(x) + rotate) % max(n, 1) }
+	sort.Slice(candidates, func(i, j int) bool {
+		a, b := candidates[i], candidates[j]
+		if load[a] != load[b] {
+			return load[a] < load[b]
+		}
+		return rank(a) < rank(b)
+	})
+	atCapacity := func(c uint16) bool {
+		cap := m.c.Opts.MaxRegionsPerMachine
+		return cap > 0 && load[c] >= cap
+	}
+	out := append([]uint16(nil), have...)
+	// First pass: respect failure-domain separation and capacity (§3).
+	for _, c := range candidates {
+		if len(out) == count {
+			return out
+		}
+		if used[c] || exclude[c] || atCapacity(c) || usedDomains[m.config.Domains[c]] {
+			continue
+		}
+		out = append(out, c)
+		used[c] = true
+		usedDomains[m.config.Domains[c]] = true
+	}
+	// Second pass: relax domain separation if the cluster is too small
+	// (capacity is never relaxed).
+	for _, c := range candidates {
+		if len(out) == count {
+			return out
+		}
+		if used[c] || exclude[c] || atCapacity(c) {
+			continue
+		}
+		out = append(out, c)
+		used[c] = true
+	}
+	return out
+}
+
+// candidates0 snapshots the membership for placement.
+func candidates0(m *Machine) []uint16 {
+	return append([]uint16(nil), m.config.Machines...)
+}
+
+// toNVRAM converts a FaRM region id to its NVRAM store key.
+func toNVRAM(region uint32) nvram.RegionID { return nvram.RegionID(region) }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,704 @@
+package core
+
+import (
+	"farm/internal/fabric"
+	"farm/internal/nvram"
+	"farm/internal/proto"
+	"farm/internal/regionmem"
+)
+
+// maxPiggyIDs bounds how many truncation ids one record carries; the
+// reservation for every record includes this budget (Table 1's note: "The
+// low bound ... and a transaction identifier for truncation are piggybacked
+// on each record").
+const maxPiggyIDs = 8
+
+const piggyBudget = 8 * maxPiggyIDs
+
+// commit phases.
+const (
+	phaseLock = iota
+	phaseValidate
+	phaseCommitBackup
+	phaseCommitPrimary
+	phaseDone
+)
+
+// coordTx is the coordinator-side state of one committing transaction.
+type coordTx struct {
+	id proto.TxID
+	tx *Tx
+	cb func(error)
+
+	phase int
+
+	writeRegions []uint32
+	// primWrites / backupWrites group the write set by destination machine.
+	primWrites   map[int][]proto.ObjectWrite
+	backupWrites map[int][]proto.ObjectWrite
+	participants []int // all machines holding records (dedup, sorted)
+
+	// reservations[machine] holds the per-record-kind payload sizes
+	// reserved there, consumed as records are written.
+	reservations map[int]*resSet
+
+	lockOutstanding int
+	lockFailed      bool
+
+	valOutstanding int
+
+	cbOutstanding int
+
+	cpOutstanding int
+	reported      bool
+
+	// recovering is set when reconfiguration classifies this transaction
+	// as recovering (§5.3): normal-path acks and replies are ignored from
+	// then on and the outcome comes from vote/decide.
+	recovering bool
+	// truncRemaining tracks participants that have not yet had this
+	// transaction's truncation delivered.
+	truncRemaining map[int]bool
+}
+
+// Commit runs the four-phase commit protocol of §4 / Figure 4 and reports
+// the outcome through cb. Read-only transactions skip straight to
+// validation and have no commit phase.
+func (t *Tx) Commit(cb func(err error)) {
+	if t.finished {
+		panic(errTxDone)
+	}
+	t.finished = true
+	m := t.m
+	if !m.alive {
+		return
+	}
+
+	if len(t.writes) == 0 {
+		t.validateReadOnly(cb)
+		return
+	}
+
+	// Wait for any blocked (recovering) write region before starting.
+	for _, addr := range t.order {
+		if m.regionBlocked(addr.Region) {
+			region := addr.Region
+			t.finished = false
+			m.blockUntilActive(region, func() { t.Commit(cb) })
+			return
+		}
+	}
+
+	ct := &coordTx{
+		tx:           t,
+		cb:           cb,
+		primWrites:   make(map[int][]proto.ObjectWrite),
+		backupWrites: make(map[int][]proto.ObjectWrite),
+		reservations: make(map[int]*resSet),
+	}
+
+	// Group the write set by primary and backup machines.
+	seenRegion := make(map[uint32]bool)
+	part := make(map[int]bool)
+	for _, addr := range t.order {
+		w := t.writes[addr]
+		rm := m.mapping(addr.Region)
+		if rm == nil || len(rm.Replicas) < 1 {
+			t.releaseAllocs()
+			m.failTx(cb, ErrUnavailable)
+			return
+		}
+		if !seenRegion[addr.Region] {
+			seenRegion[addr.Region] = true
+			ct.writeRegions = append(ct.writeRegions, addr.Region)
+		}
+		ow := proto.ObjectWrite{Addr: addr, Version: w.version, Allocated: w.allocated, Value: w.value}
+		pm := int(rm.Replicas[0])
+		ct.primWrites[pm] = append(ct.primWrites[pm], ow)
+		part[pm] = true
+		for _, b := range rm.Replicas[1:] {
+			ct.backupWrites[int(b)] = append(ct.backupWrites[int(b)], ow)
+			part[int(b)] = true
+		}
+	}
+	for p := range part {
+		ct.participants = append(ct.participants, p)
+	}
+	sortInts(ct.participants)
+
+	// Assign the transaction id ⟨c, m, t, l⟩ at the start of commit (§5.3).
+	m.nextLocal[t.thread]++
+	ct.id = proto.TxID{
+		Config:  m.config.ID,
+		Machine: uint16(m.ID),
+		Thread:  uint16(t.thread),
+		Local:   m.nextLocal[t.thread],
+	}
+	m.threadTrunc(t.thread).open(ct.id.Local)
+
+	// Reserve log space for every record this commit and its truncation
+	// will need (§4): LOCK + COMMIT-PRIMARY/ABORT at primaries,
+	// COMMIT-BACKUP at backups, and a truncate record everywhere.
+	if !m.reserveCommit(ct) {
+		m.threadTrunc(t.thread).retire(ct.id.Local)
+		t.releaseAllocs()
+		m.failTx(cb, ErrNoSpace)
+		return
+	}
+
+	m.inflight[ct.id] = ct
+	m.c.Counters.Inc("tx_commit_started", 1)
+	ct.phase = phaseLock
+	m.sendLocks(ct)
+}
+
+// failTx reports a commit failure on the coordinator thread.
+func (m *Machine) failTx(cb func(error), err error) {
+	m.c.Eng.After(m.c.Opts.CPULocal, func() {
+		if m.alive {
+			m.Aborted++
+			cb(err)
+		}
+	})
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// recordSizes computes the marshaled payload sizes to reserve.
+func (m *Machine) lockRecordFor(ct *coordTx, pm int) *proto.Record {
+	return &proto.Record{
+		Type:    proto.RecLock,
+		Tx:      ct.id,
+		Regions: ct.writeRegions,
+		Writes:  ct.primWrites[pm],
+	}
+}
+
+func (m *Machine) backupRecordFor(ct *coordTx, bm int) *proto.Record {
+	return &proto.Record{
+		Type:    proto.RecCommitBackup,
+		Tx:      ct.id,
+		Regions: ct.writeRegions,
+		Writes:  ct.backupWrites[bm],
+	}
+}
+
+func recordSize(r *proto.Record) int { return len(proto.MarshalRecord(r)) + piggyBudget }
+
+// truncateRecordSize is the reservation for a worst-case explicit
+// TRUNCATE record.
+func truncateRecordSize() int {
+	return recordSize(&proto.Record{Type: proto.RecTruncate})
+}
+
+// resSet holds one participant's outstanding reservations by record kind
+// (0 = none). Truncate-record reservations are pooled per destination in
+// truncQueue instead, because truncation is batched across transactions;
+// pooled counts this transaction's contributions to that pool.
+type resSet struct{ lock, cp, cb, pooled int }
+
+// reserveCommit makes all per-participant ring reservations, rolling back
+// on failure.
+func (m *Machine) reserveCommit(ct *coordTx) bool {
+	res := func(dst int) *resSet {
+		r := ct.reservations[dst]
+		if r == nil {
+			r = &resSet{}
+			ct.reservations[dst] = r
+		}
+		return r
+	}
+	rollback := func() bool {
+		for dst, r := range ct.reservations {
+			w := m.logW[dst]
+			for _, s := range []int{r.lock, r.cp, r.cb} {
+				if s > 0 {
+					w.Release(s)
+				}
+			}
+			for i := 0; i < r.pooled; i++ {
+				m.truncPoolRelease(dst)
+			}
+		}
+		ct.reservations = make(map[int]*resSet)
+		return false
+	}
+	smallRec := recordSize(&proto.Record{Type: proto.RecCommitPrimary, Tx: ct.id, Regions: ct.writeRegions})
+	for pm := range ct.primWrites {
+		w := m.logW[pm]
+		lockSz := recordSize(m.lockRecordFor(ct, pm))
+		if w == nil || !w.Reserve(lockSz) {
+			return rollback()
+		}
+		res(pm).lock = lockSz
+		if !w.Reserve(smallRec) {
+			return rollback()
+		}
+		res(pm).cp = smallRec
+	}
+	for bm := range ct.backupWrites {
+		w := m.logW[bm]
+		cbSz := recordSize(m.backupRecordFor(ct, bm))
+		if w == nil || !w.Reserve(cbSz) {
+			return rollback()
+		}
+		res(bm).cb = cbSz
+	}
+	// Exactly ONE pooled truncate-record slot per participant machine: a
+	// machine that is both primary (for one region) and backup (for
+	// another) still receives a single truncation for the transaction.
+	for _, p := range ct.participants {
+		if !m.truncPoolReserve(p) {
+			return rollback()
+		}
+		res(p).pooled++
+	}
+	return true
+}
+
+// releaseCoordReservations returns every unconsumed reservation of a
+// transaction finished outside the normal record-writing path (recovery
+// decisions). Reservations toward machines that left the configuration
+// vanished with their rings.
+func (m *Machine) releaseCoordReservations(ct *coordTx) {
+	for dst, r := range ct.reservations {
+		w := m.logW[dst]
+		if w == nil || !m.isMember(dst) {
+			continue
+		}
+		for _, s := range []int{r.lock, r.cp, r.cb} {
+			if s > 0 {
+				w.Release(s)
+			}
+		}
+		for i := 0; i < r.pooled; i++ {
+			m.truncPoolRelease(dst)
+		}
+	}
+	ct.reservations = make(map[int]*resSet)
+}
+
+// takeReservation consumes the reservation matching a record kind.
+func (ct *coordTx) takeReservation(dst int, typ proto.RecordType) int {
+	r := ct.reservations[dst]
+	if r == nil {
+		return -1
+	}
+	var s *int
+	switch typ {
+	case proto.RecLock:
+		s = &r.lock
+	case proto.RecCommitPrimary, proto.RecAbort:
+		s = &r.cp
+	case proto.RecCommitBackup:
+		s = &r.cb
+	default:
+		return -1
+	}
+	size := *s
+	*s = 0
+	if size == 0 {
+		return -1
+	}
+	return size
+}
+
+// writeRecord marshals rec with piggybacked truncation ids for dst and
+// appends it to dst's log; ack receives the hardware ack.
+func (m *Machine) writeRecord(ct *coordTx, dst int, rec *proto.Record, ack func(error)) {
+	m.attachPiggyback(dst, rec)
+	reserved := -1
+	if ct != nil {
+		reserved = ct.takeReservation(dst, rec.Type)
+	}
+	payload := proto.MarshalRecord(rec)
+	delivered := rec.TruncIDs
+	w := m.logW[dst]
+	okAck := func(err error) {
+		if err == nil {
+			m.truncDelivered(dst, delivered, 0)
+		}
+		if ack != nil {
+			ack(err)
+		}
+	}
+	if !w.Append(payload, reserved, okAck) {
+		// Only possible for unreserved writes; the caller retries.
+		m.requeuePiggyback(dst, rec)
+		if ack != nil {
+			ack(ErrNoSpace)
+		}
+	}
+}
+
+// sendLocks writes a LOCK record to the log at every primary of a written
+// object (§4 step 1). The coordinator thread issues one verb per record.
+func (m *Machine) sendLocks(ct *coordTx) {
+	ct.lockOutstanding = len(ct.primWrites)
+	for pm := range ct.primWrites {
+		pm := pm
+		rec := m.lockRecordFor(ct, pm)
+		m.pool.ByIndex(ct.tx.thread).Do(m.c.Opts.CPUVerb, func() {
+			if !m.alive {
+				return
+			}
+			m.writeRecord(ct, pm, rec, nil)
+		})
+	}
+}
+
+// onLockReply handles a primary's lock result (Table 2 LOCK-REPLY).
+func (m *Machine) onLockReply(reply *proto.LockReply) {
+	ct := m.inflight[reply.Tx]
+	if ct == nil || ct.recovering || ct.phase != phaseLock {
+		return
+	}
+	if !reply.OK {
+		ct.lockFailed = true
+	}
+	ct.lockOutstanding--
+	if ct.lockOutstanding > 0 {
+		return
+	}
+	if ct.lockFailed {
+		m.abortTx(ct, ErrConflict)
+		return
+	}
+	ct.phase = phaseValidate
+	m.validate(ct)
+}
+
+// abortTx writes ABORT records to all lock-phase primaries, releases
+// unused reservations, and reports the conflict (§4 step 1).
+func (m *Machine) abortTx(ct *coordTx, err error) {
+	ct.phase = phaseDone
+	delete(m.inflight, ct.id)
+	ct.tx.releaseAllocs()
+	acks := len(ct.primWrites)
+	for pm := range ct.primWrites {
+		rec := &proto.Record{Type: proto.RecAbort, Tx: ct.id, Regions: ct.writeRegions}
+		pm := pm
+		m.pool.ByIndex(ct.tx.thread).Do(m.c.Opts.CPUVerb, func() {
+			if !m.alive {
+				return
+			}
+			m.writeRecord(ct, pm, rec, func(e error) {
+				acks--
+				if acks == 0 && m.alive {
+					m.queueTruncation(ct, ct.primariesOnly())
+				}
+			})
+		})
+	}
+	// Backups never see this transaction: release their COMMIT-BACKUP
+	// space (and, for pure backups, their pooled truncate reservation —
+	// they will get no record to truncate).
+	for bm := range ct.backupWrites {
+		if r := ct.reservations[bm]; r != nil && r.cb > 0 {
+			m.logW[bm].Release(r.cb)
+			r.cb = 0
+		}
+		if _, alsoPrimary := ct.primWrites[bm]; !alsoPrimary {
+			m.truncPoolRelease(bm)
+		}
+	}
+	m.c.Counters.Inc("tx_aborted", 1)
+	m.Aborted++
+	ct.cb(err)
+}
+
+func (ct *coordTx) primariesOnly() []int {
+	out := make([]int, 0, len(ct.primWrites))
+	for pm := range ct.primWrites {
+		out = append(out, pm)
+	}
+	sortInts(out)
+	return out
+}
+
+// validate performs read validation (§4 step 2): one-sided reads of the
+// version words of all read-but-not-written objects, switching to RPC for
+// primaries holding more than tr of them.
+func (m *Machine) validate(ct *coordTx) {
+	t := ct.tx
+	byPrimary := make(map[int][]*readEntry)
+	for addr, r := range t.reads {
+		if _, written := t.writes[addr]; written {
+			continue
+		}
+		pm := m.primaryOf(addr.Region)
+		if pm == -1 {
+			m.abortTx(ct, ErrUnavailable)
+			return
+		}
+		byPrimary[pm] = append(byPrimary[pm], r)
+	}
+	if len(byPrimary) == 0 {
+		ct.phase = phaseCommitBackup
+		m.commitBackups(ct)
+		return
+	}
+	// abortTx sets phase to done, so late replies become no-ops.
+	fail := func() {
+		if ct.phase == phaseValidate && !ct.recovering {
+			m.abortTx(ct, ErrConflict)
+		}
+	}
+	done := func() {
+		ct.valOutstanding--
+		if ct.valOutstanding == 0 && ct.phase == phaseValidate && !ct.recovering {
+			ct.phase = phaseCommitBackup
+			m.commitBackups(ct)
+		}
+	}
+	for pm, entries := range byPrimary {
+		if pm != m.ID && len(entries) > m.c.Opts.ValidateRPCThreshold {
+			ct.valOutstanding++
+		} else {
+			ct.valOutstanding += len(entries)
+		}
+	}
+	for pm, entries := range byPrimary {
+		pm, entries := pm, entries
+		switch {
+		case pm == m.ID:
+			// Local validation: direct header loads.
+			for _, r := range entries {
+				r := r
+				m.OnThread(t.thread, m.c.Opts.CPULocal, func() {
+					if ct.phase != phaseValidate || ct.recovering {
+						return
+					}
+					rep := m.replicas[r.addr.Region]
+					if rep == nil || !validHeader(rep.mem, r) {
+						fail()
+						return
+					}
+					done()
+				})
+			}
+		case len(entries) > m.c.Opts.ValidateRPCThreshold:
+			// Validation over RPC (Table 2 VALIDATE).
+			req := &proto.ValidateReq{Tx: ct.id}
+			for _, r := range entries {
+				req.Addrs = append(req.Addrs, r.addr)
+				req.Versions = append(req.Versions, r.version)
+			}
+			m.sendFromThread(t.thread, pm, req)
+		default:
+			for _, r := range entries {
+				r := r
+				m.OnThread(t.thread, m.c.Opts.CPUVerb, func() {
+					m.nic.Read(fabric.MachineID(pm), nvram.RegionID(r.addr.Region),
+						int(r.addr.Off), regionmem.HeaderSize, func(raw []byte, err error) {
+							if !m.alive || ct.phase != phaseValidate || ct.recovering {
+								return
+							}
+							if err != nil || !validHeaderWord(regionmem.ReadHeader(raw, 0), r.version) {
+								fail()
+								return
+							}
+							done()
+						})
+				})
+			}
+		}
+	}
+}
+
+func validHeader(mem []byte, r *readEntry) bool {
+	return validHeaderWord(regionmem.ReadHeader(mem, int(r.addr.Off)), r.version)
+}
+
+func validHeaderWord(word, version uint64) bool {
+	return !regionmem.Locked(word) && regionmem.Version(word) == version
+}
+
+// onValidateReply finishes an RPC validation.
+func (m *Machine) onValidateReply(reply *proto.ValidateReply) {
+	ct := m.inflight[reply.Tx]
+	if ct == nil || ct.recovering || ct.phase != phaseValidate {
+		return
+	}
+	if !reply.OK {
+		m.abortTx(ct, ErrConflict)
+		return
+	}
+	ct.valOutstanding--
+	if ct.valOutstanding == 0 {
+		ct.phase = phaseCommitBackup
+		m.commitBackups(ct)
+	}
+}
+
+// commitBackups writes COMMIT-BACKUP records to every backup's
+// non-volatile log and waits for all hardware acks, without interrupting
+// any backup CPU (§4 step 3).
+func (m *Machine) commitBackups(ct *coordTx) {
+	if len(ct.backupWrites) == 0 {
+		ct.phase = phaseCommitPrimary
+		m.commitPrimaries(ct)
+		return
+	}
+	ct.cbOutstanding = len(ct.backupWrites)
+	for bm := range ct.backupWrites {
+		bm := bm
+		rec := m.backupRecordFor(ct, bm)
+		m.pool.ByIndex(ct.tx.thread).Do(m.c.Opts.CPUVerb, func() {
+			if !m.alive {
+				return
+			}
+			m.writeRecord(ct, bm, rec, func(err error) {
+				if !m.alive || ct.recovering || ct.phase != phaseCommitBackup {
+					return
+				}
+				// Precise membership: ignore acks from non-members (§5.2).
+				if err != nil || !m.isMember(bm) {
+					return
+				}
+				ct.cbOutstanding--
+				if ct.cbOutstanding == 0 {
+					ct.phase = phaseCommitPrimary
+					m.commitPrimaries(ct)
+				}
+			})
+		})
+	}
+}
+
+// commitPrimaries writes COMMIT-PRIMARY records; completion is reported to
+// the application on the first hardware ack (§4 step 4). Truncation is
+// queued once all primaries acked (§4 step 5).
+func (m *Machine) commitPrimaries(ct *coordTx) {
+	ct.cpOutstanding = len(ct.primWrites)
+	for pm := range ct.primWrites {
+		pm := pm
+		rec := &proto.Record{Type: proto.RecCommitPrimary, Tx: ct.id, Regions: ct.writeRegions}
+		m.pool.ByIndex(ct.tx.thread).Do(m.c.Opts.CPUVerb, func() {
+			if !m.alive {
+				return
+			}
+			m.writeRecord(ct, pm, rec, func(err error) {
+				if !m.alive || ct.recovering {
+					return
+				}
+				if err != nil || !m.isMember(pm) {
+					return
+				}
+				if !ct.reported {
+					ct.reported = true
+					m.reportCommitted(ct)
+				}
+				ct.cpOutstanding--
+				if ct.cpOutstanding == 0 {
+					ct.phase = phaseDone
+					delete(m.inflight, ct.id)
+					m.queueTruncation(ct, ct.participants)
+				}
+			})
+		})
+	}
+}
+
+// reportCommitted finalizes a successful commit at the application.
+func (m *Machine) reportCommitted(ct *coordTx) {
+	m.Committed++
+	m.c.Counters.Inc("tx_committed", 1)
+	ct.cb(nil)
+}
+
+// validateReadOnly is the read-only fast path: committed read-only
+// transactions serialize at their last read, so only validation is needed.
+// Primaries holding more than tr read objects are validated with a single
+// RPC, like the read-write path (§4 step 2).
+func (t *Tx) validateReadOnly(cb func(error)) {
+	m := t.m
+	if len(t.reads) == 0 {
+		m.c.Eng.After(m.c.Opts.CPULocal, func() {
+			if m.alive {
+				m.Committed++
+				m.c.Counters.Inc("tx_committed", 1)
+				cb(nil)
+			}
+		})
+		return
+	}
+	byPrimary := make(map[int][]*readEntry)
+	for _, r := range t.reads {
+		byPrimary[m.primaryOf(r.addr.Region)] = append(byPrimary[m.primaryOf(r.addr.Region)], r)
+	}
+	outstanding := 0
+	for pm, entries := range byPrimary {
+		if pm != m.ID && len(entries) > m.c.Opts.ValidateRPCThreshold {
+			outstanding++
+		} else {
+			outstanding += len(entries)
+		}
+	}
+	failed := false
+	finish := func(ok bool) {
+		if failed {
+			return
+		}
+		if !ok {
+			failed = true
+			m.Aborted++
+			m.c.Counters.Inc("tx_aborted", 1)
+			cb(ErrConflict)
+			return
+		}
+		outstanding--
+		if outstanding == 0 {
+			m.Committed++
+			m.c.Counters.Inc("tx_committed", 1)
+			cb(nil)
+		}
+	}
+	for pm, entries := range byPrimary {
+		pm, entries := pm, entries
+		switch {
+		case pm == m.ID:
+			for _, r := range entries {
+				r := r
+				m.OnThread(t.thread, m.c.Opts.CPULocal, func() {
+					rep := m.replicas[r.addr.Region]
+					finish(rep != nil && validHeader(rep.mem, r))
+				})
+			}
+		case pm == -1 || !m.isMember(pm):
+			m.OnThread(t.thread, m.c.Opts.CPULocal, func() { finish(false) })
+		case len(entries) > m.c.Opts.ValidateRPCThreshold:
+			// One RPC validates the whole per-primary read set.
+			req := &proto.ValidateReq{}
+			for _, r := range entries {
+				req.Addrs = append(req.Addrs, r.addr)
+				req.Versions = append(req.Versions, r.version)
+			}
+			id := m.nextRPC
+			m.nextRPC++
+			m.rpcWaiters[id] = func(resp interface{}) {
+				finish(resp.(*proto.ValidateReply).OK)
+			}
+			m.sendFromThread(t.thread, pm, &rpcEnvelope{ID: id, From: m.ID, Body: req})
+		default:
+			for _, r := range entries {
+				r := r
+				m.OnThread(t.thread, m.c.Opts.CPUVerb, func() {
+					m.nic.Read(fabric.MachineID(pm), nvram.RegionID(r.addr.Region), int(r.addr.Off),
+						regionmem.HeaderSize, func(raw []byte, err error) {
+							if !m.alive || failed {
+								return
+							}
+							finish(err == nil && validHeaderWord(regionmem.ReadHeader(raw, 0), r.version))
+						})
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Package core implements the paper's primary contribution: FaRM's
+// transaction, replication and failure-recovery protocols (§3–§5).
+//
+// A Cluster is a set of Machines on one simulated RDMA fabric. Each machine
+// runs worker threads (event-driven, like FaRM's per-hardware-thread event
+// loops), stores region replicas in non-volatile memory, holds one
+// transaction-log ring buffer per peer, and participates in the lease,
+// reconfiguration and recovery protocols. One machine acts as the
+// configuration manager (CM); Zookeeper stores the configuration record.
+//
+// File map:
+//
+//	core.go      Options, ids, errors
+//	cluster.go   bootstrap, failure injection, test/bench observability
+//	machine.go   per-machine state, message dispatch, log polling
+//	cm.go        region allocation and placement at the CM
+//	lease.go     failure detection: 3-way lease handshake, manager variants
+//	tx.go        transaction API: reads, writes, alloc/free, lock-free reads
+//	commit.go    the four-phase commit protocol (Figure 4)
+//	apply.go     participant-side log record processing and truncation
+//	reconfig.go  precise-membership reconfiguration (Figure 5)
+//	recovery.go  transaction state recovery (Figure 6)
+//	datarec.go   bulk data re-replication and allocator recovery
+package core
+
+import (
+	"errors"
+
+	"farm/internal/fabric"
+	"farm/internal/regionmem"
+	"farm/internal/sim"
+)
+
+// Transaction outcome errors.
+var (
+	// ErrConflict: optimistic concurrency control lost a race (lock or
+	// validation failure); the application should retry.
+	ErrConflict = errors.New("farm: transaction conflict")
+	// ErrAborted: the transaction was aborted by failure recovery.
+	ErrAborted = errors.New("farm: transaction aborted by recovery")
+	// ErrNoSpace: log reservations or region allocation failed.
+	ErrNoSpace = errors.New("farm: out of space")
+	// ErrUnavailable: the target region is not currently accessible (its
+	// primary is being recovered, or the machine is not in the
+	// configuration).
+	ErrUnavailable = errors.New("farm: region unavailable")
+	// ErrReadLocked: a lock-free read observed a locked object and
+	// exhausted its retries.
+	ErrReadLocked = errors.New("farm: object locked")
+)
+
+// LeaseVariant selects the lease-manager implementation, reproducing the
+// four configurations of Figure 16.
+type LeaseVariant int
+
+// Lease manager variants in decreasing order of robustness (§6.5). The
+// zero value is deliberately the shipping configuration so Options default
+// to it.
+const (
+	// LeaseUDThreadPri is the shipping configuration: dedicated thread at
+	// highest user-space priority, interrupt driven, memory pinned.
+	LeaseUDThreadPri LeaseVariant = iota
+	// LeaseUDThread uses a dedicated lease-manager thread at normal
+	// priority (subject to OS scheduling contention).
+	LeaseUDThread
+	// LeaseUD uses dedicated unreliable-datagram queue pairs but still
+	// handles messages on a shared worker thread.
+	LeaseUD
+	// LeaseRPC piggybacks leases on the normal RPC path: lease messages
+	// share queue pairs and worker threads with all other traffic.
+	LeaseRPC
+)
+
+// String names the variant as in Figure 16's legend.
+func (v LeaseVariant) String() string {
+	switch v {
+	case LeaseRPC:
+		return "RPC"
+	case LeaseUD:
+		return "UD"
+	case LeaseUDThread:
+		return "UD+thread"
+	case LeaseUDThreadPri:
+		return "UD+thread+pri"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures a cluster. Zero fields take defaults from
+// DefaultOptions. CPU-cost constants are calibrated so that per-machine
+// verb rates match Figure 2 when Threads is set to the paper's 30.
+type Options struct {
+	// NumMachines is the cluster size (the paper uses 90; simulations
+	// default to 9 and report per-machine rates).
+	NumMachines int
+	// Replication is the number of copies per region, f+1. The paper runs
+	// 3-way (one primary, two backups).
+	Replication int
+	// Threads is the number of worker threads per machine.
+	Threads int
+	// FailureDomains is the number of failure domains machines are spread
+	// over round-robin; 0 places every machine in its own domain.
+	FailureDomains int
+	// MaxRegionsPerMachine caps how many region replicas one machine may
+	// host (§3's capacity constraint; the paper expects ~250 2 GB regions
+	// per 512 GB machine). 0 means unlimited.
+	MaxRegionsPerMachine int
+
+	// Layout is the region geometry.
+	Layout regionmem.Layout
+	// LogCapacity is the per-sender transaction-log ring size in bytes.
+	LogCapacity int
+
+	// Fabric carries the network model constants.
+	Fabric fabric.Options
+
+	// LeaseDuration is the failure-detection lease (10 ms in §6.1).
+	LeaseDuration sim.Time
+	// LeaseVariant selects the lease manager implementation.
+	LeaseVariant LeaseVariant
+	// LeaseGroupSize, when > 0, enables the two-level lease hierarchy
+	// §5.1 prescribes for significantly larger clusters: machines are
+	// grouped; the CM exchanges leases only with group leaders, leaders
+	// with their members. Worst-case detection time doubles.
+	LeaseGroupSize int
+	// BackupCMs is k, the number of CM successors asked to take over
+	// reconfiguration before a machine tries itself (§5.2 step 1).
+	BackupCMs int
+
+	// ValidateRPCThreshold is tr: primaries holding more than this many
+	// read objects are validated over RPC instead of RDMA reads (§4).
+	ValidateRPCThreshold int
+	// VoteTimeout is how long the recovery coordinator waits for votes
+	// before sending explicit REQUEST-VOTE messages (250 µs in §5.3).
+	VoteTimeout sim.Time
+	// TruncateFlushInterval bounds how lazily truncations are delivered
+	// when no records are available to piggyback on.
+	TruncateFlushInterval sim.Time
+
+	// DataRecBlock is the data-recovery fetch granularity (8 KB in §5.4).
+	DataRecBlock int
+	// DataRecInterval is the pacing interval: the next fetch starts at a
+	// random point within it (4 ms in §5.4).
+	DataRecInterval sim.Time
+	// DataRecConcurrency is the number of concurrent fetches per thread
+	// (1 normally; 4 in the aggressive mode of §6.4).
+	DataRecConcurrency int
+	// AllocScanBatch/AllocScanInterval pace allocator recovery (100
+	// objects every 100 µs in §5.5).
+	AllocScanBatch    int
+	AllocScanInterval sim.Time
+
+	// CPUVerb is the worker-thread cost to issue a one-sided verb and
+	// later reap its completion.
+	CPUVerb sim.Time
+	// CPUMsg is the worker-thread cost to send or handle one message.
+	CPUMsg sim.Time
+	// CPUPerObject is the extra cost per object processed in a log record
+	// (lock CAS, in-place update, ...).
+	CPUPerObject sim.Time
+	// CPULocal is the cost of a local-memory object access.
+	CPULocal sim.Time
+	// PollDelay models the gap between a log write landing and the
+	// receiver's event loop noticing it.
+	PollDelay sim.Time
+
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// DefaultOptions returns the scaled-down simulation defaults.
+func DefaultOptions() Options {
+	return Options{
+		NumMachines:           9,
+		Replication:           3,
+		Threads:               8,
+		FailureDomains:        0,
+		Layout:                regionmem.DefaultLayout(),
+		LogCapacity:           1 << 18,
+		LeaseDuration:         10 * sim.Millisecond,
+		LeaseVariant:          LeaseUDThreadPri,
+		BackupCMs:             2,
+		ValidateRPCThreshold:  4,
+		VoteTimeout:           250 * sim.Microsecond,
+		TruncateFlushInterval: 200 * sim.Microsecond,
+		DataRecBlock:          8 << 10,
+		DataRecInterval:       4 * sim.Millisecond,
+		DataRecConcurrency:    1,
+		AllocScanBatch:        100,
+		AllocScanInterval:     100 * sim.Microsecond,
+		CPUVerb:               2500 * sim.Nanosecond,
+		CPUMsg:                2500 * sim.Nanosecond,
+		CPUPerObject:          300 * sim.Nanosecond,
+		CPULocal:              150 * sim.Nanosecond,
+		PollDelay:             1 * sim.Microsecond,
+		Seed:                  1,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.NumMachines == 0 {
+		o.NumMachines = d.NumMachines
+	}
+	if o.Replication == 0 {
+		o.Replication = d.Replication
+	}
+	if o.Threads == 0 {
+		o.Threads = d.Threads
+	}
+	if o.Layout.RegionSize == 0 {
+		o.Layout = d.Layout
+	}
+	if o.LogCapacity == 0 {
+		o.LogCapacity = d.LogCapacity
+	}
+	if o.LeaseDuration == 0 {
+		o.LeaseDuration = d.LeaseDuration
+	}
+	if o.BackupCMs == 0 {
+		o.BackupCMs = d.BackupCMs
+	}
+	if o.ValidateRPCThreshold == 0 {
+		o.ValidateRPCThreshold = d.ValidateRPCThreshold
+	}
+	if o.VoteTimeout == 0 {
+		o.VoteTimeout = d.VoteTimeout
+	}
+	if o.TruncateFlushInterval == 0 {
+		o.TruncateFlushInterval = d.TruncateFlushInterval
+	}
+	if o.DataRecBlock == 0 {
+		o.DataRecBlock = d.DataRecBlock
+	}
+	if o.DataRecInterval == 0 {
+		o.DataRecInterval = d.DataRecInterval
+	}
+	if o.DataRecConcurrency == 0 {
+		o.DataRecConcurrency = d.DataRecConcurrency
+	}
+	if o.AllocScanBatch == 0 {
+		o.AllocScanBatch = d.AllocScanBatch
+	}
+	if o.AllocScanInterval == 0 {
+		o.AllocScanInterval = d.AllocScanInterval
+	}
+	if o.CPUVerb == 0 {
+		o.CPUVerb = d.CPUVerb
+	}
+	if o.CPUMsg == 0 {
+		o.CPUMsg = d.CPUMsg
+	}
+	if o.CPUPerObject == 0 {
+		o.CPUPerObject = d.CPUPerObject
+	}
+	if o.CPULocal == 0 {
+		o.CPULocal = d.CPULocal
+	}
+	if o.PollDelay == 0 {
+		o.PollDelay = d.PollDelay
+	}
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	return o
+}
+
+// logRegionID returns the reserved region id of the transaction-log ring
+// written by sender into a receiver's memory. The high bit separates the
+// system region namespace from application regions.
+func logRegionID(sender int) uint32 { return 0x80000000 | uint32(sender) }

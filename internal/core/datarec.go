@@ -1,0 +1,180 @@
+package core
+
+import (
+	"farm/internal/fabric"
+	"farm/internal/regionmem"
+	"farm/internal/sim"
+)
+
+// This file implements bulk data recovery (§5.4) and allocator state
+// recovery (§5.5). Both are deliberately delayed until ALL-REGIONS-ACTIVE
+// and paced so the latency-critical lock recovery and the foreground
+// workload are not disturbed.
+
+// dataRecoveryDone notifies the CM (bookkeeping only; the throughput
+// effect the paper measures comes from the fetch traffic itself).
+type dataRecoveryDone struct {
+	ConfigID uint64
+	Region   uint32
+}
+
+// startDataRecovery re-replicates one region at a freshly assigned backup:
+// worker threads divide the region and fetch blocks from the primary with
+// one-sided reads, each thread scheduling its next read at a random point
+// within the pacing interval (§5.4).
+func (m *Machine) startDataRecovery(rep *replica) {
+	rm := m.mappings[rep.id]
+	if rm == nil || len(rm.Replicas) == 0 || int(rm.Replicas[0]) == m.ID {
+		return
+	}
+	primary := int(rm.Replicas[0])
+	unit := m.c.Opts.DataRecBlock
+	if unit%m.c.Opts.Layout.BlockSize != 0 {
+		unit += m.c.Opts.Layout.BlockSize - unit%m.c.Opts.Layout.BlockSize
+	}
+	units := (rep.size + unit - 1) / unit
+	threads := m.c.Opts.Threads
+	chains := threads * m.c.Opts.DataRecConcurrency
+	if chains > units {
+		chains = units
+	}
+	remaining := units
+	cfgAtStart := m.config.ID
+
+	var fetch func(chain, u int)
+	fetch = func(chain, u int) {
+		if !m.alive || m.config.ID != cfgAtStart || u >= units {
+			return
+		}
+		off := u * unit
+		n := unit
+		if off+n > rep.size {
+			n = rep.size - off
+		}
+		// Pacing: start at a random point within the interval (§5.4).
+		m.c.Eng.After(m.c.Eng.Rand().Duration(m.c.Opts.DataRecInterval), func() {
+			if !m.alive || m.config.ID != cfgAtStart {
+				return
+			}
+			m.pool.ByIndex(chain).Do(m.c.Opts.CPUVerb, func() {
+				if !m.alive {
+					return
+				}
+				m.nic.Read(fabric.MachineID(primary), toNVRAM(rep.id), off, n, func(data []byte, err error) {
+					if !m.alive || m.config.ID != cfgAtStart {
+						return
+					}
+					if err != nil {
+						// Primary failed mid-recovery: the next
+						// reconfiguration restarts data recovery.
+						return
+					}
+					cost := m.c.Opts.CPULocal + sim.Time(n/256)*m.c.Opts.CPUPerObject/8
+					m.pool.ByIndex(chain).Do(cost, func() {
+						if !m.alive {
+							return
+						}
+						m.applyRecoveredBlock(rep, off, data)
+						remaining--
+						if remaining == 0 {
+							m.finishDataRecovery(rep)
+							return
+						}
+						fetch(chain, u+chains)
+					})
+				})
+			})
+		})
+	}
+	for c := 0; c < chains; c++ {
+		fetch(c, c)
+	}
+	if units == 0 {
+		m.finishDataRecovery(rep)
+	}
+}
+
+// applyRecoveredBlock merges fetched bytes object by object: an object is
+// copied only if its recovered version is newer than the local one, using
+// a lock/update/unlock sequence so races with concurrent transaction
+// commits are safe (§5.4).
+func (m *Machine) applyRecoveredBlock(rep *replica, base int, data []byte) {
+	layout := m.c.Opts.Layout
+	for rel := 0; rel < len(data); rel += layout.BlockSize {
+		block := (base + rel) / layout.BlockSize
+		class, ok := rep.headers[block]
+		if !ok {
+			// Unused block: copy wholesale (it is zeroed at both ends in
+			// the common case).
+			copy(rep.mem[base+rel:], data[rel:min(rel+layout.BlockSize, len(data))])
+			continue
+		}
+		blockEnd := rel + layout.BlockSize
+		if blockEnd > len(data) {
+			blockEnd = len(data)
+		}
+		for so := rel; so+class <= blockEnd; so += class {
+			recovered := regionmem.ReadHeader(data, so)
+			local := regionmem.ReadHeader(rep.mem, base+so)
+			if regionmem.Version(recovered) > regionmem.Version(local) {
+				// Lock with CAS, update, unlock.
+				if regionmem.Locked(local) {
+					continue // being updated by a newer transaction
+				}
+				copy(rep.mem[base+so:base+so+class], data[so:so+class])
+				// Recovered state is stored unlocked.
+				regionmem.WriteHeader(rep.mem, base+so,
+					regionmem.Compose(regionmem.Version(recovered), false, regionmem.Allocated(recovered)))
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// finishDataRecovery marks the replica whole again.
+func (m *Machine) finishDataRecovery(rep *replica) {
+	if !rep.needsDataRecovery {
+		return
+	}
+	rep.needsDataRecovery = false
+	m.c.Counters.Inc("regions_rereplicated", 1)
+	m.c.noteRegionRecovered(rep.id)
+	m.send(int(m.config.CM), &dataRecoveryDone{ConfigID: m.config.ID, Region: rep.id})
+}
+
+// onDataRecoveryDone is CM bookkeeping.
+func (m *Machine) onDataRecoveryDone(*dataRecoveryDone) {}
+
+// startAllocRecovery rebuilds a promoted primary's slab free lists by
+// scanning allocation bits, paced at AllocScanBatch objects per
+// AllocScanInterval (§5.5). Deallocations queue until the scan completes.
+func (m *Machine) startAllocRecovery(rep *replica) {
+	layout := m.c.Opts.Layout
+	total := regionmem.ScanWork(layout, rep.headers)
+	batches := (total + m.c.Opts.AllocScanBatch - 1) / m.c.Opts.AllocScanBatch
+	duration := sim.Time(batches) * m.c.Opts.AllocScanInterval
+	cfgAtStart := m.config.ID
+	m.c.Eng.After(duration, func() {
+		if !m.alive || m.config.ID != cfgAtStart || rep.alloc != nil {
+			return
+		}
+		headers := make(map[int]int, len(rep.headers))
+		for b, s := range rep.headers {
+			headers[b] = s
+		}
+		rep.alloc = regionmem.Rebuild(layout, rep.mem, headers)
+		m.installAllocHook(rep)
+		rep.allocRecovering = false
+		for _, off := range rep.freeQ {
+			rep.alloc.Free(off)
+		}
+		rep.freeQ = nil
+		m.c.Counters.Inc("alloc_recovered", 1)
+	})
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"farm/internal/sim"
+)
+
+func TestJoinAddsMember(t *testing.T) {
+	c, _ := testCluster(t, Options{NumMachines: 4, Seed: 71})
+	addr := writeObject(t, c, c.Machine(1), []byte("pre-join"))
+
+	nj := c.Join()
+	c.RunFor(100 * sim.Millisecond)
+
+	// Everyone, including the newcomer, agrees on a configuration that
+	// contains it.
+	cfg := c.Machine(0).ConfigID()
+	if cfg < 2 {
+		t.Fatalf("no join reconfiguration: config %d", cfg)
+	}
+	for _, m := range c.Machines {
+		if m.ConfigID() != cfg {
+			t.Fatalf("machine %d at config %d, want %d", m.ID, m.ConfigID(), cfg)
+		}
+		if !m.config.Member(uint16(nj.ID)) {
+			t.Fatalf("machine %d does not see the newcomer", m.ID)
+		}
+	}
+	// The newcomer can read existing data...
+	var got []byte
+	nj.LockFreeRead(0, addr, 8, func(data []byte, err error) {
+		if err != nil {
+			t.Errorf("newcomer read: %v", err)
+		}
+		got = data
+	})
+	runUntil(t, c, sim.Second, func() bool { return got != nil })
+	if string(got) != "pre-join" {
+		t.Fatalf("newcomer read %q", got)
+	}
+	// ...and coordinate its own transactions.
+	addr2 := writeObject(t, c, nj, []byte("by-newcomer"))
+	if got := readObject(t, c, c.Machine(2), addr2, 11); string(got) != "by-newcomer" {
+		t.Fatalf("newcomer-coordinated write: %q", got)
+	}
+}
+
+func TestJoinBecomesPlacementTarget(t *testing.T) {
+	c, _ := testCluster(t, Options{NumMachines: 4, Seed: 73})
+	nj := c.Join()
+	c.RunFor(100 * sim.Millisecond)
+
+	// New regions must start landing on the (least-loaded) newcomer.
+	regions, err := c.CreateRegions(0, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosted := 0
+	for _, r := range regions {
+		for _, rep := range c.Machine(0).mappings[r].Replicas {
+			if int(rep) == nj.ID {
+				hosted++
+			}
+		}
+	}
+	if hosted == 0 {
+		t.Fatal("newcomer received no region replicas")
+	}
+}
+
+func TestJoinedMachineParticipatesInRecovery(t *testing.T) {
+	o := Options{NumMachines: 4, Seed: 79, LeaseDuration: 5 * sim.Millisecond}
+	c, _ := testCluster(t, o)
+	nj := c.Join()
+	c.RunFor(100 * sim.Millisecond)
+	if !c.Machine(0).config.Member(uint16(nj.ID)) {
+		t.Fatal("join did not complete")
+	}
+	// Allocate data spread over the grown cluster, then kill an original
+	// machine; the newcomer should absorb re-replication work.
+	if _, err := c.CreateRegions(0, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	addr := writeObject(t, c, c.Machine(1), []byte("grow-then-fail"))
+	c.RunFor(20 * sim.Millisecond)
+	c.Kill(3)
+	c.RunFor(500 * sim.Millisecond)
+	for _, m := range c.Machines {
+		if m.Alive() && m.config.Member(3) {
+			t.Fatalf("machine %d still sees the victim", m.ID)
+		}
+	}
+	if got := readObject(t, c, nj, addr, 14); string(got) != "grow-then-fail" {
+		t.Fatalf("read after kill via newcomer: %q", got)
+	}
+}

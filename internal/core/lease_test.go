@@ -1,0 +1,199 @@
+package core
+
+import (
+	"testing"
+
+	"farm/internal/sim"
+)
+
+// Lease-protocol unit tests (§5.1).
+
+func TestLeaseHandshakeKeepsClusterStable(t *testing.T) {
+	// With everything healthy, no lease may expire over many renewals —
+	// at durations each variant supports (§6.5): the shipping variant at
+	// 5 ms, the normal-priority thread variant at 100 ms.
+	for variant, lease := range map[LeaseVariant]sim.Time{
+		LeaseUDThreadPri: 5 * sim.Millisecond,
+		LeaseUDThread:    100 * sim.Millisecond,
+	} {
+		c := New(Options{NumMachines: 5, Seed: 17, LeaseDuration: lease, LeaseVariant: variant})
+		c.RunFor(2 * sim.Second)
+		if got := c.Counters.Get("lease_expiry"); got != 0 {
+			t.Fatalf("%v: %d expiries on an idle healthy cluster", variant, got)
+		}
+		for _, m := range c.Machines {
+			if m.config.ID != 1 {
+				t.Fatalf("%v: spurious reconfiguration to %d", variant, m.config.ID)
+			}
+		}
+	}
+}
+
+func TestLeaseRenewalIntervalQuantization(t *testing.T) {
+	c := New(Options{NumMachines: 2, Seed: 1})
+	lm := c.Machine(1).lease
+	cases := []struct {
+		lease sim.Time
+		want  sim.Time
+	}{
+		{10 * sim.Millisecond, 2 * sim.Millisecond},
+		{5 * sim.Millisecond, 1 * sim.Millisecond},
+		{2 * sim.Millisecond, 500 * sim.Microsecond}, // 0.4ms rounds up to timer res
+		{1 * sim.Millisecond, 500 * sim.Microsecond},
+	}
+	for _, tc := range cases {
+		lm.duration = tc.lease
+		if got := lm.renewInterval(); got != tc.want {
+			t.Errorf("lease %v: interval %v, want %v (timer resolution %v)",
+				tc.lease, got, tc.want, timerResolution)
+		}
+	}
+}
+
+func TestLeaseExpiryCountingWithRecoveryDisabled(t *testing.T) {
+	// The Figure 16 methodology: expiries are counted, configuration never
+	// changes.
+	o := Options{NumMachines: 4, Seed: 23, LeaseDuration: 2 * sim.Millisecond, LeaseVariant: LeaseRPC}
+	c := New(o)
+	c.DisableRecovery = true
+	c.RunFor(3 * sim.Second)
+	if c.Counters.Get("lease_expiry") == 0 {
+		t.Fatal("RPC variant with 2ms leases should show false positives")
+	}
+	for _, m := range c.Machines {
+		if m.config.ID != 1 {
+			t.Fatal("recovery ran despite DisableRecovery")
+		}
+	}
+}
+
+func TestLeaseVariantOrderingUnderStress(t *testing.T) {
+	// The Figure 16 ladder: expiry counts must be monotone across
+	// variants at a 5 ms lease.
+	counts := map[LeaseVariant]uint64{}
+	for _, v := range []LeaseVariant{LeaseRPC, LeaseUD, LeaseUDThread, LeaseUDThreadPri} {
+		c := New(Options{NumMachines: 4, Seed: 29, LeaseDuration: 5 * sim.Millisecond, LeaseVariant: v})
+		c.DisableRecovery = true
+		c.RunFor(4 * sim.Second)
+		counts[v] = c.Counters.Get("lease_expiry")
+	}
+	if counts[LeaseUDThreadPri] != 0 {
+		t.Fatalf("UD+thread+pri at 5ms: %d expiries, want 0", counts[LeaseUDThreadPri])
+	}
+	if counts[LeaseRPC] == 0 || counts[LeaseUD] == 0 {
+		t.Fatalf("shared-path variants show no expiries: %v", counts)
+	}
+	if counts[LeaseRPC] < counts[LeaseUD] {
+		t.Fatalf("RPC (%d) should be worse than UD (%d)", counts[LeaseRPC], counts[LeaseUD])
+	}
+}
+
+func TestDeadCMIsDetectedByMembers(t *testing.T) {
+	c := New(Options{NumMachines: 4, Seed: 31, LeaseDuration: 3 * sim.Millisecond})
+	c.RunFor(10 * sim.Millisecond)
+	c.Kill(0)
+	c.RunFor(200 * sim.Millisecond)
+	// A backup CM must have taken over.
+	for _, m := range c.Machines[1:] {
+		if m.config.CM == 0 {
+			t.Fatalf("machine %d still trusts the dead CM", m.ID)
+		}
+	}
+}
+
+func TestLeaseResetOnNewConfig(t *testing.T) {
+	// After a CM change, leases must be re-established with the new CM
+	// and keep the cluster stable afterwards.
+	c := New(Options{NumMachines: 5, Seed: 37, LeaseDuration: 4 * sim.Millisecond})
+	c.RunFor(10 * sim.Millisecond)
+	c.Kill(0)
+	c.RunFor(300 * sim.Millisecond)
+	cfgAfter := c.Machine(1).config.ID
+	// No further reconfigurations over a long quiet period.
+	c.RunFor(1 * sim.Second)
+	for _, m := range c.Machines[1:] {
+		if m.config.ID != cfgAfter {
+			t.Fatalf("config drifted from %d to %d after CM failover", cfgAfter, m.config.ID)
+		}
+	}
+}
+
+func TestZKOutageBlocksReconfigurationThenRecovers(t *testing.T) {
+	// Vertical Paxos: without a Zookeeper majority no configuration can
+	// change (§5: availability needs "a majority of replicas in the
+	// Zookeeper service"). Once ZK returns, lease expiry retries drive the
+	// reconfiguration through.
+	c := New(Options{NumMachines: 5, Seed: 41, LeaseDuration: 4 * sim.Millisecond})
+	c.RunFor(10 * sim.Millisecond)
+	c.ZK.SetAvailable(false)
+	c.Kill(3)
+	c.RunFor(300 * sim.Millisecond)
+	for _, m := range c.Machines {
+		if m.Alive() && m.ConfigID() != 1 {
+			t.Fatalf("configuration changed without Zookeeper: %d", m.ConfigID())
+		}
+	}
+	c.ZK.SetAvailable(true)
+	c.RunFor(400 * sim.Millisecond)
+	for _, m := range c.Machines {
+		if m.Alive() && m.config.Member(3) {
+			t.Fatalf("machine %d still sees the victim after ZK recovery", m.ID)
+		}
+	}
+}
+
+func TestHierarchicalLeasesStableAndDetecting(t *testing.T) {
+	// §5.1's two-level hierarchy: stable when healthy, detects a member
+	// failure within ~2 lease durations (leader detects, reports to CM).
+	o := Options{NumMachines: 9, Seed: 47, LeaseDuration: 5 * sim.Millisecond, LeaseGroupSize: 3}
+	c := New(o)
+	c.RunFor(500 * sim.Millisecond)
+	if got := c.Counters.Get("lease_expiry"); got != 0 {
+		t.Fatalf("%d expiries on a healthy hierarchical cluster", got)
+	}
+	for _, m := range c.Machines {
+		if m.ConfigID() != 1 {
+			t.Fatalf("spurious reconfiguration: %d", m.ConfigID())
+		}
+	}
+
+	// Kill a NON-leader member (machine 4 is in group 1, led by 3).
+	killAt := c.Now()
+	c.Kill(4)
+	c.RunFor(300 * sim.Millisecond)
+	suspectAt, ok := c.TraceTime("suspect", killAt)
+	if !ok {
+		t.Fatal("member failure never detected through the hierarchy")
+	}
+	detect := suspectAt - killAt
+	if detect > 3*o.LeaseDuration {
+		t.Fatalf("hierarchical detection took %v (> 3 leases)", detect)
+	}
+	for _, m := range c.Machines {
+		if m.Alive() && m.config.Member(4) {
+			t.Fatalf("machine %d still sees the victim", m.ID)
+		}
+	}
+	t.Logf("hierarchical member detection in %v (flat would be ≤ %v)", detect, o.LeaseDuration)
+}
+
+func TestHierarchicalLeaderFailure(t *testing.T) {
+	o := Options{NumMachines: 9, Seed: 53, LeaseDuration: 5 * sim.Millisecond, LeaseGroupSize: 3}
+	c := New(o)
+	c.RunFor(30 * sim.Millisecond)
+	// Machine 3 leads group 1: the CM holds its lease directly.
+	c.Kill(3)
+	c.RunFor(300 * sim.Millisecond)
+	for _, m := range c.Machines {
+		if m.Alive() && m.config.Member(3) {
+			t.Fatalf("machine %d still sees the dead leader", m.ID)
+		}
+	}
+	// The group's survivors re-home to the next leader (4) and stay
+	// stable: no further reconfigurations.
+	cfg := c.Machine(0).ConfigID()
+	c.RunFor(500 * sim.Millisecond)
+	if c.Machine(0).ConfigID() != cfg {
+		t.Fatalf("config churn after leader failover: %d -> %d", cfg, c.Machine(0).ConfigID())
+	}
+}

@@ -1,0 +1,598 @@
+package core
+
+import (
+	"fmt"
+
+	"farm/internal/fabric"
+	"farm/internal/nvram"
+	"farm/internal/proto"
+	"farm/internal/regionmem"
+	"farm/internal/ring"
+	"farm/internal/sim"
+)
+
+// replica is one hosted copy of a region.
+type replica struct {
+	id   uint32
+	mem  []byte
+	size int
+
+	primary bool
+	// active gates access at a primary: false while the region's lock
+	// recovery is in progress (§5.3 step 1).
+	active bool
+
+	// alloc is the slab allocator, maintained only while primary (§5.5).
+	alloc *regionmem.Allocator
+	// headers is the replicated block-header metadata (block → slot size).
+	headers map[int]int
+	// allocRecovering is true while free lists are being rebuilt by
+	// scanning; frees queue in freeQ meanwhile.
+	allocRecovering bool
+	freeQ           []int
+	// needsDataRecovery marks a freshly assigned backup replica awaiting
+	// bulk re-replication (§5.4).
+	needsDataRecovery bool
+	// promotedAt is the configuration in which this replica was promoted
+	// to primary (0 if it started as primary).
+	promotedAt uint64
+
+	// lockOwner tracks which transaction holds each object lock, for
+	// correct unlocking on aborts and recovery decisions.
+	lockOwner map[uint32]proto.TxID
+}
+
+// remoteTx is participant-side state for a transaction whose records
+// appear in this machine's logs.
+type remoteTx struct {
+	id   proto.TxID
+	lock *proto.Record // LOCK or COMMIT-BACKUP contents (our objects)
+	saw  uint8         // proto.Saw* bits
+	// lockedObjs are objects this machine locked as primary.
+	lockedObjs []proto.Addr
+	applied    bool
+	// frameSeqs are ring frame sequence numbers per source machine (all
+	// records of one transaction arrive from its coordinator).
+	frameSeqs []uint64
+	// regionHint caches the written-region list from any record, for
+	// recovery classification when the lock record is absent.
+	regionHint []uint32
+}
+
+// truncDomain tracks truncation state for one coordinator thread (§5.3
+// step 6): the set of truncated local ids, compacted with a low bound.
+type truncDomain struct {
+	low uint64
+	ids map[uint64]bool
+}
+
+func (d *truncDomain) truncated(local uint64) bool {
+	return local < d.low || d.ids[local]
+}
+
+func (d *truncDomain) add(local uint64) {
+	if local < d.low {
+		return
+	}
+	d.ids[local] = true
+	for d.ids[d.low] {
+		delete(d.ids, d.low)
+		d.low++
+	}
+}
+
+func (d *truncDomain) setLow(low uint64) {
+	if low <= d.low {
+		return
+	}
+	for l := range d.ids {
+		if l < low {
+			delete(d.ids, l)
+		}
+	}
+	if d.low < low {
+		d.low = low
+	}
+	for d.ids[d.low] {
+		delete(d.ids, d.low)
+		d.low++
+	}
+}
+
+// logReader wraps the receiver side of one peer's transaction log.
+type logReader struct {
+	src           int
+	rd            *ring.Reader
+	pollScheduled bool
+	// frames indexes untruncated frame seqs by transaction (keyed without
+	// the configuration component, matching truncation references).
+	frames map[mtl][]uint64
+	// reported is the consumed-bytes watermark last pushed to the sender.
+	reported uint64
+}
+
+// Machine is one FaRM machine: worker threads, NVRAM-hosted region
+// replicas, per-peer transaction logs, a lease manager, coordinator state
+// for its own transactions, and participant state for others'.
+type Machine struct {
+	ID int
+
+	c     *Cluster
+	nic   *fabric.NIC
+	store *nvram.Store
+	pool  *sim.ThreadPool
+
+	alive bool
+	// poweredOff marks machines taken down by a cluster-wide power
+	// failure (they restart on RestorePower, unlike crashed machines).
+	poweredOff bool
+
+	// config is this machine's view of the current configuration.
+	config proto.Config
+	// mappings caches region → placement, refreshed by NEW-CONFIG and
+	// allocation announcements.
+	mappings    map[uint32]*proto.RegionMap
+	lastDrained uint64
+
+	replicas map[uint32]*replica
+	logW     map[int]*ring.Writer
+	logR     map[int]*logReader
+	pend     map[mtl]*remoteTx
+	trunc    map[proto.CoordKey]*truncDomain
+
+	// Coordinator-side state.
+	inflight     map[proto.TxID]*coordTx
+	nextLocal    []uint64
+	truncQ       map[int]*truncQueue
+	truncThreads []*threadTruncState
+	truncPending map[int]map[uint64]*coordTx
+
+	lease *leaseManager
+	cm    *cmState
+	recov *recoveryState
+	// earlyNeedRec buffers NEED-RECOVERY messages racing our own
+	// NEW-CONFIG-COMMIT.
+	earlyNeedRec []earlyNeed
+
+	// reconfiguring guards against concurrent reconfiguration attempts by
+	// this machine; cmAwaitAcks tracks outstanding NEW-CONFIG-ACKs.
+	reconfiguring bool
+	cmAwaitAcks   map[int]bool
+	// configShrank records whether the latest NEW-CONFIG removed any
+	// machine (then every region runs the recovery handshake).
+	configShrank bool
+
+	// RPC plumbing for slot allocation and mapping fetches.
+	nextRPC    uint64
+	rpcWaiters map[uint64]func(interface{})
+	// blocked holds callbacks waiting for recovering regions to become
+	// active again (§5.3 step 1).
+	blocked map[uint32][]func()
+	// mappingWaiters holds callbacks waiting on mapping fetches.
+	mappingWaiters map[uint32][]func()
+
+	// appHandler receives application messages (function shipping).
+	appHandler func(src int, msg interface{})
+
+	// External-client gating (§5.2): requests queue between suspicion/
+	// NEW-CONFIG and NEW-CONFIG-COMMIT.
+	clientsBlocked bool
+	clientQueue    []func()
+
+	// Stats.
+	Committed, Aborted uint64
+}
+
+// regionBlocked reports whether access to a region is blocked pending lock
+// recovery.
+func (m *Machine) regionBlocked(region uint32) bool {
+	_, ok := m.blocked[region]
+	return ok
+}
+
+// blockUntilActive queues fn until the region is announced active.
+func (m *Machine) blockUntilActive(region uint32, fn func()) {
+	m.blocked[region] = append(m.blocked[region], fn)
+}
+
+// unblockRegion releases queued work when a region becomes active.
+func (m *Machine) unblockRegion(region uint32) {
+	waiters := m.blocked[region]
+	delete(m.blocked, region)
+	for _, fn := range waiters {
+		fn()
+	}
+}
+
+// fetchMapping refreshes one region's placement from the CM; fn runs when
+// the response (or a failure) arrives.
+func (m *Machine) fetchMapping(region uint32, fn func()) {
+	if m.mappingWaiters[region] != nil {
+		m.mappingWaiters[region] = append(m.mappingWaiters[region], fn)
+		return
+	}
+	m.mappingWaiters[region] = []func(){fn}
+	cm := int(m.config.CM)
+	if cm == m.ID {
+		// The CM answers from its own table.
+		if m.cm != nil {
+			if rm := m.cm.regions[region]; rm != nil {
+				cp := *rm
+				m.mappings[region] = &cp
+			}
+		}
+		m.wakeMappingWaiters(region)
+		return
+	}
+	m.send(cm, &rpcEnvelope{From: m.ID, Body: &proto.MappingReq{Region: region}})
+}
+
+func (m *Machine) wakeMappingWaiters(region uint32) {
+	waiters := m.mappingWaiters[region]
+	delete(m.mappingWaiters, region)
+	for _, fn := range waiters {
+		fn()
+	}
+}
+
+// truncQueue is the coordinator's pending truncation work toward one
+// participant machine: ids whose records there can be reclaimed, plus a
+// pool of explicit-TRUNCATE record reservations (one per undelivered
+// transaction, §4).
+type truncQueue struct {
+	ids        []uint64 // packed thread<<48 | local
+	pool       int      // pooled truncate-record reservations
+	flushArmed bool
+}
+
+func packTruncID(thread uint16, local uint64) uint64 {
+	return uint64(thread)<<48 | (local & (1<<48 - 1))
+}
+
+func unpackTruncID(v uint64) (thread uint16, local uint64) {
+	return uint16(v >> 48), v & (1<<48 - 1)
+}
+
+func (c *Cluster) newMachine(id int) *Machine {
+	store := nvram.NewStore()
+	m := &Machine{
+		ID:        id,
+		c:         c,
+		store:     store,
+		pool:      sim.NewThreadPool(c.Eng, c.Opts.Threads, fmt.Sprintf("m%d", id)),
+		alive:     true,
+		mappings:  make(map[uint32]*proto.RegionMap),
+		replicas:  make(map[uint32]*replica),
+		logW:      make(map[int]*ring.Writer),
+		logR:      make(map[int]*logReader),
+		pend:      make(map[mtl]*remoteTx),
+		trunc:     make(map[proto.CoordKey]*truncDomain),
+		inflight:  make(map[proto.TxID]*coordTx),
+		nextLocal: make([]uint64, c.Opts.Threads),
+		truncQ:    make(map[int]*truncQueue),
+
+		rpcWaiters:     make(map[uint64]func(interface{})),
+		blocked:        make(map[uint32][]func()),
+		mappingWaiters: make(map[uint32][]func()),
+	}
+	m.nic = c.Net.AddMachine(fabric.MachineID(id), store)
+	m.nic.SetMessageHandler(m.onMessage)
+	m.nic.SetWriteHook(m.onRemoteWrite)
+	return m
+}
+
+// initLogs allocates the receive rings for every peer and the write halves
+// toward every peer.
+func (m *Machine) initLogs() {
+	for _, peer := range m.c.Machines {
+		if peer.ID == m.ID {
+			continue
+		}
+		mem, err := m.store.Allocate(nvram.RegionID(logRegionID(peer.ID)), m.c.Opts.LogCapacity)
+		if err != nil {
+			panic(err)
+		}
+		m.logR[peer.ID] = &logReader{
+			src:    peer.ID,
+			rd:     ring.NewReader(mem),
+			frames: make(map[mtl][]uint64),
+		}
+	}
+	// Self log: coordinators co-located with a primary/backup write
+	// locally (§4 "local memory accesses rather than RDMA").
+	mem, err := m.store.Allocate(nvram.RegionID(logRegionID(m.ID)), m.c.Opts.LogCapacity)
+	if err != nil {
+		panic(err)
+	}
+	m.logR[m.ID] = &logReader{src: m.ID, rd: ring.NewReader(mem), frames: make(map[mtl][]uint64)}
+	for _, peer := range m.c.Machines {
+		m.logW[peer.ID] = ring.NewWriter(m.nic, fabric.MachineID(peer.ID), nvram.RegionID(logRegionID(m.ID)), m.c.Opts.LogCapacity)
+	}
+}
+
+// Alive reports whether the machine's process is running.
+func (m *Machine) Alive() bool { return m.alive }
+
+// Eng returns the simulation engine (for workloads running "on" the
+// machine).
+func (m *Machine) Eng() *sim.Engine { return m.c.Eng }
+
+// Opts returns the cluster options.
+func (m *Machine) Opts() *Options { return &m.c.Opts }
+
+// ConfigID returns the machine's current configuration id.
+func (m *Machine) ConfigID() uint64 { return m.config.ID }
+
+// IsCM reports whether this machine currently believes it is the CM.
+func (m *Machine) IsCM() bool { return m.alive && m.config.CM == uint16(m.ID) }
+
+// OnThread schedules application work costing cost CPU on worker thread i.
+func (m *Machine) OnThread(i int, cost sim.Time, fn func()) {
+	m.pool.ByIndex(i).Do(cost, func() {
+		if m.alive {
+			fn()
+		}
+	})
+}
+
+// Threads returns the worker thread count.
+func (m *Machine) Threads() int { return m.c.Opts.Threads }
+
+// mapping returns the cached placement for a region.
+func (m *Machine) mapping(region uint32) *proto.RegionMap { return m.mappings[region] }
+
+// HostedRegions lists the data regions this machine holds a replica of
+// (observability for experiments choosing failure victims).
+func (m *Machine) HostedRegions() []uint32 {
+	out := make([]uint32, 0, len(m.replicas))
+	for id := range m.replicas {
+		out = append(out, id)
+	}
+	return out
+}
+
+// PrimaryOf exposes the cached primary machine for a region (-1 when
+// unknown). Applications use it for locality decisions, e.g. TPC-C
+// co-partitioning clients with their warehouse, and TATP's function
+// shipping of single-field updates (§6.2).
+func (m *Machine) PrimaryOf(region uint32) int { return m.primaryOf(region) }
+
+// SetAppHandler installs the application-level message handler used with
+// SendApp. FaRM applications link with the platform in the same process
+// (§6.2); function-shipped operations arrive here, on a worker thread with
+// the handling cost charged.
+func (m *Machine) SetAppHandler(h func(src int, msg interface{})) { m.appHandler = h }
+
+// SendApp sends an application message to a member machine.
+func (m *Machine) SendApp(dst int, msg interface{}) {
+	m.send(dst, &appMsg{Body: msg})
+}
+
+// appMsg wraps application payloads for routing.
+type appMsg struct{ Body interface{} }
+
+// primaryOf returns the primary machine for a region, or -1 if unknown.
+func (m *Machine) primaryOf(region uint32) int {
+	rm := m.mappings[region]
+	if rm == nil || len(rm.Replicas) == 0 {
+		return -1
+	}
+	return int(rm.Replicas[0])
+}
+
+// backupsOf returns the backup machines for a region.
+func (m *Machine) backupsOf(region uint32) []uint16 {
+	rm := m.mappings[region]
+	if rm == nil || len(rm.Replicas) == 0 {
+		return nil
+	}
+	return rm.Replicas[1:]
+}
+
+// isMember applies precise membership (§5.2): operations are only issued
+// to, and replies only accepted from, machines in the current
+// configuration.
+func (m *Machine) isMember(id int) bool { return m.config.Member(uint16(id)) }
+
+// Member reports whether a machine id belongs to this machine's view of
+// the configuration (observability).
+func (m *Machine) Member(id int) bool { return m.isMember(id) }
+
+// LogSpaceReport returns, per destination machine, the free/reserved/
+// appended/consumed state of this machine's log writers (diagnostics for
+// space-leak hunting).
+func (m *Machine) LogSpaceReport() map[int][4]int {
+	out := make(map[int][4]int, len(m.logW))
+	for dst, w := range m.logW {
+		out[dst] = [4]int{w.FreeBytes(), w.ReservedBytes(), int(w.Appended()), int(w.ConsumedEstimate())}
+	}
+	return out
+}
+
+// onMessage is the NIC upcall for reliable sends: dispatch to a worker
+// thread and charge the message-handling cost there.
+func (m *Machine) onMessage(src fabric.MachineID, msg interface{}) {
+	if !m.alive {
+		return
+	}
+	s := int(src)
+	switch msg.(type) {
+	case *proto.RecoveryVote:
+		// Votes go to the peer thread of the coordinator thread (§5.3).
+		v := msg.(*proto.RecoveryVote)
+		m.pool.ByIndex(int(v.Tx.Thread)).Do(m.c.Opts.CPUMsg, func() {
+			if m.alive {
+				m.handleMessage(s, msg)
+			}
+		})
+	default:
+		m.pool.Dispatch(m.c.Opts.CPUMsg, func() {
+			if m.alive {
+				m.handleMessage(s, msg)
+			}
+		})
+	}
+}
+
+// onRemoteWrite reacts to one-sided writes landing in local memory; for
+// log regions it schedules a poll of that sender's ring.
+func (m *Machine) onRemoteWrite(region nvram.RegionID, _, _ int) {
+	if !m.alive {
+		return
+	}
+	r := uint32(region)
+	if r&0x80000000 == 0 {
+		return // not a log; data-recovery writes need no upcall
+	}
+	sender := int(r &^ 0x80000000)
+	lr := m.logR[sender]
+	if lr == nil || lr.pollScheduled {
+		return
+	}
+	lr.pollScheduled = true
+	m.c.Eng.After(m.c.Opts.PollDelay, func() {
+		lr.pollScheduled = false
+		if m.alive {
+			m.pollLog(lr)
+		}
+	})
+}
+
+// pollLog drains newly arrived frames from one peer's log and processes
+// the records on a worker thread (sharded by sender so records from one
+// coordinator stay ordered).
+func (m *Machine) pollLog(lr *logReader) {
+	frames := lr.rd.Poll()
+	if len(frames) == 0 {
+		return
+	}
+	type parsed struct {
+		rec *proto.Record
+		seq uint64
+	}
+	var batch []parsed
+	var cost sim.Time
+	for _, f := range frames {
+		rec, err := proto.UnmarshalRecord(f.Payload)
+		if err != nil {
+			continue // garbage is skipped; recovery re-examines logs anyway
+		}
+		batch = append(batch, parsed{rec, f.Seq})
+		cost += m.c.Opts.CPUMsg/4 + sim.Time(len(rec.Writes))*m.c.Opts.CPUPerObject
+	}
+	if len(batch) == 0 {
+		return
+	}
+	// Frames captured before a drain must be processed with drain
+	// semantics even if the worker thread gets to them afterwards.
+	preDrain := m.lastDrained < m.config.ID
+	first := batch[0].seq
+	m.pool.ByIndex(lr.src).Do(cost, func() {
+		if !m.alive {
+			// Processing lost with the process; the records are still in
+			// the non-volatile log — surface them to the next poll/drain.
+			lr.rd.RewindTo(first)
+			return
+		}
+		for _, p := range batch {
+			m.handleRecordInner(lr, p.rec, p.seq, preDrain)
+		}
+		m.maybeReportConsumed(lr)
+	})
+}
+
+// maybeReportConsumed lazily tells the sender how far its ring has been
+// truncated (modelled as a NIC-level write of the head pointer).
+func (m *Machine) maybeReportConsumed(lr *logReader) {
+	consumed := lr.rd.ConsumedBytes()
+	if consumed-lr.reported < uint64(m.c.Opts.LogCapacity/8) {
+		return
+	}
+	lr.reported = consumed
+	src := lr.src
+	m.c.Net.Counters.Inc("rdma_write", 1)
+	m.c.Eng.After(m.c.Opts.Fabric.WireLatency+sim.Microsecond, func() {
+		peer := m.c.Machines[src]
+		if peer.alive {
+			if w := peer.logW[m.ID]; w != nil {
+				w.UpdateConsumed(consumed)
+			}
+		}
+	})
+}
+
+// truncDomainFor returns (creating if needed) the truncation-tracking
+// state for a coordinator thread.
+func (m *Machine) truncDomainFor(k proto.CoordKey) *truncDomain {
+	d := m.trunc[k]
+	if d == nil {
+		d = &truncDomain{ids: make(map[uint64]bool)}
+		m.trunc[k] = d
+	}
+	return d
+}
+
+// hostReplica installs a region replica backed by fresh NVRAM.
+func (m *Machine) hostReplica(region uint32, size int, primary bool) *replica {
+	mem, err := m.store.Allocate(nvram.RegionID(region), size)
+	if err != nil {
+		panic(err)
+	}
+	r := &replica{
+		id:        region,
+		mem:       mem,
+		size:      size,
+		primary:   primary,
+		active:    true,
+		headers:   make(map[int]int),
+		lockOwner: make(map[uint32]proto.TxID),
+	}
+	if primary {
+		r.alloc = regionmem.NewAllocator(m.c.Opts.Layout, mem)
+		m.installAllocHook(r)
+	}
+	m.replicas[region] = r
+	return r
+}
+
+// installAllocHook replicates block headers to backups when the allocator
+// claims a new block (§5.5).
+func (m *Machine) installAllocHook(r *replica) {
+	r.alloc.OnNewBlock(func(block, slot int) {
+		r.headers[block] = slot
+		for _, b := range m.backupsOf(r.id) {
+			if int(b) == m.ID {
+				continue
+			}
+			m.send(int(b), &proto.BlockHeaderSync{
+				ConfigID: m.config.ID,
+				Region:   r.id,
+				Headers:  map[int]int{block: slot},
+			})
+		}
+	})
+}
+
+// send transmits a reliable message, charging the sender-side CPU cost.
+func (m *Machine) send(dst int, msg interface{}) {
+	if !m.alive {
+		return
+	}
+	m.pool.Dispatch(m.c.Opts.CPUMsg, func() {
+		if m.alive {
+			m.nic.Send(fabric.MachineID(dst), msg)
+		}
+	})
+}
+
+// sendFromThread is send with the CPU cost charged to a specific thread.
+func (m *Machine) sendFromThread(thread, dst int, msg interface{}) {
+	if !m.alive {
+		return
+	}
+	m.pool.ByIndex(thread).Do(m.c.Opts.CPUMsg, func() {
+		if m.alive {
+			m.nic.Send(fabric.MachineID(dst), msg)
+		}
+	})
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"farm/internal/fabric"
+	"farm/internal/proto"
+	"farm/internal/ring"
+	"farm/internal/sim"
+)
+
+// This file implements whole-cluster power-failure semantics (§2.1, §5):
+// "We provide durability for all committed transactions even if the entire
+// cluster fails or loses power: all committed state can be recovered from
+// regions and logs stored in non-volatile DRAM."
+//
+// The distributed UPS saves each machine's entire memory to SSD and
+// restores it on power-up, so a power failure behaves like a simultaneous
+// pause of every process: memory (regions, logs, and process state)
+// survives; everything in flight on the network is lost; all leases are
+// long expired by the time power returns.
+//
+// Recovery after power restoration is a reconfiguration with unchanged
+// membership in which every region's epochs are advanced: every in-flight
+// transaction becomes a recovering transaction (its coordinator can no
+// longer trust any ack it never received), logs are drained, lock recovery
+// runs for every region, and the vote/decide protocol settles every
+// outcome — the normal §5.3 machinery, applied to the whole address space.
+
+// PowerFailure cuts power to every machine: CPUs stop, NICs stop
+// answering, in-flight completions are lost. The UPS save preserves all
+// memory.
+func (c *Cluster) PowerFailure() {
+	for _, m := range c.Machines {
+		if m.alive {
+			m.alive = false
+			m.poweredOff = true
+			m.nic.SetPowered(false)
+			m.lease.stop()
+		}
+	}
+	c.trace("power-failure", -1, 0)
+	c.Counters.Inc("power_failures", 1)
+}
+
+// RestorePower brings every machine (previously alive or not — replaced
+// hardware comes back empty-handed and simply rejoins with its preserved
+// memory) back up and triggers power-failure recovery.
+func (c *Cluster) RestorePower() {
+	var initiator *Machine
+	for _, m := range c.Machines {
+		if !m.poweredOff {
+			continue // was already dead before the outage: stays dead
+		}
+		m.poweredOff = false
+		m.alive = true
+		m.nic.SetPowered(true)
+		m.lease = newLeaseManager(m)
+		m.lease.start()
+		m.reconfiguring = false
+		// Every in-flight transaction's completions were lost with the
+		// outage: mark them recovering now so stray replies produced while
+		// reprocessing logs below cannot drive the normal path.
+		for _, ct := range m.inflight {
+			if ct.phase != phaseDone {
+				ct.recovering = true
+			}
+		}
+	}
+	c.reestablishRings()
+	c.trace("power-restore", -1, 0)
+	// The machine that believes it is CM initiates the recovery
+	// reconfiguration; with identical memory images all machines agree.
+	for _, m := range c.Machines {
+		if m.IsCM() {
+			initiator = m
+			break
+		}
+	}
+	if initiator == nil {
+		for _, m := range c.Machines {
+			if m.alive {
+				initiator = m
+				break
+			}
+		}
+	}
+	if initiator == nil {
+		return
+	}
+	init := initiator
+	c.Eng.After(sim.Millisecond, func() {
+		if init.alive {
+			init.suspectFull(-1, true)
+		}
+	})
+}
+
+// reestablishRings rebuilds every transaction-log ring after a power
+// outage. The log *contents* are durable and are re-examined record by
+// record (the §5.3 drain, done eagerly here); the ring endpoints' runtime
+// state (tails, reservations, in-flight acks) refers to connections that
+// no longer exist — exactly like RDMA queue pairs after a power cycle — so
+// both halves are recreated from scratch.
+func (c *Cluster) reestablishRings() {
+	// 1. Re-examine everything still in the non-volatile logs. Processing
+	// is idempotent: applied commits are version-gated, locks are owner-
+	// tracked, and coordinators were marked recovering above.
+	for _, m := range c.Machines {
+		if !m.alive {
+			continue
+		}
+		for _, lr := range m.logR {
+			for _, f := range lr.rd.Pending() {
+				rec, err := proto.UnmarshalRecord(f.Payload)
+				if err != nil {
+					continue
+				}
+				m.handleRecordInner(lr, rec, f.Seq, true)
+			}
+		}
+	}
+	// 2. Fresh ring state on both ends.
+	for _, m := range c.Machines {
+		if !m.alive {
+			continue
+		}
+		for src := range m.logR {
+			mem := m.store.Region(toNVRAM(logRegionID(src)))
+			for i := range mem {
+				mem[i] = 0
+			}
+			m.logR[src] = &logReader{src: src, rd: ring.NewReader(mem), frames: make(map[mtl][]uint64)}
+			sender := c.Machines[src]
+			sender.logW[m.ID] = ring.NewWriter(sender.nic, fabric.MachineID(m.ID),
+				toNVRAM(logRegionID(src)), c.Opts.LogCapacity)
+			// Restore the pooled truncate-record reservations the sender
+			// still accounts for.
+			if q := sender.truncQ[m.ID]; q != nil {
+				for i := 0; i < q.pool; i++ {
+					sender.logW[m.ID].Reserve(truncateRecordSize())
+				}
+			}
+		}
+	}
+	// 3. Per-transaction reservations named slots in the old rings; drop
+	// them (recovering transactions finish through messages, not records)
+	// and requeue undelivered truncations so backups converge.
+	for _, m := range c.Machines {
+		if !m.alive {
+			continue
+		}
+		for _, ct := range m.inflight {
+			ct.reservations = make(map[int]*resSet)
+		}
+		for dst, pend := range m.truncPending {
+			q := m.truncQueueFor(dst)
+			queued := make(map[uint64]bool, len(q.ids))
+			for _, id := range q.ids {
+				queued[id] = true
+			}
+			for id := range pend {
+				if !queued[id] {
+					q.ids = append(q.ids, id)
+				}
+			}
+		}
+		for dst, q := range m.truncQ {
+			if len(q.ids) > 0 && !q.flushArmed {
+				m.armTruncFlush(dst)
+			}
+		}
+	}
+}
+
+// PowerCycle is PowerFailure + outage + RestorePower, driving the
+// simulation through the outage.
+func (c *Cluster) PowerCycle(outage sim.Time) {
+	c.PowerFailure()
+	c.RunFor(outage)
+	c.RestorePower()
+}

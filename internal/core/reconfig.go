@@ -1,0 +1,520 @@
+package core
+
+import (
+	"farm/internal/fabric"
+	"farm/internal/proto"
+	"farm/internal/sim"
+)
+
+// This file implements the reconfiguration protocol of §5.2 / Figure 5:
+// SUSPECT → PROBE → UPDATE CONFIGURATION (Zookeeper CAS) → REMAP REGIONS →
+// SEND NEW-CONFIG → APPLY NEW-CONFIG → COMMIT NEW-CONFIG. One-sided RDMA
+// makes server-side lease checks impossible, so consistency comes from
+// precise membership: after NEW-CONFIG, machines stop issuing requests to
+// non-members and ignore their replies and acks.
+
+// reconfigAsk is the "please initiate reconfiguration" message a machine
+// sends to the CM's k consistent-hashing successors when it suspects the
+// CM (§5.2 step 1).
+type reconfigAsk struct {
+	Suspect  int
+	ConfigID uint64
+}
+
+// regionActiveAnnounce tells members that a recovering region finished
+// lock recovery and accepts references again (§5.3 step 4).
+type regionActiveAnnounce struct {
+	ConfigID uint64
+	Region   uint32
+}
+
+// suspect starts reconfiguration with the given machine removed. Runs on
+// the CM (lease expiry there) or on a machine taking over as CM.
+func (m *Machine) suspect(failed int) { m.suspectFull(failed, false) }
+
+// suspectFull is suspect with power-failure semantics: failed == -1 means
+// no machine is being removed, and bumpAll forces every region's epochs to
+// advance so all in-flight transactions recover (§5.3 applied cluster-wide
+// after a power restoration).
+func (m *Machine) suspectFull(failed int, bumpAll bool) {
+	if !m.alive || m.reconfiguring {
+		return
+	}
+	m.reconfiguring = true
+	m.blockClients() // §5.2 step 1: block external clients at suspicion
+	m.c.trace("suspect", m.ID, failed)
+	m.c.Counters.Inc("reconfig_started", 1)
+
+	// Step 2: probe every other member with an RDMA read; non-responders
+	// are also suspected. Proceed only with responses from a majority.
+	suspects := map[int]bool{}
+	if failed >= 0 {
+		suspects[failed] = true
+	}
+	pending := 0
+	responses := 1 // self
+	total := len(m.config.Machines)
+	finished := false
+	finish := func() {
+		if finished || !m.alive {
+			return
+		}
+		finished = true
+		if responses*2 <= total {
+			// We are in the minority partition: do not reconfigure.
+			m.reconfiguring = false
+			m.c.Counters.Inc("reconfig_minority_abandon", 1)
+			return
+		}
+		m.c.trace("probe-done", m.ID, 0)
+		m.updateConfiguration(suspects, bumpAll)
+	}
+	for _, mem := range m.config.Machines {
+		id := int(mem)
+		if id == m.ID || id == failed {
+			continue
+		}
+		pending++
+		m.nic.Probe(fabric.MachineID(id), func(err error) {
+			if !m.alive {
+				return
+			}
+			if err != nil {
+				suspects[id] = true
+			} else {
+				responses++
+			}
+			pending--
+			if pending == 0 {
+				finish()
+			}
+		})
+	}
+	if pending == 0 {
+		finish()
+	}
+}
+
+// suspectCM reacts to an expired CM lease: ask the k backup CMs (the CM's
+// consistent-hashing successors) to reconfigure, then try ourselves if the
+// configuration is unchanged after a timeout.
+func (m *Machine) suspectCM() {
+	if !m.alive || m.reconfiguring {
+		return
+	}
+	cm := int(m.config.CM)
+	cfg := m.config.ID
+	succ := m.cmSuccessors()
+	if len(succ) > 0 && succ[0] == m.ID {
+		// We are the first backup CM: take over immediately.
+		m.suspect(cm)
+		return
+	}
+	for i, s := range succ {
+		if i >= m.c.Opts.BackupCMs {
+			break
+		}
+		m.send(s, &reconfigAsk{Suspect: cm, ConfigID: cfg})
+	}
+	m.c.Eng.After(2*m.c.Opts.LeaseDuration, func() {
+		if m.alive && m.config.ID == cfg && !m.reconfiguring {
+			m.suspect(cm)
+		}
+	})
+}
+
+// cmSuccessors returns the members after the CM in ring order.
+func (m *Machine) cmSuccessors() []int {
+	members := make([]int, 0, len(m.config.Machines))
+	cmIdx := -1
+	for i, mem := range m.config.Machines {
+		members = append(members, int(mem))
+		if mem == m.config.CM {
+			cmIdx = i
+		}
+	}
+	if cmIdx == -1 || len(members) < 2 {
+		return nil
+	}
+	var out []int
+	for i := 1; i < len(members); i++ {
+		out = append(out, members[(cmIdx+i)%len(members)])
+	}
+	return out
+}
+
+// onReconfigAsk handles a backup-CM takeover request.
+func (m *Machine) onReconfigAsk(ask *reconfigAsk) {
+	if ask.ConfigID != m.config.ID {
+		return
+	}
+	m.suspect(ask.Suspect)
+}
+
+// updateConfiguration is step 3: CAS the new configuration into Zookeeper;
+// exactly one contender wins the move from c to c+1.
+func (m *Machine) updateConfiguration(suspects map[int]bool, bumpAll bool) {
+	var members []uint16
+	for _, mem := range m.config.Machines {
+		if !suspects[int(mem)] {
+			members = append(members, mem)
+		}
+	}
+	newCfg := proto.Config{
+		ID:       m.config.ID + 1,
+		Machines: members,
+		Domains:  m.config.Domains,
+		CM:       uint16(m.ID),
+	}
+	m.c.ZK.CAS(m.config.ID, &newCfg, func(ok bool, _ uint64, _ interface{}, err error) {
+		if !m.alive {
+			return
+		}
+		m.reconfiguring = false
+		if err != nil || !ok {
+			// Someone else won; we will learn the new configuration via
+			// NEW-CONFIG.
+			m.c.Counters.Inc("reconfig_cas_lost", 1)
+			return
+		}
+		m.c.trace("zookeeper", m.ID, int(newCfg.ID))
+		m.becomeCM(&newCfg, suspects, bumpAll)
+	})
+}
+
+// becomeCM runs steps 4–5 at the (possibly new) CM: rebuild CM state if
+// needed, remap regions, and push NEW-CONFIG to all members.
+func (m *Machine) becomeCM(cfg *proto.Config, suspects map[int]bool, bumpAll bool) {
+	cmChanged := m.config.CM != cfg.CM
+	proceed := func() {
+		if !m.alive {
+			return
+		}
+		if m.cm == nil {
+			m.cm = newCMState()
+			// Rebuild the region table from our mapping cache.
+			next := uint32(1)
+			for id, rm := range m.mappings {
+				cp := *rm
+				m.cm.regions[id] = &cp
+				if id >= next {
+					next = id + 1
+				}
+			}
+			m.cm.nextRegion = next
+		}
+		m.cm.regionsActive = make(map[int]bool)
+		if bumpAll {
+			for _, rm := range m.cm.regions {
+				rm.LastPrimaryChange = cfg.ID
+				rm.LastReplicaChange = cfg.ID
+			}
+		}
+		m.remapRegions(cfg, suspects)
+		nc := &proto.NewConfig{Config: *cfg}
+		for _, rm := range m.cm.regions {
+			nc.Regions = append(nc.Regions, *rm)
+		}
+		m.c.trace("remap-done", m.ID, 0)
+		m.cmAwaitAcks = make(map[int]bool)
+		for _, mem := range cfg.Machines {
+			m.cmAwaitAcks[int(mem)] = true
+			m.send(int(mem), nc)
+		}
+	}
+	if cmChanged && m.cm == nil {
+		// A new CM must first build the data structures only the CM
+		// maintains — the dominant cost in Figure 11's slower recovery.
+		cost := sim.Time(len(m.mappings)) * 16 * sim.Microsecond
+		m.pool.ByIndex(0).Do(cost, proceed)
+		return
+	}
+	proceed()
+}
+
+// remapRegions is step 4: restore f+1 replicas for regions that lost any,
+// promoting surviving backups to primary so the region recovers fast.
+func (m *Machine) remapRegions(cfg *proto.Config, suspects map[int]bool) {
+	for _, rm := range m.cm.regions {
+		var survivors []uint16
+		primaryFailed := false
+		for i, r := range rm.Replicas {
+			if suspects[int(r)] || !cfg.Member(r) {
+				if i == 0 {
+					primaryFailed = true
+				}
+				continue
+			}
+			survivors = append(survivors, r)
+		}
+		if len(survivors) == len(rm.Replicas) && !primaryFailed {
+			continue // untouched
+		}
+		if len(survivors) == 0 {
+			m.c.noteLostRegion(rm.Region)
+			continue
+		}
+		exclude := make(map[uint16]bool)
+		for _, s := range survivors {
+			exclude[s] = true
+		}
+		var target *proto.RegionMap
+		if loc, ok := m.cm.locality[rm.Region]; ok {
+			target = m.cm.regions[loc]
+		}
+		// Survivors stay (first survivor is promoted primary); new backups
+		// fill the remainder.
+		needed := m.c.Opts.Replication - len(survivors)
+		added := m.addBackups(cfg, exclude, survivors, needed, target)
+		rm.Replicas = added
+		rm.LastReplicaChange = cfg.ID
+		if primaryFailed {
+			rm.LastPrimaryChange = cfg.ID
+		}
+	}
+}
+
+// addBackups extends survivors with `needed` new machines.
+func (m *Machine) addBackups(cfg *proto.Config, exclude map[uint16]bool, survivors []uint16, needed int, target *proto.RegionMap) []uint16 {
+	out := append([]uint16(nil), survivors...)
+	if needed <= 0 {
+		return out
+	}
+	// Temporarily act with the new membership for placement decisions.
+	saved := m.config
+	m.config = *cfg
+	if target != nil {
+		for _, r := range target.Replicas {
+			if needed == 0 {
+				break
+			}
+			if cfg.Member(r) && !exclude[r] {
+				out = append(out, r)
+				exclude[r] = true
+				needed--
+			}
+		}
+	}
+	if needed > 0 {
+		filled := m.fillReplicas(out, exclude, len(out)+needed, int(cfg.ID))
+		out = filled
+	}
+	m.config = saved
+	return out
+}
+
+// onNewConfig is step 6 at every member: adopt the configuration and
+// mappings, allocate space for newly assigned replicas, stop talking to
+// non-members, classify in-flight transactions, and ack.
+func (m *Machine) onNewConfig(src int, nc *proto.NewConfig) {
+	if nc.Config.ID <= m.config.ID {
+		return
+	}
+	oldCM := m.config.CM
+	// Track whether any machine left: a removed machine may have been the
+	// coordinator of transactions touching ANY region, so every region
+	// must run the (possibly empty) recovery handshake (§5.3 step 3's
+	// coordinator-removed clause).
+	m.configShrank = false
+	for _, old := range m.config.Machines {
+		if !nc.Config.Member(old) {
+			m.configShrank = true
+			break
+		}
+	}
+	m.config = nc.Config
+	m.reconfiguring = false
+	if !m.config.Member(uint16(m.ID)) {
+		// We were evicted: halt normal operation.
+		m.c.Counters.Inc("evicted", 1)
+		return
+	}
+	// Install mappings; note which replicas are new here, which are
+	// promotions, and which regions must block pending lock recovery.
+	for i := range nc.Regions {
+		rm := nc.Regions[i]
+		cp := rm
+		m.mappings[rm.Region] = &cp
+		hosted := false
+		idx := -1
+		for j, r := range rm.Replicas {
+			if int(r) == m.ID {
+				hosted = true
+				idx = j
+			}
+		}
+		rep := m.replicas[rm.Region]
+		switch {
+		case hosted && rep == nil:
+			// Newly assigned backup: fresh zeroed replica, to be filled by
+			// data recovery (§5.4).
+			nr := m.hostReplica(rm.Region, rm.Size, false)
+			nr.needsDataRecovery = true
+		case hosted && rep != nil && idx == 0 && !rep.primary:
+			// Promoted from backup to primary (§5.2 step 4).
+			rep.primary = true
+			rep.active = false
+			rep.allocRecovering = true
+			rep.promotedAt = m.config.ID
+		case !hosted && rep != nil:
+			// No longer a replica here (shouldn't normally happen: the CM
+			// never removes live replicas); drop it.
+			delete(m.replicas, rm.Region)
+			m.store.Free(toNVRAM(rm.Region))
+		}
+		// Block access to regions whose primary changed until their lock
+		// recovery completes (§5.3 step 1).
+		if rm.LastPrimaryChange == m.config.ID {
+			if _, already := m.blocked[rm.Region]; !already {
+				m.blocked[rm.Region] = nil
+			}
+		}
+	}
+	// Precise membership: drop state toward machines no longer present,
+	// and establish log rings toward newcomers.
+	for _, peer := range m.c.Machines {
+		if peer.ID != m.ID && !m.isMember(peer.ID) {
+			m.dropTruncStateFor(peer.ID)
+		}
+	}
+	for _, mem := range m.config.Machines {
+		if int(mem) != m.ID {
+			m.ensureLogPair(int(mem))
+		}
+	}
+	// Classify in-flight transactions (§5.3 step 3, coordinator side).
+	for _, ct := range m.inflight {
+		if m.coordTxRecovering(ct) {
+			ct.recovering = true
+		}
+	}
+	// Step 6: "It also starts blocking requests from external clients."
+	m.blockClients()
+	// NEW-CONFIG resets the lease protocol if the CM changed (step 5).
+	if oldCM != m.config.CM {
+		m.lease.resetFor(&m.config)
+	}
+	m.send(src, &proto.NewConfigAck{ConfigID: m.config.ID})
+}
+
+// coordTxRecovering evaluates the recovering predicate with the
+// coordinator's full knowledge: written regions' replica epochs, read
+// regions' primary epochs, and its own membership (§5.3 step 3).
+func (m *Machine) coordTxRecovering(ct *coordTx) bool {
+	if ct.id.Config >= m.config.ID || ct.phase == phaseDone {
+		return false
+	}
+	for _, region := range ct.writeRegions {
+		rm := m.mappings[region]
+		if rm == nil || rm.LastReplicaChange >= m.config.ID {
+			return true
+		}
+	}
+	for addr := range ct.tx.reads {
+		rm := m.mappings[addr.Region]
+		if rm == nil || rm.LastPrimaryChange >= m.config.ID {
+			return true
+		}
+	}
+	return false
+}
+
+// onNewConfigAck is step 7 at the CM: once every member acked, wait out
+// leases granted in previous configurations, then commit.
+func (m *Machine) onNewConfigAck(src int, ack *proto.NewConfigAck) {
+	if ack.ConfigID != m.config.ID || m.cmAwaitAcks == nil {
+		return
+	}
+	delete(m.cmAwaitAcks, src)
+	if len(m.cmAwaitAcks) > 0 {
+		return
+	}
+	m.cmAwaitAcks = nil
+	m.c.Eng.After(m.c.Opts.LeaseDuration, func() {
+		if !m.alive || !m.IsCM() {
+			return
+		}
+		m.c.trace("config-commit", m.ID, int(m.config.ID))
+		for _, mem := range m.config.Machines {
+			m.send(int(mem), &proto.NewConfigCommit{ConfigID: m.config.ID})
+		}
+	})
+}
+
+// onNewConfigCommit triggers transaction state recovery (§5.3).
+func (m *Machine) onNewConfigCommit(cc *proto.NewConfigCommit) {
+	if cc.ConfigID != m.config.ID {
+		return
+	}
+	m.lease.start()
+	// Step 7: "All members now unblock previously blocked external client
+	// requests."
+	m.unblockClients()
+	// New primaries push block headers to all backups right away so
+	// allocator metadata survives further failures (§5.5).
+	for _, rep := range m.replicas {
+		if rep.primary && rep.promotedAt == m.config.ID {
+			m.syncBlockHeaders(rep)
+		}
+	}
+	m.startTxRecovery(cc.ConfigID)
+}
+
+// syncBlockHeaders replicates a region's block headers to all backups.
+func (m *Machine) syncBlockHeaders(rep *replica) {
+	headers := make(map[int]int, len(rep.headers))
+	for b, s := range rep.headers {
+		headers[b] = s
+	}
+	for _, b := range m.backupsOf(rep.id) {
+		if int(b) != m.ID {
+			m.send(int(b), &proto.BlockHeaderSync{ConfigID: m.config.ID, Region: rep.id, Headers: headers})
+		}
+	}
+}
+
+// onBlockHeaderSync installs replicated allocator metadata at a backup.
+func (m *Machine) onBlockHeaderSync(s *proto.BlockHeaderSync) {
+	rep := m.replicas[s.Region]
+	if rep == nil {
+		return
+	}
+	for b, sz := range s.Headers {
+		rep.headers[b] = sz
+	}
+}
+
+// onRegionsActive (CM): a machine finished lock recovery for all its
+// primary regions; when everyone has, broadcast ALL-REGIONS-ACTIVE (§5.4).
+func (m *Machine) onRegionsActive(src int, ra *proto.RegionsActive) {
+	if !m.IsCM() || ra.ConfigID != m.config.ID || m.cm == nil {
+		return
+	}
+	m.cm.regionsActive[src] = true
+	for _, mem := range m.config.Machines {
+		if !m.cm.regionsActive[int(mem)] {
+			return
+		}
+	}
+	m.c.trace("all-active", m.ID, 0)
+	for _, mem := range m.config.Machines {
+		m.send(int(mem), &proto.AllRegionsActive{ConfigID: m.config.ID})
+	}
+}
+
+// onAllRegionsActive starts data recovery for new backups and allocator
+// recovery at promoted primaries (§5.4, §5.5).
+func (m *Machine) onAllRegionsActive(aa *proto.AllRegionsActive) {
+	if aa.ConfigID != m.config.ID {
+		return
+	}
+	m.c.trace("data-rec-start", m.ID, 0)
+	for _, rep := range m.replicas {
+		if rep.needsDataRecovery {
+			m.startDataRecovery(rep)
+		}
+		if rep.primary && rep.allocRecovering && rep.alloc == nil {
+			m.startAllocRecovery(rep)
+		}
+	}
+}

@@ -1,0 +1,1016 @@
+package core
+
+import (
+	"hash/fnv"
+
+	"farm/internal/proto"
+	"farm/internal/regionmem"
+	"farm/internal/sim"
+)
+
+// This file implements transaction state recovery (§5.3 / Figure 6):
+//
+//  1. block access to recovering regions (set up in reconfig.go)
+//  2. drain logs, record LastDrained
+//  3. find recovering transactions; backups send NEED-RECOVERY
+//  4. lock recovery at the (possibly new) primary, sharded by coordinator
+//     thread; regions become active as soon as their locks are recovered
+//  5. replicate lock records to backups that miss them
+//  6. vote: region primaries send RECOVERY-VOTE to the transaction's
+//     recovery coordinator; explicit REQUEST-VOTE after a 250 µs timeout
+//  7. decide, then COMMIT/ABORT-RECOVERY and TRUNCATE-RECOVERY
+//
+// The recovery coordinator is the original coordinator if it is still in
+// the configuration, otherwise a machine chosen by hashing the transaction
+// id over the membership — a deterministic rule every machine evaluates
+// identically, which is what the paper's consistent hashing provides.
+
+// earlyNeed buffers NEED-RECOVERY messages that arrive before this
+// machine's NEW-CONFIG-COMMIT.
+type earlyNeed struct {
+	src int
+	msg *proto.NeedRecovery
+}
+
+// recoveryState is per-machine, per-configuration recovery progress.
+type recoveryState struct {
+	configID uint64
+	drained  bool
+	// regions under recovery at this machine (we are the primary).
+	regions map[uint32]*regionRecovery
+	// votes collected by this machine as a recovery coordinator.
+	votes map[proto.TxID]*voteCollector
+	// regionsActiveSent guards the REGIONS-ACTIVE report.
+	regionsActiveSent bool
+}
+
+// regionRecovery drives steps 3–6 for one region at its primary.
+type regionRecovery struct {
+	region uint32
+	// needed lists backups whose NEED-RECOVERY has not arrived yet.
+	needed map[int]bool
+	txs    map[mtl]*recTx
+	// phase: 0 waiting (drain+NEED-RECOVERY), 1 fetching/locking,
+	// 2 active (locks recovered; replication/votes may still be running).
+	phase int
+	// pendingLock resumes lock acquisition once record fetches complete.
+	pendingLock func()
+}
+
+// recTx is one recovering transaction's state at a region primary.
+type recTx struct {
+	id  proto.TxID
+	saw uint8 // merged over all replicas of the region
+	// sawBy[machine] is each replica's own view, for replication targets.
+	sawBy            map[int]uint8
+	lock             *proto.Record
+	fetchOutstanding int
+	replOutstanding  int
+	voted            bool
+}
+
+// voteCollector gathers votes at the recovery coordinator.
+type voteCollector struct {
+	id              proto.TxID
+	regions         map[uint32]proto.Vote
+	known           map[uint32]bool
+	decided         bool
+	commit          bool
+	acksOutstanding int
+	participants    map[int]bool
+}
+
+// startTxRecovery runs on NEW-CONFIG-COMMIT.
+func (m *Machine) startTxRecovery(configID uint64) {
+	m.recov = &recoveryState{
+		configID: configID,
+		regions:  make(map[uint32]*regionRecovery),
+		votes:    make(map[proto.TxID]*voteCollector),
+	}
+	// Replay NEED-RECOVERY messages that raced ahead of our commit.
+	early := m.earlyNeedRec
+	m.earlyNeedRec = nil
+	for _, e := range early {
+		if e.msg.Config == configID {
+			m.onNeedRecovery(e.src, e.msg)
+		}
+	}
+	// Step 2: drain all logs. Records present in the rings at this instant
+	// are processed as part of the drain; records landing from now on see
+	// LastDrained = current configuration and are rejected if they belong
+	// to recovering transactions.
+	m.lastDrained = configID
+	outstanding := 1 // sentinel so the barrier cannot fire early
+	done := func() {
+		outstanding--
+		if outstanding > 0 {
+			return
+		}
+		if !m.alive || m.recov == nil || m.recov.configID != m.config.ID {
+			return
+		}
+		m.recov.drained = true
+		m.findRecoveringTxs()
+	}
+	for _, lr := range m.logR {
+		lr := lr
+		outstanding++
+		m.drainLog(lr, func() { done() })
+	}
+	done()
+}
+
+// drainLog polls one ring and processes everything found, bypassing the
+// stale-record rejection (these records were in the log at drain time and
+// must be examined, §5.3 step 2). cb runs after processing completes on
+// the owning thread — behind any earlier poll batches for the same ring,
+// preserving record order.
+func (m *Machine) drainLog(lr *logReader, cb func()) {
+	frames := lr.rd.Poll()
+	type parsed struct {
+		rec *proto.Record
+		seq uint64
+	}
+	var batch []parsed
+	var cost sim.Time
+	for _, f := range frames {
+		rec, err := proto.UnmarshalRecord(f.Payload)
+		if err != nil {
+			continue
+		}
+		batch = append(batch, parsed{rec, f.Seq})
+		cost += m.c.Opts.CPUMsg/4 + sim.Time(len(rec.Writes))*m.c.Opts.CPUPerObject
+	}
+	m.pool.ByIndex(lr.src).Do(cost, func() {
+		if m.alive {
+			for _, p := range batch {
+				m.handleRecordInner(lr, p.rec, p.seq, true)
+			}
+		} else if len(batch) > 0 {
+			lr.rd.RewindTo(batch[0].seq)
+		}
+		cb()
+	})
+}
+
+// findRecoveringTxs is step 3: classify every transaction with records in
+// our logs; route NEED-RECOVERY messages; set up per-region recovery.
+func (m *Machine) findRecoveringTxs() {
+	rs := m.recov
+	// Initialize region recovery for every region we are (now) primary
+	// for. Regions whose replicas are all unchanged never instantiate
+	// recovery state, matching the paper's "only recovering transactions
+	// go through transaction recovery".
+	for id, rep := range m.replicas {
+		rm := m.mappings[id]
+		if rm == nil || !rep.primary {
+			continue
+		}
+		if rm.LastReplicaChange < m.config.ID && !m.configShrank {
+			continue
+		}
+		if rs.regions[id] != nil {
+			continue // created on demand by an early NEED-RECOVERY
+		}
+		rr := &regionRecovery{region: id, needed: make(map[int]bool), txs: make(map[mtl]*recTx)}
+		for _, b := range rm.Replicas[1:] {
+			if int(b) != m.ID {
+				rr.needed[int(b)] = true
+			}
+		}
+		rs.regions[id] = rr
+	}
+
+	// Classify our participant-side transactions.
+	needByPrimary := make(map[int]map[uint32][]proto.TxSeen)
+	for _, rt := range m.pend {
+		if !m.txIsRecovering(rt) {
+			continue
+		}
+		for _, region := range rt.regions() {
+			rm := m.mappings[region]
+			if rm == nil || len(rm.Replicas) == 0 {
+				continue
+			}
+			hosted := m.replicas[region]
+			if hosted == nil {
+				continue
+			}
+			if int(rm.Replicas[0]) == m.ID {
+				// We are the primary: fold into region recovery directly.
+				rr := rs.regions[region]
+				if rr == nil {
+					rr = &regionRecovery{region: region, needed: make(map[int]bool), txs: make(map[mtl]*recTx)}
+					for _, b := range rm.Replicas[1:] {
+						if int(b) != m.ID {
+							rr.needed[int(b)] = true
+						}
+					}
+					rs.regions[region] = rr
+				}
+				rr.add(m.ID, rt.id, rt.saw, rt.lock)
+			} else {
+				// We are a backup: report to the primary (step 3).
+				p := int(rm.Replicas[0])
+				if needByPrimary[p] == nil {
+					needByPrimary[p] = make(map[uint32][]proto.TxSeen)
+				}
+				needByPrimary[p][region] = append(needByPrimary[p][region],
+					proto.TxSeen{Tx: rt.id, Saw: rt.saw})
+			}
+		}
+	}
+	// Every backup sends NEED-RECOVERY for every recovering region it
+	// backs, even when it has nothing, so primaries can detect completion.
+	for id, rep := range m.replicas {
+		rm := m.mappings[id]
+		if rm == nil || rep.primary || len(rm.Replicas) == 0 || int(rm.Replicas[0]) == m.ID {
+			continue
+		}
+		if rm.LastReplicaChange < m.config.ID && !m.configShrank {
+			continue
+		}
+		p := int(rm.Replicas[0])
+		if needByPrimary[p] == nil {
+			needByPrimary[p] = make(map[uint32][]proto.TxSeen)
+		}
+		if _, ok := needByPrimary[p][id]; !ok {
+			needByPrimary[p][id] = nil
+		}
+	}
+	for p, byRegion := range needByPrimary {
+		for region, txs := range byRegion {
+			m.send(p, &proto.NeedRecovery{Config: m.config.ID, Region: region, Txs: txs})
+		}
+	}
+	m.c.Counters.Inc("recovering_tx_found", uint64(countRecovering(rs)))
+
+	// Coordinator side: arm vote collection for our own recovering
+	// transactions so read-set-only recoveries make progress too.
+	for _, ct := range m.inflight {
+		if ct.recovering {
+			m.armVoteCollector(ct.id, ct.writeRegions, ct.participantSet())
+		}
+	}
+	for _, rr := range rs.regions {
+		m.maybeRecoverRegion(rr)
+	}
+	m.maybeAllPrimariesActive()
+}
+
+func countRecovering(rs *recoveryState) int {
+	seen := make(map[mtl]bool)
+	for _, rr := range rs.regions {
+		for k := range rr.txs {
+			seen[k] = true
+		}
+	}
+	return len(seen)
+}
+
+// regions returns the region list a participant knows for a transaction.
+func (rt *remoteTx) regions() []uint32 {
+	if rt.lock != nil {
+		return rt.lock.Regions
+	}
+	return rt.regionHint
+}
+
+// txIsRecovering is the participant-side §5.3 predicate.
+func (m *Machine) txIsRecovering(rt *remoteTx) bool {
+	if rt.id.Config >= m.config.ID {
+		return false
+	}
+	if !m.config.Member(rt.id.Machine) {
+		return true
+	}
+	for _, region := range rt.regions() {
+		rm := m.mappings[region]
+		if rm == nil || rm.LastReplicaChange >= m.config.ID {
+			return true
+		}
+	}
+	return false
+}
+
+// add merges one replica's knowledge of a recovering transaction into the
+// region's recovery state.
+func (rr *regionRecovery) add(from int, id proto.TxID, saw uint8, lock *proto.Record) {
+	k := mtlOf(id)
+	rt := rr.txs[k]
+	if rt == nil {
+		rt = &recTx{id: id, sawBy: make(map[int]uint8)}
+		rr.txs[k] = rt
+	}
+	rt.saw |= saw
+	rt.sawBy[from] |= saw
+	if rt.lock == nil && lock != nil {
+		rt.lock = lock
+	}
+}
+
+// onNeedRecovery merges a backup's report (step 3 → step 4 hand-off).
+func (m *Machine) onNeedRecovery(src int, nr *proto.NeedRecovery) {
+	if nr.Config != m.config.ID {
+		return
+	}
+	if m.recov == nil || m.recov.configID != m.config.ID {
+		// NEW-CONFIG-COMMIT has not reached us yet; replay once it does.
+		m.earlyNeedRec = append(m.earlyNeedRec, earlyNeed{src: src, msg: nr})
+		return
+	}
+	rr := m.recov.regions[nr.Region]
+	if rr == nil {
+		// We did not classify this region as recovering (e.g. only the
+		// coordinator died); create recovery state on demand.
+		rm := m.mappings[nr.Region]
+		rep := m.replicas[nr.Region]
+		if rm == nil || rep == nil || !rep.primary {
+			return
+		}
+		rr = &regionRecovery{region: nr.Region, needed: make(map[int]bool), txs: make(map[mtl]*recTx)}
+		for _, b := range rm.Replicas[1:] {
+			if int(b) != m.ID {
+				rr.needed[int(b)] = true
+			}
+		}
+		// Fold in our own matching pending transactions.
+		for _, rt := range m.pend {
+			if !m.txIsRecovering(rt) {
+				continue
+			}
+			for _, r := range rt.regions() {
+				if r == nr.Region {
+					rr.add(m.ID, rt.id, rt.saw, rt.lock)
+				}
+			}
+		}
+		m.recov.regions[nr.Region] = rr
+	}
+	for _, ts := range nr.Txs {
+		rr.add(src, ts.Tx, ts.Saw, nil)
+	}
+	delete(rr.needed, src)
+	m.maybeRecoverRegion(rr)
+}
+
+// maybeRecoverRegion runs step 4 once the logs are drained and every
+// backup reported: fetch missing lock records, then acquire locks; the
+// region becomes active immediately after (§5.3's fast path), with record
+// replication and voting continuing in the background.
+func (m *Machine) maybeRecoverRegion(rr *regionRecovery) {
+	if m.recov == nil || !m.recov.drained || len(rr.needed) > 0 || rr.phase != 0 {
+		return
+	}
+	rr.phase = 1
+	rep := m.replicas[rr.region]
+	if rep == nil {
+		return
+	}
+	var lockAll func()
+	lockAll = func() {
+		for _, rt := range rr.txs {
+			if rt.fetchOutstanding > 0 {
+				return
+			}
+		}
+		// Shard lock recovery across threads by coordinator thread id and
+		// charge the CPU there (§5.3 step 4).
+		work := make(map[int][]*recTx)
+		for _, rt := range rr.txs {
+			work[int(rt.id.Thread)%m.c.Opts.Threads] = append(work[int(rt.id.Thread)%m.c.Opts.Threads], rt)
+		}
+		pendingThreads := len(work)
+		finish := func() {
+			pendingThreads--
+			if pendingThreads > 0 {
+				return
+			}
+			rr.phase = 2
+			m.activateRegion(rr.region)
+			m.replicateAndVote(rr)
+		}
+		if len(work) == 0 {
+			rr.phase = 2
+			m.activateRegion(rr.region)
+			m.replicateAndVote(rr)
+			return
+		}
+		for th, txs := range work {
+			th, txs := th, txs
+			cost := sim.Time(len(txs)) * (m.c.Opts.CPUPerObject*4 + m.c.Opts.CPULocal)
+			m.pool.ByIndex(th).Do(cost, func() {
+				if !m.alive {
+					return
+				}
+				for _, rt := range txs {
+					m.recoverLocks(rep, rt)
+				}
+				finish()
+			})
+		}
+	}
+	// Fetch lock records we are missing but some backup saw (step 4).
+	for _, rt := range rr.txs {
+		if rt.lock != nil || rt.saw&(proto.SawLock|proto.SawCommitBackup) == 0 {
+			continue
+		}
+		for b, saw := range rt.sawBy {
+			if b != m.ID && saw&(proto.SawLock|proto.SawCommitBackup) != 0 {
+				rt.fetchOutstanding++
+				m.send(b, &proto.FetchTxState{Config: m.config.ID, Region: rr.region, TxIDs: []proto.TxID{rt.id}})
+				break
+			}
+		}
+	}
+	rr.pendingLock = lockAll
+	lockAll()
+}
+
+// installPendLock upserts a recovered lock record into the participant
+// state used by record application.
+func (m *Machine) installPendLock(id proto.TxID, lock *proto.Record) {
+	k := mtlOf(id)
+	rt := m.pend[k]
+	if rt == nil {
+		rt = &remoteTx{id: id}
+		m.pend[k] = rt
+	}
+	if rt.lock == nil {
+		rt.lock = lock
+	} else if lock != nil {
+		rt.lock = mergeRecords(rt.lock, lock)
+	}
+	rt.saw |= proto.SawLock
+	if lock != nil && len(lock.Regions) > 0 {
+		rt.regionHint = lock.Regions
+	}
+}
+
+// recoverLocks write-locks every object a recovering transaction modified
+// in this region (§5.3 step 4).
+func (m *Machine) recoverLocks(rep *replica, rt *recTx) {
+	if rt.lock == nil || rt.saw&(proto.SawAbort|proto.SawAbortRecovery) != 0 {
+		return
+	}
+	if rt.saw&proto.SawCommitPrimary != 0 {
+		// Already applied (or about to be via normal processing): the
+		// transaction committed; no locks needed.
+		return
+	}
+	for _, w := range rt.lock.Writes {
+		if w.Addr.Region != rep.id {
+			continue
+		}
+		off := int(w.Addr.Off)
+		if owner, held := rep.lockOwner[w.Addr.Off]; held {
+			if owner == rt.id {
+				continue
+			}
+			continue // another recovering transaction holds it; version
+			// checks at decision time keep this safe
+		}
+		word := regionmem.ReadHeader(rep.mem, off)
+		if !regionmem.Locked(word) {
+			regionmem.WriteHeader(rep.mem, off, word|1<<63)
+		}
+		rep.lockOwner[w.Addr.Off] = rt.id
+	}
+}
+
+// activateRegion completes §5.3 step 4's fast path: the region accepts
+// reads and commits again, long before data recovery finishes.
+func (m *Machine) activateRegion(region uint32) {
+	rep := m.replicas[region]
+	if rep != nil {
+		rep.active = true
+	}
+	m.unblockRegion(region)
+	for _, mem := range m.config.Machines {
+		if int(mem) != m.ID {
+			m.send(int(mem), &regionActiveAnnounce{ConfigID: m.config.ID, Region: region})
+		}
+	}
+	m.c.trace("region-active", m.ID, int(region))
+	m.maybeAllPrimariesActive()
+}
+
+// maybeAllPrimariesActive sends REGIONS-ACTIVE once every region this
+// machine is primary for is active (§5.4).
+func (m *Machine) maybeAllPrimariesActive() {
+	if m.recov == nil || m.recov.regionsActiveSent {
+		return
+	}
+	for _, rep := range m.replicas {
+		if rep.primary && !rep.active {
+			return
+		}
+	}
+	for _, rr := range m.recov.regions {
+		if rr.phase < 2 {
+			return
+		}
+	}
+	m.recov.regionsActiveSent = true
+	m.send(int(m.config.CM), &proto.RegionsActive{ConfigID: m.config.ID})
+}
+
+// replicateAndVote is steps 5–6: push lock records to backups missing
+// them, then vote to the recovery coordinator, sharded by thread.
+func (m *Machine) replicateAndVote(rr *regionRecovery) {
+	rm := m.mappings[rr.region]
+	if rm == nil {
+		return
+	}
+	for _, rt := range rr.txs {
+		rt := rt
+		if rt.voted {
+			continue
+		}
+		if rt.lock != nil {
+			for _, b := range rm.Replicas[1:] {
+				bid := int(b)
+				if bid == m.ID {
+					continue
+				}
+				if rt.sawBy[bid]&(proto.SawLock|proto.SawCommitBackup) == 0 {
+					rt.replOutstanding++
+					m.send(bid, &proto.ReplicateTxState{
+						Config: m.config.ID, Region: rr.region, Tx: rt.id, Lock: rt.lock,
+					})
+				}
+			}
+		}
+		if rt.replOutstanding == 0 {
+			m.voteFor(rr, rt)
+		}
+	}
+}
+
+// voteFor computes and sends the region's vote (§5.3 step 6 rules).
+func (m *Machine) voteFor(rr *regionRecovery, rt *recTx) {
+	if rt.voted {
+		return
+	}
+	rt.voted = true
+	vote := voteFromSaw(rt.saw)
+	var regions []uint32
+	if rt.lock != nil {
+		regions = rt.lock.Regions
+	}
+	coord := m.recoveryCoordinator(rt.id)
+	msg := &proto.RecoveryVote{
+		Config:  m.config.ID,
+		Region:  rr.region,
+		Tx:      rt.id,
+		Regions: regions,
+		Vote:    vote,
+	}
+	m.sendFromThread(int(rt.id.Thread), coord, msg)
+}
+
+// voteFromSaw implements the vote precedence of §5.3 step 6.
+func voteFromSaw(saw uint8) proto.Vote {
+	switch {
+	case saw&(proto.SawCommitPrimary|proto.SawCommitRecovery) != 0:
+		return proto.VoteCommitPrimary
+	case saw&proto.SawCommitBackup != 0 && saw&proto.SawAbortRecovery == 0:
+		return proto.VoteCommitBackup
+	case saw&proto.SawLock != 0 && saw&proto.SawAbortRecovery == 0:
+		return proto.VoteLock
+	default:
+		return proto.VoteAbort
+	}
+}
+
+// recoveryCoordinator maps a transaction to its recovery coordinator: the
+// original coordinator while it remains a member, otherwise a hash over
+// the membership (§5.3 step 6).
+func (m *Machine) recoveryCoordinator(id proto.TxID) int {
+	if m.config.Member(id.Machine) {
+		return int(id.Machine)
+	}
+	h := fnv.New64a()
+	var buf [20]byte
+	le := buf[:0]
+	le = append(le, byte(id.Config), byte(id.Config>>8), byte(id.Config>>16), byte(id.Config>>24))
+	le = append(le, byte(id.Machine), byte(id.Machine>>8))
+	le = append(le, byte(id.Thread), byte(id.Thread>>8))
+	le = append(le, byte(id.Local), byte(id.Local>>8), byte(id.Local>>16), byte(id.Local>>24),
+		byte(id.Local>>32), byte(id.Local>>40), byte(id.Local>>48), byte(id.Local>>56))
+	h.Write(le)
+	members := m.config.Machines
+	return int(members[h.Sum64()%uint64(len(members))])
+}
+
+// onFetchTxState serves a primary's request for missing lock records
+// (step 4).
+func (m *Machine) onFetchTxState(src int, f *proto.FetchTxState) {
+	if f.Config != m.config.ID {
+		return
+	}
+	for _, id := range f.TxIDs {
+		rt := m.pend[mtlOf(id)]
+		var lock *proto.Record
+		if rt != nil {
+			lock = rt.lock
+		}
+		m.send(src, &proto.SendTxState{Config: m.config.ID, Region: f.Region, Tx: id, Lock: lock})
+	}
+}
+
+// onSendTxState installs a fetched record and resumes lock recovery.
+func (m *Machine) onSendTxState(s *proto.SendTxState) {
+	if s.Config != m.config.ID || m.recov == nil {
+		return
+	}
+	rr := m.recov.regions[s.Region]
+	if rr == nil {
+		return
+	}
+	rt := rr.txs[mtlOf(s.Tx)]
+	if rt == nil {
+		return
+	}
+	if rt.lock == nil && s.Lock != nil {
+		rt.lock = s.Lock
+	}
+	// Also install the record in the participant state so a later
+	// COMMIT-RECOVERY can apply the writes (the primary may never have
+	// received the original LOCK record).
+	if s.Lock != nil {
+		m.installPendLock(s.Tx, s.Lock)
+	}
+	if rt.fetchOutstanding > 0 {
+		rt.fetchOutstanding--
+	}
+	if rr.pendingLock != nil {
+		// Recount: all fetches done?
+		for _, other := range rr.txs {
+			if other.fetchOutstanding > 0 {
+				return
+			}
+		}
+		fn := rr.pendingLock
+		rr.pendingLock = nil
+		fn()
+	}
+}
+
+// onReplicateTxState stores a replicated lock record at a backup (step 5).
+func (m *Machine) onReplicateTxState(src int, r *proto.ReplicateTxState) {
+	if r.Config != m.config.ID {
+		return
+	}
+	k := mtlOf(r.Tx)
+	rt := m.pend[k]
+	if rt == nil {
+		rt = &remoteTx{id: r.Tx}
+		m.pend[k] = rt
+	}
+	if rt.lock == nil {
+		rt.lock = r.Lock
+	}
+	rt.saw |= proto.SawLock
+	if r.Lock != nil {
+		rt.regionHint = r.Lock.Regions
+	}
+	m.send(src, &proto.ReplicateTxStateAck{Config: r.Config, Region: r.Region, Tx: r.Tx})
+}
+
+// onReplicateTxStateAck resumes voting once replication completed (step 5
+// → 6: "vote as before after first waiting for log replication ... to
+// complete").
+func (m *Machine) onReplicateTxStateAck(a *proto.ReplicateTxStateAck) {
+	if a.Config != m.config.ID || m.recov == nil {
+		return
+	}
+	rr := m.recov.regions[a.Region]
+	if rr == nil {
+		return
+	}
+	rt := rr.txs[mtlOf(a.Tx)]
+	if rt == nil {
+		return
+	}
+	rt.replOutstanding--
+	if rt.replOutstanding <= 0 && rr.phase == 2 {
+		m.voteFor(rr, rt)
+	}
+}
+
+// armVoteCollector creates (or refreshes) a vote collector and its
+// REQUEST-VOTE timeout.
+func (m *Machine) armVoteCollector(id proto.TxID, knownRegions []uint32, participants map[int]bool) *voteCollector {
+	if m.recov == nil {
+		m.recov = &recoveryState{
+			configID: m.config.ID,
+			regions:  make(map[uint32]*regionRecovery),
+			votes:    make(map[proto.TxID]*voteCollector),
+		}
+	}
+	vc := m.recov.votes[id]
+	if vc == nil {
+		vc = &voteCollector{
+			id:           id,
+			regions:      make(map[uint32]proto.Vote),
+			known:        make(map[uint32]bool),
+			participants: make(map[int]bool),
+		}
+		m.recov.votes[id] = vc
+		m.c.Eng.After(m.c.Opts.VoteTimeout, func() {
+			if m.alive {
+				m.requestMissingVotes(vc)
+			}
+		})
+	}
+	for _, r := range knownRegions {
+		vc.known[r] = true
+	}
+	for p := range participants {
+		vc.participants[p] = true
+	}
+	return vc
+}
+
+// participantSet lists all machines holding records for a coordinator's
+// transaction.
+func (ct *coordTx) participantSet() map[int]bool {
+	out := make(map[int]bool)
+	for _, p := range ct.participants {
+		out[p] = true
+	}
+	return out
+}
+
+// onRecoveryVote collects a region's vote (step 6) at the recovery
+// coordinator.
+func (m *Machine) onRecoveryVote(src int, v *proto.RecoveryVote) {
+	if v.Config != m.config.ID {
+		return
+	}
+	vc := m.armVoteCollector(v.Tx, v.Regions, map[int]bool{src: true})
+	if vc.decided {
+		// Late vote after decision: resend the decision to the voter.
+		m.sendDecision(vc, src)
+		return
+	}
+	vc.known[v.Region] = true
+	if old, ok := vc.regions[v.Region]; !ok || v.Vote > old {
+		vc.regions[v.Region] = v.Vote
+	}
+	m.maybeDecide(vc)
+}
+
+// requestMissingVotes is the 250 µs timeout path of step 6.
+func (m *Machine) requestMissingVotes(vc *voteCollector) {
+	if vc.decided || m.recov == nil {
+		return
+	}
+	missing := false
+	for region := range vc.known {
+		if _, ok := vc.regions[region]; ok {
+			continue
+		}
+		missing = true
+		rm := m.mappings[region]
+		if rm == nil || len(rm.Replicas) == 0 {
+			continue
+		}
+		m.send(int(rm.Replicas[0]), &proto.RequestVote{Config: m.config.ID, Tx: vc.id, Region: region})
+	}
+	if missing {
+		m.c.Eng.After(m.c.Opts.VoteTimeout, func() {
+			if m.alive {
+				m.requestMissingVotes(vc)
+			}
+		})
+	}
+	if len(vc.known) == 0 {
+		// A recovering transaction with no write regions (read-set-only
+		// recovery): abort it.
+		m.decide(vc, false)
+	}
+}
+
+// onRequestVote answers explicit vote requests, including for transactions
+// this primary never classified as recovering (§5.3: primaries with
+// records vote as before; without records they vote truncated or unknown).
+func (m *Machine) onRequestVote(src int, rv *proto.RequestVote) {
+	if rv.Config != m.config.ID {
+		return
+	}
+	k := mtlOf(rv.Tx)
+	vote := proto.VoteUnknown
+	var regions []uint32
+	if m.recov != nil {
+		if rr := m.recov.regions[rv.Region]; rr != nil {
+			if rt := rr.txs[k]; rt != nil {
+				if rt.replOutstanding > 0 {
+					return // will vote when replication completes
+				}
+				rt.voted = true
+				vote = voteFromSaw(rt.saw)
+				if rt.lock != nil {
+					regions = rt.lock.Regions
+				}
+				m.send(src, &proto.RecoveryVote{Config: m.config.ID, Region: rv.Region, Tx: rv.Tx, Regions: regions, Vote: vote})
+				return
+			}
+		}
+	}
+	if rt := m.pend[k]; rt != nil {
+		vote = voteFromSaw(rt.saw)
+		regions = rt.regions()
+	} else if m.truncDomainFor(rv.Tx.Coord()).truncated(rv.Tx.Local) {
+		vote = proto.VoteTruncated
+	}
+	m.send(src, &proto.RecoveryVote{Config: m.config.ID, Region: rv.Region, Tx: rv.Tx, Regions: regions, Vote: vote})
+}
+
+// maybeDecide applies the decision rule of step 7.
+func (m *Machine) maybeDecide(vc *voteCollector) {
+	if vc.decided {
+		return
+	}
+	anyCommitPrimary := false
+	anyCommitBackup := false
+	allCompatible := true
+	for region := range vc.known {
+		v, ok := vc.regions[region]
+		if !ok {
+			// Commit-primary short-circuits waiting for all regions.
+			allCompatible = false
+			continue
+		}
+		switch v {
+		case proto.VoteCommitPrimary:
+			anyCommitPrimary = true
+		case proto.VoteCommitBackup:
+			anyCommitBackup = true
+		case proto.VoteLock, proto.VoteTruncated:
+			// compatible with commit
+		default:
+			allCompatible = false
+		}
+	}
+	if anyCommitPrimary {
+		m.decide(vc, true)
+		return
+	}
+	if len(vc.regions) == len(vc.known) && len(vc.known) > 0 {
+		m.decide(vc, anyCommitBackup && allCompatible)
+	}
+}
+
+// decide is step 7: fix the outcome, inform every participant replica,
+// and finish the coordinator-side transaction if it is ours.
+func (m *Machine) decide(vc *voteCollector, commit bool) {
+	if vc.decided {
+		return
+	}
+	vc.decided = true
+	vc.commit = commit
+	m.c.Counters.Inc("recovery_decided", 1)
+	if commit {
+		m.c.Counters.Inc("recovery_committed", 1)
+	} else {
+		m.c.Counters.Inc("recovery_aborted", 1)
+	}
+	// Participants: all replicas of all written regions.
+	for region := range vc.known {
+		if rm := m.mappings[region]; rm != nil {
+			for _, r := range rm.Replicas {
+				vc.participants[int(r)] = true
+			}
+		}
+	}
+	vc.acksOutstanding = 0
+	for p := range vc.participants {
+		if !m.isMember(p) {
+			continue
+		}
+		vc.acksOutstanding++
+		m.sendDecision(vc, p)
+	}
+	// Finish our own in-flight transaction, preserving any outcome
+	// already reported to the application.
+	if ct, ok := m.inflight[vc.id]; ok {
+		delete(m.inflight, vc.id)
+		ct.phase = phaseDone
+		// The records recovery makes unnecessary are never written, so
+		// their log reservations must be returned (they would otherwise
+		// leak ring space forever).
+		m.releaseCoordReservations(ct)
+		if commit {
+			if !ct.reported {
+				ct.reported = true
+				m.reportCommitted(ct)
+			}
+		} else {
+			if ct.reported {
+				panic("farm: recovery aborted a transaction already reported committed")
+			}
+			ct.tx.releaseAllocs()
+			m.Aborted++
+			m.c.Counters.Inc("tx_aborted", 1)
+			ct.cb(ErrAborted)
+		}
+	}
+	if vc.acksOutstanding == 0 {
+		m.sendTruncateRecovery(vc)
+	}
+}
+
+func (m *Machine) sendDecision(vc *voteCollector, dst int) {
+	if vc.commit {
+		m.send(dst, &proto.CommitRecovery{Config: m.config.ID, Tx: vc.id})
+	} else {
+		m.send(dst, &proto.AbortRecovery{Config: m.config.ID, Tx: vc.id})
+	}
+}
+
+// onRecoveryDecision processes COMMIT-RECOVERY / ABORT-RECOVERY at a
+// participant: like COMMIT-PRIMARY at primaries and COMMIT-BACKUP at
+// backups; ABORT-RECOVERY releases locks (§5.3 step 7).
+func (m *Machine) onRecoveryDecision(src int, id proto.TxID, commit bool) {
+	k := mtlOf(id)
+	rt := m.pend[k]
+	if rt == nil {
+		rt = &remoteTx{id: id}
+		m.pend[k] = rt
+	}
+	if commit {
+		rt.saw |= proto.SawCommitRecovery
+		// Apply at primary regions now; backup regions apply at
+		// TRUNCATE-RECOVERY, like the normal protocol.
+		m.applyCommitPrimary(rt)
+	} else {
+		rt.saw |= proto.SawAbortRecovery
+		m.releaseLocksRecovered(rt)
+	}
+	m.send(src, &proto.RecoveryDecisionAck{Config: m.config.ID, Tx: id})
+}
+
+// releaseLocksRecovered releases both normal and recovery locks held for
+// an aborted recovering transaction.
+func (m *Machine) releaseLocksRecovered(rt *remoteTx) {
+	m.releaseLocks(rt)
+	// Recovery locks may be registered in lockOwner without appearing in
+	// rt.lockedObjs (they were taken by recoverLocks).
+	if rt.lock == nil {
+		return
+	}
+	for _, w := range rt.lock.Writes {
+		rep := m.replicas[w.Addr.Region]
+		if rep == nil {
+			continue
+		}
+		if owner, ok := rep.lockOwner[w.Addr.Off]; ok && owner == rt.id {
+			regionmem.Unlock(rep.mem, int(w.Addr.Off))
+			delete(rep.lockOwner, w.Addr.Off)
+		}
+	}
+}
+
+// onRecoveryDecisionAck counts participant acks; when all are in, send
+// TRUNCATE-RECOVERY (§5.3 step 7).
+func (m *Machine) onRecoveryDecisionAck(a *proto.RecoveryDecisionAck) {
+	if m.recov == nil {
+		return
+	}
+	vc := m.recov.votes[a.Tx]
+	if vc == nil || !vc.decided {
+		return
+	}
+	vc.acksOutstanding--
+	if vc.acksOutstanding == 0 {
+		m.sendTruncateRecovery(vc)
+	}
+}
+
+func (m *Machine) sendTruncateRecovery(vc *voteCollector) {
+	for p := range vc.participants {
+		if m.isMember(p) {
+			m.send(p, &proto.TruncateRecovery{Config: m.config.ID, Tx: vc.id})
+		}
+	}
+}
+
+// onTruncateRecovery reclaims a recovered transaction's state: backups
+// apply committed writes, locks are dropped, frames reclaimed.
+func (m *Machine) onTruncateRecovery(t *proto.TruncateRecovery) {
+	k := mtlOf(t.Tx)
+	lr := m.logR[int(t.Tx.Machine)]
+	if lr != nil {
+		m.truncateTx(lr, t.Tx.Coord(), t.Tx.Local)
+	} else {
+		if rt := m.pend[k]; rt != nil {
+			if rt.saw&(proto.SawAbort|proto.SawAbortRecovery) == 0 {
+				m.applyAtBackup(rt)
+			}
+			delete(m.pend, k)
+		}
+		m.truncDomainFor(t.Tx.Coord()).add(t.Tx.Local)
+	}
+}

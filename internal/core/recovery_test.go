@@ -1,0 +1,568 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"farm/internal/proto"
+	"farm/internal/sim"
+)
+
+// writeObjectIn commits a fresh allocation placed in a specific region.
+func writeObjectIn(t *testing.T, c *Cluster, m *Machine, region uint32, data []byte) proto.Addr {
+	t.Helper()
+	hint := proto.Addr{Region: region}
+	tx := m.Begin(0)
+	var addr proto.Addr
+	var done bool
+	tx.Alloc(len(data), data, &hint, func(a proto.Addr, err error) {
+		if err != nil {
+			t.Fatalf("alloc in region %d: %v", region, err)
+		}
+		addr = a
+		tx.Commit(func(err error) {
+			if err != nil {
+				t.Fatalf("commit: %v", err)
+			}
+			done = true
+		})
+	})
+	runUntil(t, c, sim.Second, func() bool { return done })
+	return addr
+}
+
+// recoveryOpts uses short leases so tests run fast.
+func recoveryOpts() Options {
+	o := Options{}
+	o.NumMachines = 6
+	o.LeaseDuration = 5 * sim.Millisecond
+	o.Seed = 11
+	return o
+}
+
+func TestReconfigurationAfterKill(t *testing.T) {
+	c, region := testCluster(t, recoveryOpts())
+	addr := writeObject(t, c, c.Machine(0), []byte("survive me"))
+	c.RunFor(20 * sim.Millisecond)
+
+	// Kill a backup of the region (not the primary, not the CM).
+	rm := c.Machine(0).mappings[region]
+	victim := int(rm.Replicas[1])
+	if victim == 0 {
+		victim = int(rm.Replicas[2])
+	}
+	c.Kill(victim)
+	killAt := c.Now()
+	c.RunFor(300 * sim.Millisecond)
+
+	// A new configuration must have committed without the victim.
+	for _, m := range c.Machines {
+		if m.ID == victim || !m.alive {
+			continue
+		}
+		if m.config.ID < 2 {
+			t.Fatalf("machine %d still in config %d", m.ID, m.config.ID)
+		}
+		if m.config.Member(uint16(victim)) {
+			t.Fatalf("victim still a member at machine %d", m.ID)
+		}
+	}
+	if _, ok := c.TraceTime("config-commit", killAt); !ok {
+		t.Fatal("no config-commit trace event")
+	}
+	// Region must have been remapped back to 3 replicas.
+	rm2 := c.Machine(0).mappings[region]
+	if len(rm2.Replicas) != 3 {
+		t.Fatalf("replicas after remap: %v", rm2.Replicas)
+	}
+	for _, r := range rm2.Replicas {
+		if int(r) == victim {
+			t.Fatal("victim still a replica")
+		}
+	}
+	// Data still readable.
+	if got := readObject(t, c, c.Machine(0), addr, 10); string(got) != "survive me" {
+		t.Fatalf("data lost: %q", got)
+	}
+}
+
+// regionWithPrimaryNotIn allocates regions until one's primary avoids the
+// given machines (so tests can kill the primary without touching the CM or
+// the coordinator).
+func regionWithPrimaryNotIn(t *testing.T, c *Cluster, avoid ...int) uint32 {
+	t.Helper()
+	bad := map[int]bool{}
+	for _, a := range avoid {
+		bad[a] = true
+	}
+	for i := 0; i < 12; i++ {
+		regions, err := c.CreateRegions(0, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rm := c.Machine(0).mappings[regions[0]]
+		if rm != nil && !bad[int(rm.Replicas[0])] {
+			return regions[0]
+		}
+	}
+	t.Fatal("could not place a region with suitable primary")
+	return 0
+}
+
+func TestPrimaryFailurePromotesBackupAndPreservesData(t *testing.T) {
+	c, _ := testCluster(t, recoveryOpts())
+	region := regionWithPrimaryNotIn(t, c, 0, 1, 2, 3)
+	hint := proto.Addr{Region: region}
+	_ = hint
+	addr := writeObjectIn(t, c, c.Machine(1), region, []byte("primary-data"))
+	// Update once more so versions are > 1 and backups applied via
+	// truncation.
+	done := false
+	tx := c.Machine(2).Begin(0)
+	tx.Read(addr, 12, func(_ []byte, err error) {
+		tx.Write(addr, []byte("updated-data"))
+		tx.Commit(func(err error) { done = true })
+	})
+	runUntil(t, c, sim.Second, func() bool { return done })
+	c.RunFor(30 * sim.Millisecond)
+
+	rm := c.Machine(0).mappings[region]
+	oldPrimary := int(rm.Replicas[0])
+	oldBackup := int(rm.Replicas[1])
+	c.Kill(oldPrimary)
+	c.RunFor(400 * sim.Millisecond)
+
+	rm2 := c.Machine(0).mappings[region]
+	if int(rm2.Replicas[0]) != oldBackup {
+		t.Fatalf("promotion: new primary %d, want surviving backup %d", rm2.Replicas[0], oldBackup)
+	}
+	newCfg := c.Machine(0).config.ID
+	if rm2.LastPrimaryChange != newCfg || rm2.LastReplicaChange != newCfg {
+		t.Fatalf("epochs: %+v (config %d)", rm2, newCfg)
+	}
+	// Reads must work against the new primary.
+	if got := readObject(t, c, c.Machine(3), addr, 12); string(got) != "updated-data" {
+		t.Fatalf("data after promotion: %q", got)
+	}
+	// And updates must still commit (allocator recovery etc. done).
+	c.RunFor(200 * sim.Millisecond)
+	done = false
+	tx2 := c.Machine(3).Begin(1)
+	tx2.Read(addr, 12, func(_ []byte, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx2.Write(addr, []byte("post-failure"))
+		tx2.Commit(func(err error) {
+			if err != nil {
+				t.Fatalf("post-failure commit: %v", err)
+			}
+			done = true
+		})
+	})
+	runUntil(t, c, sim.Second, func() bool { return done })
+}
+
+func TestDataRecoveryRestoresReplication(t *testing.T) {
+	c, region := testCluster(t, recoveryOpts())
+	m := c.Machine(1)
+	var addrs []proto.Addr
+	for i := 0; i < 20; i++ {
+		addrs = append(addrs, writeObject(t, c, m, []byte{byte(i), 1, 2, 3}))
+	}
+	c.RunFor(30 * sim.Millisecond)
+
+	rm := c.Machine(0).mappings[region]
+	victim := int(rm.Replicas[1])
+	if victim == 0 {
+		victim = int(rm.Replicas[2])
+	}
+	c.Kill(victim)
+	// Wait for reconfig + paced data recovery (region 1 MB, 8 KB blocks,
+	// ~2 ms/block/thread-chain → well under 2 s with 8 threads).
+	c.RunFor(2 * sim.Second)
+
+	rm2 := c.Machine(0).mappings[region]
+	newBackup := -1
+	for _, r := range rm2.Replicas {
+		if int(r) != int(rm.Replicas[0]) && int(r) != int(rm.Replicas[2]) && int(r) != victim {
+			newBackup = int(r)
+		}
+	}
+	if newBackup == -1 {
+		// The new backup may equal old third replica ordering; find the
+		// replica that was not in the old set.
+		old := map[uint16]bool{}
+		for _, r := range rm.Replicas {
+			old[r] = true
+		}
+		for _, r := range rm2.Replicas {
+			if !old[r] {
+				newBackup = int(r)
+			}
+		}
+	}
+	if newBackup == -1 {
+		t.Fatalf("no new backup: old %v new %v", rm.Replicas, rm2.Replicas)
+	}
+	if c.Counters.Get("regions_rereplicated") == 0 {
+		t.Fatal("data recovery did not complete")
+	}
+	// The new backup's bytes must match the primary's for every object.
+	pRep := c.Machine(int(rm2.Replicas[0])).replicas[region]
+	bRep := c.Machine(newBackup).replicas[region]
+	for _, a := range addrs {
+		for i := 0; i < 12; i++ {
+			if pRep.mem[int(a.Off)+i] != bRep.mem[int(a.Off)+i] {
+				t.Fatalf("replica divergence at %v+%d", a, i)
+			}
+		}
+	}
+}
+
+func TestCMFailureRecovers(t *testing.T) {
+	c, _ := testCluster(t, recoveryOpts())
+	addr := writeObject(t, c, c.Machine(1), []byte("cm-test"))
+	c.RunFor(20 * sim.Millisecond)
+
+	c.Kill(0) // machine 0 is the CM
+	c.RunFor(500 * sim.Millisecond)
+
+	// Someone else must be CM in a committed new configuration.
+	for _, m := range c.Machines {
+		if !m.alive {
+			continue
+		}
+		if m.config.ID < 2 {
+			t.Fatalf("machine %d still in config %d", m.ID, m.config.ID)
+		}
+		if m.config.CM == 0 {
+			t.Fatalf("machine %d still thinks 0 is CM", m.ID)
+		}
+	}
+	// Exactly one CM.
+	cms := 0
+	for _, m := range c.Machines {
+		if m.alive && m.IsCM() {
+			cms++
+		}
+	}
+	if cms != 1 {
+		t.Fatalf("%d CMs after recovery", cms)
+	}
+	// The system still serves reads and commits.
+	if got := readObject(t, c, c.Machine(2), addr, 7); string(got) != "cm-test" {
+		t.Fatalf("read after CM failure: %q", got)
+	}
+	// And can still allocate regions via the new CM.
+	if _, err := c.CreateRegions(3, 1, 0); err != nil {
+		t.Fatalf("allocation after CM failure: %v", err)
+	}
+}
+
+func TestOutcomePreservation(t *testing.T) {
+	// Transactions in flight when a participant dies must either commit
+	// everywhere or abort everywhere — and transactions already reported
+	// committed must survive. We run a stream of updates while killing a
+	// backup, then audit.
+	c, _ := testCluster(t, recoveryOpts())
+	m := c.Machine(1)
+	addr := writeObject(t, c, m, []byte{0, 0, 0, 0, 0, 0, 0, 9})
+
+	type result struct {
+		val byte
+		err error
+	}
+	var results []result
+	stop := false
+	var loop func(i byte)
+	loop = func(i byte) {
+		if stop {
+			return
+		}
+		tx := m.Begin(int(i) % m.Threads())
+		tx.Read(addr, 8, func(_ []byte, err error) {
+			if err != nil {
+				results = append(results, result{i, err})
+				c.Eng.After(100*sim.Microsecond, func() { loop(i + 1) })
+				return
+			}
+			tx.Write(addr, []byte{i, i, i, i, i, i, i, i})
+			tx.Commit(func(err error) {
+				results = append(results, result{i, err})
+				loop(i + 1)
+			})
+		})
+	}
+	loop(1)
+	c.RunFor(30 * sim.Millisecond)
+	rm := c.Machine(0).mappings[addr.Region]
+	victim := int(rm.Replicas[1])
+	if victim == 0 || victim == 1 {
+		victim = int(rm.Replicas[2])
+	}
+	c.Kill(victim)
+	c.RunFor(500 * sim.Millisecond)
+	stop = true
+	c.RunFor(50 * sim.Millisecond)
+
+	if len(results) < 10 {
+		t.Fatalf("only %d transactions ran", len(results))
+	}
+	// The final value must correspond to the LAST successfully committed
+	// transaction (monotone counter writes). Compute the last commit
+	// *after* the read so trailing in-flight completions are counted.
+	reader := 3
+	if victim == 3 {
+		reader = 4
+	}
+	got := readObject(t, c, c.Machine(reader), addr, 8)
+	var lastOK byte
+	for _, r := range results {
+		if r.err == nil {
+			lastOK = r.val
+		}
+	}
+	if victim == 1 && got[0] == lastOK+1 {
+		// The driver machine itself was killed with one transaction in
+		// flight; recovery may legitimately commit it with no coordinator
+		// left to report to (§5.3: outcomes are preserved, reporting is
+		// best-effort once the coordinator is gone).
+		lastOK++
+	}
+	if got[0] != lastOK {
+		// One legal exception: a trailing transaction that was recovered
+		// as committed after `stop` flipped. Accept value == lastOK or a
+		// successfully committed successor recorded later.
+		t.Fatalf("final value %d, last reported commit %d (results %d)", got[0], lastOK, len(results))
+	}
+	// No transaction may be reported with an unexpected error class.
+	for _, r := range results {
+		if r.err != nil && !errors.Is(r.err, ErrConflict) && !errors.Is(r.err, ErrAborted) &&
+			!errors.Is(r.err, ErrUnavailable) && !errors.Is(r.err, ErrReadLocked) {
+			t.Fatalf("unexpected error: %v", r.err)
+		}
+	}
+}
+
+func TestRecoveringTransactionCompletes(t *testing.T) {
+	// Kill the primary of a region between LOCK and COMMIT-PRIMARY: the
+	// transaction becomes recovering and must be finished by vote/decide
+	// without hanging forever.
+	c, _ := testCluster(t, recoveryOpts())
+	region := regionWithPrimaryNotIn(t, c, 0, 1, 3)
+	addr := writeObjectIn(t, c, c.Machine(1), region, []byte("xxxxxxxx"))
+	c.RunFor(20 * sim.Millisecond)
+	rm := c.Machine(0).mappings[region]
+	primary := int(rm.Replicas[0])
+
+	var txErr error
+	txDone := false
+	tx := c.Machine(1).Begin(0)
+	tx.Read(addr, 8, func(_ []byte, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx.Write(addr, []byte("yyyyyyyy"))
+		// Kill the primary at the exact moment commit starts.
+		c.Kill(primary)
+		tx.Commit(func(err error) { txErr, txDone = err, true })
+	})
+	c.RunFor(2 * sim.Second)
+	if !txDone {
+		t.Fatal("recovering transaction never completed")
+	}
+	// Either outcome is legal; state must match the outcome.
+	c.RunFor(100 * sim.Millisecond)
+	got := readObject(t, c, c.Machine(3), addr, 8)
+	if txErr == nil && string(got) != "yyyyyyyy" {
+		t.Fatalf("reported committed but value %q", got)
+	}
+	if txErr != nil && string(got) != "xxxxxxxx" {
+		t.Fatalf("reported aborted (%v) but value %q", txErr, got)
+	}
+}
+
+func TestEvictedMachineStopsOperating(t *testing.T) {
+	// A machine cut off by a partition is evicted; when the partition
+	// heals, its one-sided operations must be ignored by members (precise
+	// membership) — here we check it at least stops being a member and the
+	// cluster continues without it.
+	c, _ := testCluster(t, recoveryOpts())
+	addr := writeObject(t, c, c.Machine(1), []byte("pppp"))
+	c.RunFor(20 * sim.Millisecond)
+
+	victim := 5
+	c.Partition(map[int]int{victim: 1})
+	c.RunFor(400 * sim.Millisecond)
+	for _, m := range c.Machines {
+		if m.ID == victim {
+			continue
+		}
+		if m.config.Member(uint16(victim)) {
+			t.Fatalf("machine %d still considers %d a member", m.ID, victim)
+		}
+	}
+	c.Heal()
+	c.RunFor(50 * sim.Millisecond)
+	// Cluster still works.
+	if got := readObject(t, c, c.Machine(2), addr, 4); string(got) != "pppp" {
+		t.Fatalf("read after eviction: %q", got)
+	}
+}
+
+func TestMinorityPartitionDoesNotReconfigure(t *testing.T) {
+	c, _ := testCluster(t, recoveryOpts())
+	c.RunFor(20 * sim.Millisecond)
+	// Partition machines {4,5} away from {0,1,2,3}.
+	c.Partition(map[int]int{4: 1, 5: 1})
+	c.RunFor(400 * sim.Millisecond)
+	// The majority side reconfigured to exclude 4 and 5.
+	m0 := c.Machine(0)
+	if m0.config.Member(4) || m0.config.Member(5) {
+		t.Fatal("majority did not evict minority")
+	}
+	// The minority side must NOT have installed a new configuration of its
+	// own making (it cannot win the ZK CAS nor a probe majority).
+	for _, id := range []int{4, 5} {
+		m := c.Machine(id)
+		if m.IsCM() && m.config.ID > 1 {
+			t.Fatalf("minority machine %d became CM of config %d", id, m.config.ID)
+		}
+	}
+}
+
+func TestCorrelatedFailureDomain(t *testing.T) {
+	o := recoveryOpts()
+	o.NumMachines = 9
+	o.FailureDomains = 3
+	c := New(o)
+	if _, err := c.CreateRegions(0, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	addr := writeObject(t, c, c.Machine(1), []byte("domain-safe"))
+	c.RunFor(30 * sim.Millisecond)
+
+	// Replicas must span three distinct domains, so killing any one
+	// domain leaves ≥ 2 copies.
+	rm := c.Machine(1).mappings[addr.Region]
+	domains := map[int]bool{}
+	for _, r := range rm.Replicas {
+		domains[c.Machine(0).config.Domains[r]] = true
+	}
+	if len(domains) != 3 {
+		t.Fatalf("replicas share domains: %v", rm.Replicas)
+	}
+
+	// Kill domain 1 entirely (machines 1, 4, 7; CM 0 survives).
+	killed := c.KillDomain(1)
+	if killed != 3 {
+		t.Fatalf("killed %d machines", killed)
+	}
+	c.RunFor(time800ms())
+	if got := readObject(t, c, c.Machine(0), addr, 11); string(got) != "domain-safe" {
+		t.Fatalf("data lost in correlated failure: %q", got)
+	}
+	for _, m := range c.Machines {
+		if !m.alive {
+			continue
+		}
+		for _, dead := range []uint16{1, 4, 7} {
+			if m.config.Member(dead) {
+				t.Fatalf("machine %d still member after domain kill", dead)
+			}
+		}
+	}
+}
+
+func time800ms() sim.Time { return 800 * sim.Millisecond }
+
+func TestThroughputRecoversAfterFailure(t *testing.T) {
+	// The headline claim: throughput returns to (near) pre-failure levels
+	// within tens of milliseconds of the lease expiring.
+	o := recoveryOpts()
+	o.NumMachines = 6
+	c := New(o)
+	if _, err := c.CreateRegions(0, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Seed objects.
+	var addrs []proto.Addr
+	for i := 0; i < 40; i++ {
+		addrs = append(addrs, writeObject(t, c, c.Machine(i%6), []byte{byte(i), 0, 0, 0}))
+	}
+	c.RunFor(30 * sim.Millisecond)
+
+	// Drive a closed-loop workload from every surviving machine.
+	commits := sim.NewEngine(0) // unused; placeholder to avoid confusion
+	_ = commits
+	committedAt := make([]sim.Time, 0, 100000)
+	victim := 5
+	for mi := 0; mi < 6; mi++ {
+		if mi == victim {
+			continue
+		}
+		m := c.Machine(mi)
+		for th := 0; th < 4; th++ {
+			th := th
+			var loop func(i int)
+			loop = func(i int) {
+				if !m.Alive() {
+					return
+				}
+				a := addrs[(i*7+mi*13+th*29)%len(addrs)]
+				tx := m.Begin(th)
+				tx.Read(a, 4, func(_ []byte, err error) {
+					if err != nil {
+						c.Eng.After(50*sim.Microsecond, func() { loop(i + 1) })
+						return
+					}
+					tx.Write(a, []byte{byte(i), 1, 1, 1})
+					tx.Commit(func(err error) {
+						if err == nil {
+							committedAt = append(committedAt, c.Now())
+						}
+						loop(i + 1)
+					})
+				})
+			}
+			loop(th)
+		}
+	}
+	c.RunFor(100 * sim.Millisecond)
+	killAt := c.Now()
+	c.Kill(victim)
+	c.RunFor(400 * sim.Millisecond)
+
+	// Build a 1 ms timeline of commits.
+	tl := map[int64]int{}
+	for _, at := range committedAt {
+		tl[int64(at/sim.Millisecond)]++
+	}
+	pre := 0.0
+	for ms := int64(50); ms < int64(killAt/sim.Millisecond); ms++ {
+		pre += float64(tl[ms])
+	}
+	pre /= float64(int64(killAt/sim.Millisecond) - 50)
+	if pre < 1 {
+		t.Fatalf("pre-failure throughput too low to measure: %v/ms", pre)
+	}
+	// Find when throughput returns to 80% of pre-failure.
+	recoveredMs := int64(-1)
+	for ms := int64(killAt/sim.Millisecond) + 1; ms < int64(c.Now()/sim.Millisecond)-5; ms++ {
+		if float64(tl[ms]) >= 0.8*pre && float64(tl[ms+1]) >= 0.5*pre {
+			recoveredMs = ms
+			break
+		}
+	}
+	if recoveredMs < 0 {
+		t.Fatal("throughput never recovered to 80% of pre-failure")
+	}
+	recovery := recoveredMs - int64(killAt/sim.Millisecond)
+	// Lease 5 ms: the paper's shape is recovery within tens of ms. Allow
+	// up to 100 ms in the scaled simulation.
+	if recovery > 100 {
+		t.Fatalf("throughput recovery took %d ms, want < 100 ms", recovery)
+	}
+	t.Logf("throughput recovered %d ms after kill (pre=%.1f commits/ms)", recovery, pre)
+}

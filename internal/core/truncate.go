@@ -1,0 +1,261 @@
+package core
+
+import (
+	"farm/internal/proto"
+	"farm/internal/sim"
+)
+
+// This file implements the coordinator side of §4 step 5: lazy truncation.
+// After all COMMIT-PRIMARY (or ABORT) records are acked, the transaction's
+// ids are queued per participant and delivered by piggybacking on later
+// records; an explicit TRUNCATE record is written only when no carrier
+// appears within TruncateFlushInterval or when logs fill — using the
+// truncate-record reservations pooled at commit time.
+
+// threadTruncState tracks, per coordinator thread, the low bound on local
+// transaction ids that are fully truncated at every participant. The low
+// bound is piggybacked on records (Table 1) so participants can compact
+// their truncated-id sets (§5.3 step 6).
+type threadTruncState struct {
+	next    uint64 // all locals < next are fully truncated
+	retired map[uint64]bool
+}
+
+func (m *Machine) threadTrunc(thread int) *threadTruncState {
+	if m.truncThreads == nil {
+		m.truncThreads = make([]*threadTruncState, m.c.Opts.Threads)
+	}
+	s := m.truncThreads[thread]
+	if s == nil {
+		s = &threadTruncState{next: 1, retired: make(map[uint64]bool)}
+		m.truncThreads[thread] = s
+	}
+	return s
+}
+
+// open notes that a local id is now in use (ids are contiguous per thread).
+func (s *threadTruncState) open(uint64) {}
+
+// retire marks a local id fully truncated and advances the low bound over
+// the contiguous prefix.
+func (s *threadTruncState) retire(local uint64) {
+	if local < s.next {
+		return
+	}
+	s.retired[local] = true
+	for s.retired[s.next] {
+		delete(s.retired, s.next)
+		s.next++
+	}
+}
+
+func (s *threadTruncState) low() uint64 { return s.next }
+
+// truncQueueFor returns (creating) the truncation queue toward dst.
+func (m *Machine) truncQueueFor(dst int) *truncQueue {
+	q := m.truncQ[dst]
+	if q == nil {
+		q = &truncQueue{}
+		m.truncQ[dst] = q
+	}
+	return q
+}
+
+// truncPoolReserve reserves one pooled truncate-record slot at dst.
+func (m *Machine) truncPoolReserve(dst int) bool {
+	w := m.logW[dst]
+	if w == nil || !w.Reserve(truncateRecordSize()) {
+		return false
+	}
+	m.truncQueueFor(dst).pool++
+	return true
+}
+
+// truncPoolRelease returns one pooled slot.
+func (m *Machine) truncPoolRelease(dst int) {
+	q := m.truncQueueFor(dst)
+	if q.pool <= 0 {
+		return
+	}
+	q.pool--
+	if w := m.logW[dst]; w != nil {
+		w.Release(truncateRecordSize())
+	}
+}
+
+// queueTruncation enqueues a finished transaction's id for truncation at
+// each participant and arms the flush timer.
+func (m *Machine) queueTruncation(ct *coordTx, participants []int) {
+	packed := packTruncID(ct.id.Thread, ct.id.Local)
+	ct.truncRemaining = make(map[int]bool, len(participants))
+	for _, dst := range participants {
+		if !m.isMember(dst) {
+			continue
+		}
+		ct.truncRemaining[dst] = true
+		q := m.truncQueueFor(dst)
+		q.ids = append(q.ids, packed)
+		if m.truncPending == nil {
+			m.truncPending = make(map[int]map[uint64]*coordTx)
+		}
+		if m.truncPending[dst] == nil {
+			m.truncPending[dst] = make(map[uint64]*coordTx)
+		}
+		m.truncPending[dst][packed] = ct
+		m.armTruncFlush(dst)
+	}
+	if len(ct.truncRemaining) == 0 {
+		m.threadTrunc(int(ct.id.Thread)).retire(ct.id.Local)
+	}
+}
+
+// attachPiggyback moves queued truncation ids (up to the per-record
+// budget) onto an outgoing record and stamps the thread's low bound.
+func (m *Machine) attachPiggyback(dst int, rec *proto.Record) {
+	rec.TruncLow = m.threadTrunc(int(rec.Tx.Thread)).low()
+	q := m.truncQ[dst]
+	if q == nil || len(q.ids) == 0 {
+		return
+	}
+	n := len(q.ids)
+	if n > maxPiggyIDs {
+		n = maxPiggyIDs
+	}
+	rec.TruncIDs = append(rec.TruncIDs, q.ids[:n]...)
+	q.ids = q.ids[n:]
+}
+
+// requeuePiggyback puts ids back when a record could not be appended.
+func (m *Machine) requeuePiggyback(dst int, rec *proto.Record) {
+	if len(rec.TruncIDs) == 0 {
+		return
+	}
+	q := m.truncQueueFor(dst)
+	q.ids = append(append([]uint64(nil), rec.TruncIDs...), q.ids...)
+	rec.TruncIDs = nil
+}
+
+// truncDelivered runs when a record carrying truncation ids is acked:
+// every delivered id frees one pooled reservation (minus any slot the
+// carrier record itself consumed) and may complete a transaction's
+// truncation, advancing the thread low bound.
+func (m *Machine) truncDelivered(dst int, ids []uint64, slotsConsumed int) {
+	if len(ids) == 0 {
+		return
+	}
+	release := len(ids) - slotsConsumed
+	for i := 0; i < release; i++ {
+		m.truncPoolRelease(dst)
+	}
+	pend := m.truncPending[dst]
+	for _, id := range ids {
+		ct := pend[id]
+		if ct == nil {
+			continue
+		}
+		delete(pend, id)
+		delete(ct.truncRemaining, dst)
+		if len(ct.truncRemaining) == 0 {
+			m.threadTrunc(int(ct.id.Thread)).retire(ct.id.Local)
+		}
+	}
+}
+
+// armTruncFlush schedules an explicit TRUNCATE record toward dst in case
+// no carrier record shows up (rare in steady state, needed for liveness).
+func (m *Machine) armTruncFlush(dst int) {
+	q := m.truncQueueFor(dst)
+	if q.flushArmed {
+		return
+	}
+	q.flushArmed = true
+	m.c.Eng.After(m.c.Opts.TruncateFlushInterval, func() {
+		q.flushArmed = false
+		if !m.alive || !m.isMember(dst) {
+			return
+		}
+		m.flushTruncations(dst)
+	})
+}
+
+// flushTruncations writes explicit TRUNCATE records for all queued ids.
+func (m *Machine) flushTruncations(dst int) {
+	q := m.truncQueueFor(dst)
+	for len(q.ids) > 0 {
+		rec := &proto.Record{
+			Type: proto.RecTruncate,
+			Tx:   proto.TxID{Config: m.config.ID, Machine: uint16(m.ID)},
+		}
+		m.attachPiggyback(dst, rec)
+		if len(rec.TruncIDs) == 0 {
+			return
+		}
+		// Consume one pooled reservation for the record itself.
+		reserved := -1
+		if q.pool > 0 {
+			q.pool--
+			reserved = truncateRecordSize()
+		}
+		delivered := rec.TruncIDs
+		payload := proto.MarshalRecord(rec)
+		ok := m.logW[dst].Append(payload, reserved, func(err error) {
+			if err == nil && m.alive {
+				m.truncDelivered(dst, delivered, 1)
+			}
+		})
+		if !ok {
+			m.requeuePiggyback(dst, rec)
+			m.armTruncFlush(dst)
+			return
+		}
+		m.c.Counters.Inc("explicit_truncate", 1)
+	}
+}
+
+// startTruncSweep arms the liveness sweep for truncation delivery: a
+// carrier record whose hardware ack was lost (partition, receiver eviction
+// window) leaves its transaction ids pending; the sweep re-queues them so
+// backups converge and the pooled reservations are eventually released.
+// Redelivery is idempotent at the receiver (§4 step 5's laziness cuts both
+// ways: delivery may happen more than once).
+func (m *Machine) startTruncSweep() {
+	m.c.Eng.After(20*sim.Millisecond, func() {
+		if !m.alive {
+			return
+		}
+		for dst, pend := range m.truncPending {
+			if len(pend) == 0 || !m.isMember(dst) {
+				continue
+			}
+			q := m.truncQueueFor(dst)
+			queued := make(map[uint64]bool, len(q.ids))
+			for _, id := range q.ids {
+				queued[id] = true
+			}
+			requeued := false
+			for id := range pend {
+				if !queued[id] {
+					q.ids = append(q.ids, id)
+					requeued = true
+				}
+			}
+			if requeued {
+				m.armTruncFlush(dst)
+			}
+		}
+		m.startTruncSweep()
+	})
+}
+
+// dropTruncStateFor discards truncation bookkeeping toward a machine that
+// left the configuration (its log, and with it our reservations, is gone).
+func (m *Machine) dropTruncStateFor(dst int) {
+	for id, ct := range m.truncPending[dst] {
+		delete(m.truncPending[dst], id)
+		delete(ct.truncRemaining, dst)
+		if len(ct.truncRemaining) == 0 {
+			m.threadTrunc(int(ct.id.Thread)).retire(ct.id.Local)
+		}
+	}
+	delete(m.truncQ, dst)
+}

@@ -1,0 +1,412 @@
+package core
+
+import (
+	"errors"
+
+	"farm/internal/fabric"
+	"farm/internal/nvram"
+	"farm/internal/proto"
+	"farm/internal/regionmem"
+	"farm/internal/sim"
+)
+
+// mtl identifies a transaction without its configuration component:
+// coordinator machine, thread, and thread-local id. Local ids are monotonic
+// per thread across configurations, so the triple is unique; truncation
+// piggybacks reference transactions this way (Table 1).
+type mtl struct {
+	m, t  uint16
+	local uint64
+}
+
+func mtlOf(id proto.TxID) mtl { return mtl{m: id.Machine, t: id.Thread, local: id.Local} }
+
+// readEntry records one object read during execution.
+type readEntry struct {
+	addr    proto.Addr
+	version uint64
+	size    int
+	data    []byte
+}
+
+// writeEntry is a buffered write.
+type writeEntry struct {
+	addr      proto.Addr
+	version   uint64 // version observed at read/alloc time (lock target)
+	value     []byte
+	allocated bool // allocation bit after commit (false for frees)
+	isAlloc   bool // freshly allocated slot: released back on abort
+}
+
+// Tx is a FaRM transaction. The thread that begins a transaction is its
+// coordinator (§3). All methods are asynchronous: they charge CPU to the
+// coordinator thread and deliver results through callbacks; a thread can
+// run several transactions concurrently, like FaRM's event loops.
+type Tx struct {
+	m      *Machine
+	thread int
+
+	reads  map[proto.Addr]*readEntry
+	writes map[proto.Addr]*writeEntry
+	order  []proto.Addr // write order, for deterministic record layout
+
+	started  sim.Time
+	finished bool
+}
+
+// Begin starts a transaction coordinated by worker thread `thread` of m.
+func (m *Machine) Begin(thread int) *Tx {
+	return &Tx{
+		m:       m,
+		thread:  thread % m.c.Opts.Threads,
+		reads:   make(map[proto.Addr]*readEntry),
+		writes:  make(map[proto.Addr]*writeEntry),
+		started: m.c.Eng.Now(),
+	}
+}
+
+// maxReadRetries bounds spinning on locked objects before reporting a
+// conflict to the application.
+const maxReadRetries = 64
+
+// maxMappingRetries bounds retries against stale/missing region mappings
+// (each retry refetches the mapping, which reconfiguration refreshes).
+const maxMappingRetries = 200
+
+// Read reads size payload bytes of the object at addr. Individual reads
+// are atomic and see only committed data (§3); consistency across objects
+// is enforced at commit time by validation.
+func (t *Tx) Read(addr proto.Addr, size int, cb func(data []byte, err error)) {
+	// Read-your-writes.
+	if w, ok := t.writes[addr]; ok {
+		t.m.OnThread(t.thread, t.m.c.Opts.CPULocal, func() { cb(append([]byte(nil), w.value...), nil) })
+		return
+	}
+	// Repeated reads return the same data (§3).
+	if r, ok := t.reads[addr]; ok {
+		t.m.OnThread(t.thread, t.m.c.Opts.CPULocal, func() { cb(append([]byte(nil), r.data...), nil) })
+		return
+	}
+	t.m.readObject(t.thread, addr, size, 0, 0, func(word uint64, data []byte, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		t.reads[addr] = &readEntry{addr: addr, version: regionmem.Version(word), size: size, data: data}
+		cb(append([]byte(nil), data...), nil)
+	})
+}
+
+// Write buffers a write of value to addr. The object must have been read
+// (or allocated) by this transaction first, so the coordinator knows the
+// version to lock at — FaRM applications read objects before updating
+// them.
+func (t *Tx) Write(addr proto.Addr, value []byte) {
+	if w, ok := t.writes[addr]; ok {
+		w.value = append(w.value[:0], value...)
+		return
+	}
+	r, ok := t.reads[addr]
+	if !ok {
+		panic("farm: Write of object not read or allocated in this transaction")
+	}
+	t.writes[addr] = &writeEntry{
+		addr:      addr,
+		version:   r.version,
+		value:     append([]byte(nil), value...),
+		allocated: true,
+	}
+	t.order = append(t.order, addr)
+}
+
+// Alloc allocates a new object of the given payload size and buffers its
+// first write. If hint is non-nil the object is placed in the same region
+// as the hint (locality, §3); otherwise a region with a local primary is
+// preferred. The object becomes visible only when the transaction commits.
+func (t *Tx) Alloc(size int, value []byte, hint *proto.Addr, cb func(addr proto.Addr, err error)) {
+	regions := t.m.allocCandidates(hint)
+	if len(regions) == 0 {
+		t.m.OnThread(t.thread, t.m.c.Opts.CPULocal, func() { cb(proto.Addr{}, ErrNoSpace) })
+		return
+	}
+	t.tryAlloc(regions, 0, size, value, cb)
+}
+
+func (t *Tx) tryAlloc(regions []uint32, i, size int, value []byte, cb func(proto.Addr, error)) {
+	if i >= len(regions) {
+		cb(proto.Addr{}, ErrNoSpace)
+		return
+	}
+	region := regions[i]
+	t.m.allocSlot(t.thread, region, size, func(off uint32, version uint64, err error) {
+		if err != nil {
+			t.tryAlloc(regions, i+1, size, value, cb)
+			return
+		}
+		addr := proto.Addr{Region: region, Off: off}
+		t.writes[addr] = &writeEntry{
+			addr:      addr,
+			version:   version,
+			value:     append([]byte(nil), value...),
+			allocated: true,
+			isAlloc:   true,
+		}
+		t.order = append(t.order, addr)
+		cb(addr, nil)
+	})
+}
+
+// Free deallocates the object at addr. The object must have been read in
+// this transaction. The allocation-bit clear is replicated through the
+// commit like any write (§5.5); the slot returns to the primary's free
+// list when the commit is applied.
+func (t *Tx) Free(addr proto.Addr) {
+	r, ok := t.reads[addr]
+	if !ok {
+		panic("farm: Free of object not read in this transaction")
+	}
+	t.writes[addr] = &writeEntry{
+		addr:      addr,
+		version:   r.version,
+		value:     make([]byte, len(r.data)),
+		allocated: false,
+	}
+	t.order = append(t.order, addr)
+}
+
+// ReadSetSize and WriteSetSize expose execution-phase footprints.
+func (t *Tx) ReadSetSize() int  { return len(t.reads) }
+func (t *Tx) WriteSetSize() int { return len(t.writes) }
+
+// Thread returns the coordinator thread index running this transaction.
+func (t *Tx) Thread() int { return t.thread }
+
+// Coordinator returns the machine coordinating this transaction.
+func (t *Tx) Coordinator() *Machine { return t.m }
+
+// abortLocal cleans up execute-phase side effects (allocated slots) for a
+// transaction abandoned before or during commit.
+func (t *Tx) releaseAllocs() {
+	for _, w := range t.writes {
+		if w.isAlloc {
+			t.m.releaseSlot(w.addr)
+		}
+	}
+}
+
+// LockFreeRead performs FaRM's optimized single-object read-only
+// transaction (§3): one RDMA read, no commit phase. It retries while the
+// object is write-locked.
+func (m *Machine) LockFreeRead(thread int, addr proto.Addr, size int, cb func(data []byte, err error)) {
+	m.readObject(thread, addr, size, 0, 0, func(_ uint64, data []byte, err error) {
+		cb(data, err)
+	})
+}
+
+// readObject resolves the primary and reads header+payload, retrying on
+// locks, stale mappings, blocked regions and transient failures.
+func (m *Machine) readObject(thread int, addr proto.Addr, size, lockRetries, mapRetries int, cb func(word uint64, data []byte, err error)) {
+	if !m.alive {
+		return
+	}
+	retryMapping := func() {
+		if mapRetries >= maxMappingRetries {
+			cb(0, nil, ErrUnavailable)
+			return
+		}
+		m.c.Eng.After(200*sim.Microsecond, func() {
+			m.fetchMapping(addr.Region, func() {
+				m.readObject(thread, addr, size, lockRetries, mapRetries+1, cb)
+			})
+		})
+	}
+	p := m.primaryOf(addr.Region)
+	if p == -1 {
+		retryMapping()
+		return
+	}
+	if m.regionBlocked(addr.Region) {
+		// §5.3 step 1: requests for references to recovering regions block
+		// until lock recovery completes.
+		m.blockUntilActive(addr.Region, func() {
+			m.readObject(thread, addr, size, lockRetries, mapRetries, cb)
+		})
+		return
+	}
+	handle := func(raw []byte, err error) {
+		if !m.alive {
+			return
+		}
+		if err != nil {
+			retryMapping()
+			return
+		}
+		word := regionmem.ReadHeader(raw, 0)
+		if regionmem.Locked(word) {
+			if lockRetries >= maxReadRetries {
+				cb(0, nil, ErrReadLocked)
+				return
+			}
+			m.c.Eng.After(2*sim.Microsecond, func() {
+				m.readObject(thread, addr, size, lockRetries+1, mapRetries, cb)
+			})
+			return
+		}
+		cb(word, raw[regionmem.HeaderSize:], nil)
+	}
+	if p == m.ID {
+		rep := m.replicas[addr.Region]
+		if rep == nil || !rep.primary {
+			retryMapping()
+			return
+		}
+		m.OnThread(thread, m.c.Opts.CPULocal, func() {
+			if int(addr.Off)+regionmem.HeaderSize+size > len(rep.mem) {
+				cb(0, nil, fabric.ErrBadAddress)
+				return
+			}
+			raw := make([]byte, regionmem.HeaderSize+size)
+			copy(raw, rep.mem[addr.Off:])
+			handle(raw, nil)
+		})
+		return
+	}
+	if !m.isMember(p) {
+		retryMapping()
+		return
+	}
+	m.OnThread(thread, m.c.Opts.CPUVerb, func() {
+		m.nic.Read(fabric.MachineID(p), nvram.RegionID(addr.Region), int(addr.Off),
+			regionmem.HeaderSize+size, func(raw []byte, err error) {
+				handle(raw, err)
+			})
+	})
+}
+
+// allocCandidates orders regions to try for an allocation.
+func (m *Machine) allocCandidates(hint *proto.Addr) []uint32 {
+	if hint != nil {
+		return []uint32{hint.Region}
+	}
+	var local, remote []uint32
+	for id, rm := range m.mappings {
+		if len(rm.Replicas) == 0 {
+			continue
+		}
+		if int(rm.Replicas[0]) == m.ID {
+			local = append(local, id)
+		} else {
+			remote = append(remote, id)
+		}
+	}
+	// Deterministic order: sort ascending.
+	sortU32(local)
+	sortU32(remote)
+	return append(local, remote...)
+}
+
+func sortU32(s []uint32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// allocSlotReq and friends are the slot-reservation RPCs between a
+// coordinator and a region's primary (the free lists live only at the
+// primary, §5.5).
+type allocSlotReq struct {
+	Region uint32
+	Size   int
+}
+
+type allocSlotResp struct {
+	Region  uint32
+	OK      bool
+	Off     uint32
+	Version uint64
+	ReqID   uint64
+}
+
+type releaseSlotReq struct {
+	Region uint32
+	Off    uint32
+}
+
+// allocSlot reserves a slot in region (locally or via the primary).
+func (m *Machine) allocSlot(thread int, region uint32, size int, cb func(off uint32, version uint64, err error)) {
+	p := m.primaryOf(region)
+	if p == -1 {
+		cb(0, 0, ErrUnavailable)
+		return
+	}
+	if p == m.ID {
+		m.OnThread(thread, m.c.Opts.CPULocal, func() {
+			off, ver, err := m.allocSlotLocal(region, size)
+			cb(off, ver, err)
+		})
+		return
+	}
+	req := &allocSlotReq{Region: region, Size: size}
+	id := m.nextRPC
+	m.nextRPC++
+	m.rpcWaiters[id] = func(resp interface{}) {
+		r := resp.(*allocSlotResp)
+		if !r.OK {
+			cb(0, 0, ErrNoSpace)
+			return
+		}
+		cb(r.Off, r.Version, nil)
+	}
+	m.sendFromThread(thread, p, &rpcEnvelope{ID: id, From: m.ID, Body: req})
+}
+
+// allocSlotLocal pops a slot from the local primary's free list.
+func (m *Machine) allocSlotLocal(region uint32, size int) (uint32, uint64, error) {
+	rep := m.replicas[region]
+	if rep == nil || !rep.primary {
+		return 0, 0, ErrUnavailable
+	}
+	if rep.allocRecovering {
+		return 0, 0, ErrUnavailable
+	}
+	off, ok := rep.alloc.Alloc(size)
+	if !ok {
+		return 0, 0, ErrNoSpace
+	}
+	word := regionmem.ReadHeader(rep.mem, off)
+	return uint32(off), regionmem.Version(word), nil
+}
+
+// releaseSlot returns an execute-phase allocation after an abort.
+func (m *Machine) releaseSlot(addr proto.Addr) {
+	p := m.primaryOf(addr.Region)
+	if p == m.ID {
+		if rep := m.replicas[addr.Region]; rep != nil && rep.primary && !rep.allocRecovering {
+			rep.alloc.Free(int(addr.Off))
+		}
+		return
+	}
+	if p >= 0 && m.isMember(p) {
+		m.send(p, &releaseSlotReq{Region: addr.Region, Off: addr.Off})
+	}
+	// If the primary is gone, allocator recovery's scan reclaims the slot
+	// (its allocation bit was never set).
+}
+
+// rpcEnvelope carries a request id so responses can be matched.
+type rpcEnvelope struct {
+	ID   uint64
+	From int
+	Body interface{}
+}
+
+// rpcReply pairs the response with the request id.
+type rpcReply struct {
+	ID   uint64
+	Body interface{}
+}
+
+// errTxDone guards double commits.
+var errTxDone = errors.New("farm: transaction already finished")

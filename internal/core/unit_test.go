@@ -1,0 +1,431 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"farm/internal/proto"
+	"farm/internal/sim"
+)
+
+// Focused unit tests for protocol helpers.
+
+func TestTruncDomainAddAndLowBound(t *testing.T) {
+	d := &truncDomain{ids: make(map[uint64]bool)}
+	d.low = 1
+	d.add(3)
+	d.add(5)
+	if d.truncated(1) || !d.truncated(3) || d.truncated(4) || !d.truncated(5) {
+		t.Fatal("membership wrong")
+	}
+	d.add(1)
+	d.add(2) // now 1,2,3 contiguous → low advances past 3
+	if d.low != 4 {
+		t.Fatalf("low = %d, want 4", d.low)
+	}
+	if len(d.ids) != 1 { // only 5 remains
+		t.Fatalf("ids = %v", d.ids)
+	}
+	d.setLow(10)
+	if !d.truncated(5) || !d.truncated(9) || d.truncated(10) {
+		t.Fatal("setLow semantics wrong")
+	}
+	if len(d.ids) != 0 {
+		t.Fatalf("ids not pruned: %v", d.ids)
+	}
+}
+
+func TestTruncDomainQuick(t *testing.T) {
+	f := func(adds []uint16) bool {
+		d := &truncDomain{low: 1, ids: make(map[uint64]bool)}
+		model := map[uint64]bool{}
+		for _, a := range adds {
+			v := uint64(a%100) + 1
+			d.add(v)
+			model[v] = true
+		}
+		for v := uint64(1); v <= 100; v++ {
+			if d.truncated(v) != model[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackTruncIDRoundTrip(t *testing.T) {
+	f := func(thread uint16, local uint64) bool {
+		local &= 1<<48 - 1
+		th, l := unpackTruncID(packTruncID(thread, local))
+		return th == thread && l == local
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreadTruncRetireOrder(t *testing.T) {
+	c := New(Options{NumMachines: 2, Seed: 1})
+	m := c.Machine(0)
+	s := m.threadTrunc(0)
+	if s.low() != 1 {
+		t.Fatalf("initial low %d", s.low())
+	}
+	s.retire(2)
+	s.retire(3)
+	if s.low() != 1 {
+		t.Fatal("low advanced past unretired 1")
+	}
+	s.retire(1)
+	if s.low() != 4 {
+		t.Fatalf("low = %d, want 4", s.low())
+	}
+	if len(s.retired) != 0 {
+		t.Fatal("retired set not compacted")
+	}
+}
+
+func TestCMSuccessorsRing(t *testing.T) {
+	c := New(Options{NumMachines: 5, Seed: 1})
+	succ := c.Machine(3).cmSuccessors()
+	// CM is 0; ring order from 0: 1,2,3,4.
+	want := []int{1, 2, 3, 4}
+	if len(succ) != 4 {
+		t.Fatalf("successors: %v", succ)
+	}
+	for i := range want {
+		if succ[i] != want[i] {
+			t.Fatalf("successors = %v, want %v", succ, want)
+		}
+	}
+}
+
+func TestRecoveryCoordinatorDeterministicAndMemberPreferring(t *testing.T) {
+	c := New(Options{NumMachines: 5, Seed: 1})
+	id := proto.TxID{Config: 1, Machine: 3, Thread: 2, Local: 9}
+	// Coordinator alive: itself.
+	for _, m := range c.Machines {
+		if got := m.recoveryCoordinator(id); got != 3 {
+			t.Fatalf("machine %d chose %d, want 3", m.ID, got)
+		}
+	}
+	// Coordinator not a member: all machines agree on the same hash pick.
+	dead := proto.TxID{Config: 1, Machine: 99, Thread: 2, Local: 9}
+	first := c.Machine(0).recoveryCoordinator(dead)
+	for _, m := range c.Machines {
+		if got := m.recoveryCoordinator(dead); got != first {
+			t.Fatalf("hash coordinators disagree: %d vs %d", got, first)
+		}
+	}
+	if first == 99 {
+		t.Fatal("picked a non-member")
+	}
+}
+
+func TestPlacementRespectsFailureDomains(t *testing.T) {
+	o := Options{NumMachines: 9, FailureDomains: 3, Seed: 1}
+	c := New(o)
+	regions, err := c.CreateRegions(0, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range regions {
+		rm := c.Machine(0).mappings[r]
+		domains := map[int]bool{}
+		for _, rep := range rm.Replicas {
+			domains[c.Machine(0).config.Domains[rep]] = true
+		}
+		if len(domains) != 3 {
+			t.Fatalf("region %d replicas %v share failure domains", r, rm.Replicas)
+		}
+	}
+}
+
+func TestPlacementBalances(t *testing.T) {
+	c := New(Options{NumMachines: 6, Seed: 1})
+	if _, err := c.CreateRegions(0, 12, 0); err != nil {
+		t.Fatal(err)
+	}
+	// 12 regions × 3 replicas = 36 slots over 6 machines → 6 each.
+	counts := map[uint16]int{}
+	for _, rm := range c.Machine(0).cm.regions {
+		for _, r := range rm.Replicas {
+			counts[r]++
+		}
+	}
+	for mID, n := range counts {
+		if n < 4 || n > 8 {
+			t.Fatalf("machine %d hosts %d replicas (want ≈6): %v", mID, n, counts)
+		}
+	}
+}
+
+func TestLocalityCoPlacement(t *testing.T) {
+	c := New(Options{NumMachines: 6, Seed: 1})
+	base, err := c.CreateRegions(0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := c.CreateRegions(0, 3, base[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.Machine(0).mappings[base[0]].Replicas
+	for _, r := range co {
+		got := c.Machine(0).mappings[r].Replicas
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("locality hint ignored: %v vs %v", got, want)
+			}
+		}
+	}
+}
+
+func TestValidationSwitchesToRPCOverThreshold(t *testing.T) {
+	// A read-write transaction reading tr+2 objects from one remote
+	// primary must validate with one RPC instead of tr+2 RDMA reads.
+	o := Options{NumMachines: 5, Seed: 19}
+	c := New(o)
+	regions, err := c.CreateRegions(0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := regions[0]
+	hint := proto.Addr{Region: region}
+	var addrs []proto.Addr
+	m0 := c.Machine(0)
+	done := false
+	tx := m0.Begin(0)
+	var alloc func(i int)
+	alloc = func(i int) {
+		if i == 8 {
+			tx.Commit(func(err error) {
+				if err != nil {
+					t.Fatal(err)
+				}
+				done = true
+			})
+			return
+		}
+		tx.Alloc(8, []byte("xxxxxxxx"), &hint, func(a proto.Addr, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			addrs = append(addrs, a)
+			alloc(i + 1)
+		})
+	}
+	alloc(0)
+	runUntil(t, c, sim.Second, func() bool { return done })
+	c.RunFor(10 * sim.Millisecond)
+
+	primary := m0.PrimaryOf(region)
+	coord := (primary + 1) % 5
+	m := c.Machine(coord)
+	// Read 6 objects (> tr=4) and write one object elsewhere so the full
+	// (non-read-only) commit path runs.
+	other, err := c.CreateRegions(0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var waddr proto.Addr
+	done = false
+	setup := m.Begin(0)
+	whint := proto.Addr{Region: other[0]}
+	setup.Alloc(8, []byte("wwwwwwww"), &whint, func(a proto.Addr, err error) {
+		waddr = a
+		setup.Commit(func(error) { done = true })
+	})
+	runUntil(t, c, sim.Second, func() bool { return done })
+
+	snap := c.Net.Counters.Snapshot()
+	done = false
+	tx2 := m.Begin(1)
+	var read func(i int)
+	read = func(i int) {
+		if i == 6 {
+			tx2.Read(waddr, 8, func(_ []byte, err error) {
+				tx2.Write(waddr, []byte("uuuuuuuu"))
+				tx2.Commit(func(err error) {
+					if err != nil {
+						t.Fatalf("commit: %v", err)
+					}
+					done = true
+				})
+			})
+			return
+		}
+		tx2.Read(addrs[i], 8, func(_ []byte, err error) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			read(i + 1)
+		})
+	}
+	read(0)
+	runUntil(t, c, sim.Second, func() bool { return done })
+	diff := c.Net.Counters.Diff(snap)
+	// Execution reads: 6 + 1 (waddr, likely remote). Validation: ONE RPC
+	// for the 6-object primary instead of 6 one-sided reads. So total
+	// one-sided reads must stay ≤ 8.
+	if diff["rdma_read"] > 8 {
+		t.Fatalf("validation did not switch to RPC: %d one-sided reads (%v)", diff["rdma_read"], diff)
+	}
+}
+
+func TestBlockedRegionQueuesReads(t *testing.T) {
+	c, region := testCluster(t, Options{NumMachines: 5, Seed: 23})
+	addr := writeObject(t, c, c.Machine(0), []byte("qqqq"))
+	m := c.Machine(2)
+	// Manually block the region (as reconfiguration would) and issue a
+	// read: it must not complete until the region is unblocked.
+	m.blocked[region] = nil
+	got := false
+	tx := m.Begin(0)
+	tx.Read(addr, 4, func(_ []byte, err error) {
+		if err != nil {
+			t.Errorf("read failed: %v", err)
+		}
+		got = true
+	})
+	c.RunFor(20 * sim.Millisecond)
+	if got {
+		t.Fatal("read completed against a blocked region")
+	}
+	m.unblockRegion(region)
+	runUntil(t, c, sim.Second, func() bool { return got })
+}
+
+func TestVoteFromSawPrecedence(t *testing.T) {
+	cases := []struct {
+		saw  uint8
+		want proto.Vote
+	}{
+		{proto.SawCommitPrimary | proto.SawLock, proto.VoteCommitPrimary},
+		{proto.SawCommitRecovery, proto.VoteCommitPrimary},
+		{proto.SawCommitBackup | proto.SawLock, proto.VoteCommitBackup},
+		{proto.SawCommitBackup | proto.SawAbortRecovery, proto.VoteAbort},
+		{proto.SawLock, proto.VoteLock},
+		{proto.SawLock | proto.SawAbort, proto.VoteLock}, // normal abort ≠ abort-recovery
+		{proto.SawLock | proto.SawAbortRecovery, proto.VoteAbort},
+		{0, proto.VoteAbort},
+	}
+	for _, tc := range cases {
+		if got := voteFromSaw(tc.saw); got != tc.want {
+			t.Errorf("saw=%b: %v, want %v", tc.saw, got, tc.want)
+		}
+	}
+}
+
+func TestProtocolVocabularyExercised(t *testing.T) {
+	// Tables 1 and 2: a run with failures must exercise every log record
+	// type and every recovery message type the paper defines.
+	o := recoveryOpts()
+	c := New(o)
+	if _, err := c.CreateRegions(0, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	addr := writeObject(t, c, c.Machine(1), []byte("vocabvoc"))
+	// Drive updates (LOCK/COMMIT-BACKUP/COMMIT-PRIMARY/TRUNCATE) plus a
+	// conflict (ABORT) and a big-read-set commit (VALIDATE RPC).
+	conflictSeen := false
+	for i := 0; i < 50 && !conflictSeen; i++ {
+		results := 0
+		for j := 0; j < 2; j++ {
+			tx := c.Machine(1 + j).Begin(0)
+			tx.Read(addr, 8, func(_ []byte, err error) {
+				if err != nil {
+					results++
+					return
+				}
+				tx.Write(addr, []byte{byte(i), byte(j), 2, 3, 4, 5, 6, 7})
+				tx.Commit(func(err error) {
+					if err != nil {
+						conflictSeen = true
+					}
+					results++
+				})
+			})
+		}
+		runUntil(t, c, sim.Second, func() bool { return results == 2 })
+	}
+	// Failure: kill a machine mid-write-stream so recovery messages flow.
+	stop := false
+	m := c.Machine(1)
+	var loop func(i byte)
+	loop = func(i byte) {
+		if stop || !m.Alive() {
+			return
+		}
+		tx := m.Begin(int(i) % m.Threads())
+		tx.Read(addr, 8, func(_ []byte, err error) {
+			if err != nil {
+				c.Eng.After(100*sim.Microsecond, func() { loop(i + 1) })
+				return
+			}
+			tx.Write(addr, []byte{i, 1, 1, 1, 1, 1, 1, 1})
+			tx.Commit(func(error) { loop(i + 1) })
+		})
+	}
+	loop(0)
+	c.RunFor(10 * sim.Millisecond)
+	rm := c.Machine(0).mappings[addr.Region]
+	victim := int(rm.Replicas[0])
+	if victim == 0 || victim == 1 {
+		victim = int(rm.Replicas[1])
+	}
+	if victim == 0 || victim == 1 {
+		victim = int(rm.Replicas[2])
+	}
+	c.Kill(victim)
+	c.RunFor(400 * sim.Millisecond)
+	stop = true
+	c.RunFor(20 * sim.Millisecond)
+
+	for _, rec := range []string{"LOCK", "COMMIT-BACKUP", "COMMIT-PRIMARY", "ABORT", "TRUNCATE"} {
+		if c.Counters.Get("rec "+rec) == 0 {
+			t.Errorf("Table 1 record type %s never used", rec)
+		}
+	}
+	for _, msg := range []string{"LOCK-REPLY", "NEED-RECOVERY", "RECOVERY-VOTE",
+		"NEW-CONFIG", "NEW-CONFIG-ACK", "NEW-CONFIG-COMMIT", "REGIONS-ACTIVE", "ALL-REGIONS-ACTIVE"} {
+		if c.Counters.Get("msg "+msg) == 0 {
+			t.Errorf("message type %s never used", msg)
+		}
+	}
+	// Recovery decisions must have flowed one way or the other.
+	if c.Counters.Get("msg COMMIT-RECOVERY")+c.Counters.Get("msg ABORT-RECOVERY") == 0 {
+		t.Error("no recovery decisions exchanged")
+	}
+}
+
+func TestPlacementRespectsCapacity(t *testing.T) {
+	o := Options{NumMachines: 4, Seed: 1, MaxRegionsPerMachine: 3}
+	c := New(o)
+	// 4 machines × 3 slots = 12 replica slots = 4 regions at 3-way.
+	regions, err := c.CreateRegions(0, 4, 0)
+	if err != nil {
+		t.Fatalf("within capacity: %v", err)
+	}
+	if len(regions) != 4 {
+		t.Fatalf("allocated %d", len(regions))
+	}
+	counts := map[uint16]int{}
+	for _, rm := range c.Machine(0).cm.regions {
+		for _, r := range rm.Replicas {
+			counts[r]++
+		}
+	}
+	for id, n := range counts {
+		if n > 3 {
+			t.Fatalf("machine %d over capacity: %d", id, n)
+		}
+	}
+	// The next allocation must fail cleanly.
+	if _, err := c.CreateRegions(0, 1, 0); err == nil {
+		t.Fatal("allocation beyond cluster capacity succeeded")
+	}
+}

@@ -1,0 +1,405 @@
+// Package fabric simulates an RDMA network: NICs that serve one-sided READ
+// and WRITE verbs against registered memory without involving the remote
+// CPU, reliable two-sided sends, and connectionless unreliable datagrams.
+//
+// The model preserves the properties FaRM's protocols are designed around:
+//
+//   - One-sided operations are acknowledged by the remote NIC as long as the
+//     remote *machine* is powered, regardless of what the remote software
+//     thinks the cluster configuration is. NICs do not understand leases or
+//     configurations (§5.2), so stale writes can land and be acked — the
+//     hazard FaRM's precise membership and log draining exist to handle.
+//   - A crashed initiator's in-flight operations still take effect at the
+//     destination; only the initiator's completion is suppressed.
+//   - NICs are finite-rate servers, so message-rate bottlenecks (Figure 2 in
+//     [16]'s single-NIC regime) are reproducible by configuration.
+//
+// CPU costs are deliberately NOT charged here: the point of one-sided RDMA
+// is which operations consume CPU, and that accounting belongs to the layer
+// that owns the CPUs (internal/core charges verb-issue and message-handling
+// costs to its simulated threads).
+package fabric
+
+import (
+	"errors"
+	"fmt"
+
+	"farm/internal/nvram"
+	"farm/internal/sim"
+	"farm/internal/stats"
+)
+
+// MachineID identifies a machine (and its NIC) in the fabric.
+type MachineID int
+
+// Errors returned to one-sided completion callbacks.
+var (
+	// ErrTimeout: the destination did not respond (dead or partitioned);
+	// reported after Options.FailTimeout, modelling RC retry exhaustion.
+	ErrTimeout = errors.New("fabric: operation timed out")
+	// ErrBadAddress: the destination NIC has no such registered region or
+	// the access is out of bounds (remote access error completion).
+	ErrBadAddress = errors.New("fabric: remote access error")
+)
+
+// Options are the calibrated hardware constants. Zero values are replaced
+// by DefaultOptions values in NewNetwork.
+type Options struct {
+	// WireLatency is the one-way propagation + switch latency.
+	WireLatency sim.Time
+	// WireJitter adds a uniform [0, WireJitter) delay per hop.
+	WireJitter sim.Time
+	// NICOpTime is the NIC processing time per verb (message-rate cap is
+	// 1/NICOpTime per direction).
+	NICOpTime sim.Time
+	// BytesPerSecond is the per-NIC link bandwidth.
+	BytesPerSecond float64
+	// FailTimeout is how long the initiator waits before reporting
+	// ErrTimeout for an unresponsive destination.
+	FailTimeout sim.Time
+	// UDLossProb is the drop probability for unreliable datagrams.
+	UDLossProb float64
+	// LocalOpTime is the latency of a same-machine memory access used when
+	// the initiator and destination coincide (no NIC, no wire).
+	LocalOpTime sim.Time
+}
+
+// DefaultOptions models two bonded ConnectX-3 56 Gbps FDR NICs per machine
+// on one full-bisection switch (§6.1).
+func DefaultOptions() Options {
+	return Options{
+		WireLatency:    900 * sim.Nanosecond,
+		WireJitter:     200 * sim.Nanosecond,
+		NICOpTime:      15 * sim.Nanosecond, // ~70M verbs/s/machine (2 NICs)
+		BytesPerSecond: 13e9,                // 2 × 56 Gbps, minus headers
+		FailTimeout:    500 * sim.Microsecond,
+		UDLossProb:     0.0001,
+		LocalOpTime:    100 * sim.Nanosecond,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.WireLatency == 0 {
+		o.WireLatency = d.WireLatency
+	}
+	if o.WireJitter == 0 {
+		o.WireJitter = d.WireJitter
+	}
+	if o.NICOpTime == 0 {
+		o.NICOpTime = d.NICOpTime
+	}
+	if o.BytesPerSecond == 0 {
+		o.BytesPerSecond = d.BytesPerSecond
+	}
+	if o.FailTimeout == 0 {
+		o.FailTimeout = d.FailTimeout
+	}
+	if o.LocalOpTime == 0 {
+		o.LocalOpTime = d.LocalOpTime
+	}
+	return o
+}
+
+// Network is the switch connecting all NICs.
+type Network struct {
+	Eng      *sim.Engine
+	Opts     Options
+	Counters *stats.Counters
+
+	nics map[MachineID]*NIC
+	// partition maps a machine to a connectivity group; machines in
+	// different groups cannot communicate. Default group is 0.
+	partition map[MachineID]int
+}
+
+// NewNetwork creates an empty network on the given engine.
+func NewNetwork(eng *sim.Engine, opts Options) *Network {
+	return &Network{
+		Eng:       eng,
+		Opts:      opts.withDefaults(),
+		Counters:  stats.NewCounters(),
+		nics:      make(map[MachineID]*NIC),
+		partition: make(map[MachineID]int),
+	}
+}
+
+// AddMachine registers a machine's NIC, backed by its non-volatile memory
+// store (the memory one-sided verbs address).
+func (n *Network) AddMachine(id MachineID, mem *nvram.Store) *NIC {
+	if _, ok := n.nics[id]; ok {
+		panic(fmt.Sprintf("fabric: machine %d already registered", id))
+	}
+	nic := &NIC{
+		ID:      id,
+		net:     n,
+		mem:     mem,
+		powered: true,
+		tx:      sim.NewThread(n.Eng, fmt.Sprintf("nic%d/tx", id)),
+		rx:      sim.NewThread(n.Eng, fmt.Sprintf("nic%d/rx", id)),
+	}
+	n.nics[id] = nic
+	return nic
+}
+
+// NIC returns the NIC for machine id, or nil.
+func (n *Network) NIC(id MachineID) *NIC { return n.nics[id] }
+
+// SetPartition assigns machines to connectivity groups; unlisted machines
+// are group 0.
+func (n *Network) SetPartition(groups map[MachineID]int) {
+	n.partition = make(map[MachineID]int)
+	for id, g := range groups {
+		n.partition[id] = g
+	}
+}
+
+// HealPartition restores full connectivity.
+func (n *Network) HealPartition() { n.partition = make(map[MachineID]int) }
+
+func (n *Network) reachable(a, b MachineID) bool {
+	return n.partition[a] == n.partition[b]
+}
+
+func (n *Network) hop() sim.Time {
+	return n.Opts.WireLatency + n.Eng.Rand().Duration(n.Opts.WireJitter+1)
+}
+
+func (n *Network) xfer(bytes int) sim.Time {
+	return sim.Time(float64(bytes) / n.Opts.BytesPerSecond * float64(sim.Second))
+}
+
+// NIC is one machine's network interface. One-sided verbs execute entirely
+// in NIC context: the remote host CPU is never involved.
+type NIC struct {
+	ID  MachineID
+	net *Network
+	mem *nvram.Store
+
+	powered bool
+	tx, rx  *sim.Thread
+
+	// msgHandler receives reliable sends; udHandler receives datagrams.
+	// Both run in "NIC completion" context: the host must dispatch to its
+	// own CPU threads and charge costs there.
+	msgHandler func(src MachineID, msg interface{})
+	udHandler  func(src MachineID, msg interface{})
+	// writeHook observes remote writes landing in local memory (region,
+	// offset, length). FaRM hosts use it to schedule log polling without
+	// the simulator running a busy poll loop. It fires even while the host
+	// process is down — like real memory, the bytes land regardless — and
+	// the host side decides whether anyone is alive to look.
+	writeHook func(region nvram.RegionID, off, length int)
+}
+
+// SetMessageHandler installs the reliable-send upcall.
+func (c *NIC) SetMessageHandler(h func(src MachineID, msg interface{})) { c.msgHandler = h }
+
+// SetUDHandler installs the unreliable-datagram upcall.
+func (c *NIC) SetUDHandler(h func(src MachineID, msg interface{})) { c.udHandler = h }
+
+// SetWriteHook installs the remote-write observer.
+func (c *NIC) SetWriteHook(h func(region nvram.RegionID, off, length int)) { c.writeHook = h }
+
+// SetPowered turns the NIC (and with it, the machine's reachability) on or
+// off. A FaRM process kill is modelled as SetPowered(false): reads to the
+// machine fail, which is what the reconfiguration probe step detects.
+func (c *NIC) SetPowered(on bool) { c.powered = on }
+
+// Powered reports the NIC state.
+func (c *NIC) Powered() bool { return c.powered }
+
+// Mem exposes the memory store the NIC serves verbs against.
+func (c *NIC) Mem() *nvram.Store { return c.mem }
+
+// Read issues a one-sided RDMA read of length bytes at (region, off) on
+// dst. cb receives the data or an error. No remote CPU is involved; the
+// remote NIC serves the request from registered memory.
+func (c *NIC) Read(dst MachineID, region nvram.RegionID, off, length int, cb func(data []byte, err error)) {
+	if dst == c.ID {
+		c.net.Counters.Inc("local_read", 1)
+	} else {
+		c.net.Counters.Inc("rdma_read", 1)
+		c.net.Counters.Inc("rdma_read_bytes", uint64(length))
+	}
+	c.oneSided(dst, length, func(r *NIC) (interface{}, error) {
+		b := r.mem.Region(region)
+		if b == nil || off < 0 || length < 0 || off+length > len(b) {
+			return nil, ErrBadAddress
+		}
+		data := make([]byte, length)
+		copy(data, b[off:off+length])
+		return data, nil
+	}, func(v interface{}, err error) {
+		if cb == nil {
+			return
+		}
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		cb(v.([]byte), nil)
+	})
+}
+
+// Write issues a one-sided RDMA write of data at (region, off) on dst. cb
+// is the hardware ack: it fires when the remote NIC has placed the bytes in
+// remote non-volatile memory, with no remote CPU involvement.
+func (c *NIC) Write(dst MachineID, region nvram.RegionID, off int, data []byte, cb func(err error)) {
+	if dst == c.ID {
+		c.net.Counters.Inc("local_write", 1)
+	} else {
+		c.net.Counters.Inc("rdma_write", 1)
+		c.net.Counters.Inc("rdma_write_bytes", uint64(len(data)))
+	}
+	payload := make([]byte, len(data))
+	copy(payload, data)
+	c.oneSided(dst, len(data), func(r *NIC) (interface{}, error) {
+		b := r.mem.Region(region)
+		if b == nil || off < 0 || off+len(payload) > len(b) {
+			return nil, ErrBadAddress
+		}
+		copy(b[off:], payload)
+		if r.writeHook != nil {
+			r.writeHook(region, off, len(payload))
+		}
+		return nil, nil
+	}, func(_ interface{}, err error) {
+		if cb != nil {
+			cb(err)
+		}
+	})
+}
+
+// Probe issues a minimal one-sided read used by the reconfiguration
+// protocol to test liveness (§5.2 step 2); it succeeds iff the destination
+// NIC is powered and reachable.
+func (c *NIC) Probe(dst MachineID, cb func(err error)) {
+	c.net.Counters.Inc("rdma_read", 1)
+	c.oneSided(dst, 8, func(*NIC) (interface{}, error) { return nil, nil },
+		func(_ interface{}, err error) {
+			if cb != nil {
+				cb(err)
+			}
+		})
+}
+
+// oneSided routes a verb through src tx NIC → wire → dst rx NIC (where
+// remote executes against memory) → wire → src rx NIC (completion).
+func (c *NIC) oneSided(dst MachineID, bytes int, remote func(r *NIC) (interface{}, error), complete func(interface{}, error)) {
+	net := c.net
+	eng := net.Eng
+	fail := func() {
+		eng.After(net.Opts.FailTimeout, func() {
+			if c.powered {
+				complete(nil, ErrTimeout)
+			}
+		})
+	}
+	if !c.powered {
+		return // dead initiators complete nothing
+	}
+	if dst == c.ID {
+		// Same-machine fast path: a plain memory access, no NIC or wire.
+		eng.After(net.Opts.LocalOpTime, func() {
+			if !c.powered {
+				return
+			}
+			v, err := remote(c)
+			complete(v, err)
+		})
+		return
+	}
+	c.tx.Do(net.Opts.NICOpTime+net.xfer(bytes), func() {
+		eng.After(net.hop(), func() {
+			r := net.nics[dst]
+			if r == nil || !r.powered || !net.reachable(c.ID, dst) {
+				fail()
+				return
+			}
+			r.rx.Do(net.Opts.NICOpTime, func() {
+				// Execute against remote memory in NIC context. The remote
+				// machine may have died between scheduling and service.
+				if !r.powered || !net.reachable(c.ID, dst) {
+					fail()
+					return
+				}
+				v, err := remote(r)
+				eng.After(net.hop()+net.xfer(bytes), func() {
+					if !c.powered {
+						return
+					}
+					c.rx.Do(net.Opts.NICOpTime, func() {
+						if c.powered {
+							complete(v, err)
+						}
+					})
+				})
+			})
+		})
+	})
+}
+
+// Send delivers msg reliably to dst's message handler. Delivery is
+// fire-and-forget at this layer: if dst is dead or partitioned the message
+// vanishes and higher layers notice via leases/timeouts, as in the paper.
+// The payload is shared by reference; senders must not mutate it.
+func (c *NIC) Send(dst MachineID, msg interface{}) {
+	c.net.Counters.Inc("msg_send", 1)
+	c.transmit(dst, msg, false)
+}
+
+// SendUD delivers msg over the connectionless unreliable datagram
+// transport used by the lease manager (§5.1). Datagrams may be dropped.
+func (c *NIC) SendUD(dst MachineID, msg interface{}) {
+	c.net.Counters.Inc("ud_send", 1)
+	c.transmit(dst, msg, true)
+}
+
+func (c *NIC) transmit(dst MachineID, msg interface{}, ud bool) {
+	net := c.net
+	if !c.powered {
+		return
+	}
+	if ud && net.Eng.Rand().Bool(net.Opts.UDLossProb) {
+		net.Counters.Inc("ud_dropped", 1)
+		return
+	}
+	if dst == c.ID {
+		// Loopback: skip the NIC and wire.
+		net.Eng.After(net.Opts.LocalOpTime, func() {
+			if !c.powered {
+				return
+			}
+			h := c.msgHandler
+			if ud {
+				h = c.udHandler
+			}
+			if h != nil {
+				h(c.ID, msg)
+			}
+		})
+		return
+	}
+	c.tx.Do(net.Opts.NICOpTime, func() {
+		net.Eng.After(net.hop(), func() {
+			r := net.nics[dst]
+			if r == nil || !r.powered || !net.reachable(c.ID, dst) {
+				net.Counters.Inc("msg_lost", 1)
+				return
+			}
+			r.rx.Do(net.Opts.NICOpTime, func() {
+				if !r.powered {
+					return
+				}
+				h := r.msgHandler
+				if ud {
+					h = r.udHandler
+				}
+				if h != nil {
+					h(c.ID, msg)
+				}
+			})
+		})
+	})
+}

@@ -1,0 +1,362 @@
+// Package kv implements the FaRM hash table (§6.2, [16]): a distributed
+// hash table over the FaRM global address space whose buckets are FaRM
+// objects. A lookup is a single object read — one RDMA read when the
+// bucket's primary is remote — and all mutations run inside the caller's
+// transaction, so multi-table operations (TATP, TPC-C) compose into one
+// atomic commit.
+//
+// Buckets hold a fixed number of slots plus an overflow chain pointer.
+// The bucket directory (the []Addr produced at creation) is table
+// metadata: in FaRM it is derived from the region registry; here the
+// descriptor is shared by the application on all machines.
+package kv
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"farm/internal/core"
+	"farm/internal/proto"
+)
+
+// ErrFull is returned when neither the bucket nor a new overflow bucket
+// can accommodate an insert.
+var ErrFull = errors.New("kv: table full")
+
+// Table is a distributed hash table descriptor. It is immutable after
+// Create and safe to share across machines.
+type Table struct {
+	Name     string
+	buckets  []proto.Addr
+	slots    int
+	maxKey   int
+	maxVal   int
+	bodySize int
+}
+
+// Layout:
+//
+//	bucket := nextRegion u32 | nextOff u32 | slots × slot
+//	slot   := used u8 | keyLen u16 | valLen u16 | key [maxKey] | val [maxVal]
+const bucketHeader = 8
+
+func (t *Table) slotSize() int { return 5 + t.maxKey + t.maxVal }
+
+// BucketBytes returns the payload size of one bucket object.
+func (t *Table) BucketBytes() int { return bucketHeader + t.slots*t.slotSize() }
+
+// Buckets returns the number of top-level buckets.
+func (t *Table) Buckets() int { return len(t.buckets) }
+
+// hash maps a key to a top-level bucket.
+func (t *Table) hash(key []byte) int {
+	h := fnv.New64a()
+	h.Write(key)
+	return int(h.Sum64() % uint64(len(t.buckets)))
+}
+
+// BucketAddr exposes the bucket address a key maps to (used by workloads
+// for locality placement decisions).
+func (t *Table) BucketAddr(key []byte) proto.Addr { return t.buckets[t.hash(key)] }
+
+// Config sizes a table.
+type Config struct {
+	Name    string
+	Buckets int
+	Slots   int // slots per bucket (default 4)
+	MaxKey  int
+	MaxVal  int
+	// Regions to spread buckets over (round-robin). Required.
+	Regions []uint32
+}
+
+// Create allocates the bucket objects transactionally from machine m and
+// returns the descriptor through cb. Buckets are spread over the given
+// regions round-robin; with locality-partitioned workloads callers pass
+// region sets hosted by specific machines.
+func Create(m *core.Machine, cfg Config, cb func(*Table, error)) {
+	if cfg.Buckets <= 0 || cfg.MaxKey <= 0 || cfg.MaxVal < 0 || len(cfg.Regions) == 0 {
+		cb(nil, fmt.Errorf("kv: bad config %+v", cfg))
+		return
+	}
+	if cfg.Slots == 0 {
+		cfg.Slots = 4
+	}
+	t := &Table{
+		Name:   cfg.Name,
+		slots:  cfg.Slots,
+		maxKey: cfg.MaxKey,
+		maxVal: cfg.MaxVal,
+	}
+	t.buckets = make([]proto.Addr, cfg.Buckets)
+	empty := make([]byte, t.BucketBytes())
+
+	// Allocate in batches so one giant transaction does not exceed log
+	// reservations.
+	const batch = 32
+	var allocFrom func(i int)
+	allocFrom = func(i int) {
+		if i >= cfg.Buckets {
+			cb(t, nil)
+			return
+		}
+		end := i + batch
+		if end > cfg.Buckets {
+			end = cfg.Buckets
+		}
+		tx := m.Begin(i % m.Threads())
+		var allocOne func(j int)
+		allocOne = func(j int) {
+			if j == end {
+				tx.Commit(func(err error) {
+					if err != nil {
+						cb(nil, err)
+						return
+					}
+					allocFrom(end)
+				})
+				return
+			}
+			hint := proto.Addr{Region: cfg.Regions[j%len(cfg.Regions)]}
+			tx.Alloc(len(empty), empty, &hint, func(addr proto.Addr, err error) {
+				if err != nil {
+					cb(nil, err)
+					return
+				}
+				t.buckets[j] = addr
+				allocOne(j + 1)
+			})
+		}
+		allocOne(i)
+	}
+	allocFrom(0)
+}
+
+// MustCreate drives the simulation until Create completes (bootstrap
+// helper for tests, examples and benchmarks).
+func MustCreate(c *core.Cluster, m *core.Machine, cfg Config) *Table {
+	var table *Table
+	var cerr error
+	done := false
+	Create(m, cfg, func(t *Table, err error) {
+		table, cerr, done = t, err, true
+	})
+	for !done {
+		if !c.Eng.Step() {
+			break
+		}
+	}
+	if !done || cerr != nil {
+		panic(fmt.Sprintf("kv: MustCreate(%s): done=%v err=%v", cfg.Name, done, cerr))
+	}
+	return table
+}
+
+// parsed bucket view.
+type bucket struct {
+	t    *Table
+	data []byte
+}
+
+func (b bucket) next() proto.Addr {
+	return proto.Addr{
+		Region: binary.LittleEndian.Uint32(b.data[0:]),
+		Off:    binary.LittleEndian.Uint32(b.data[4:]),
+	}
+}
+
+func (b bucket) setNext(a proto.Addr) {
+	binary.LittleEndian.PutUint32(b.data[0:], a.Region)
+	binary.LittleEndian.PutUint32(b.data[4:], a.Off)
+}
+
+func (b bucket) slot(i int) []byte {
+	s := b.t.slotSize()
+	return b.data[bucketHeader+i*s : bucketHeader+(i+1)*s]
+}
+
+func slotUsed(s []byte) bool { return s[0] != 0 }
+
+func slotKey(s []byte) []byte {
+	kl := binary.LittleEndian.Uint16(s[1:])
+	return s[5 : 5+kl]
+}
+
+func slotVal(s []byte, maxKey int) []byte {
+	vl := binary.LittleEndian.Uint16(s[3:])
+	return s[5+maxKey : 5+maxKey+int(vl)]
+}
+
+func (b bucket) setSlot(i int, key, val []byte) {
+	s := b.slot(i)
+	s[0] = 1
+	binary.LittleEndian.PutUint16(s[1:], uint16(len(key)))
+	binary.LittleEndian.PutUint16(s[3:], uint16(len(val)))
+	copy(s[5:], key)
+	copy(s[5+b.t.maxKey:], val)
+}
+
+func (b bucket) clearSlot(i int) { b.slot(i)[0] = 0 }
+
+// find returns the slot index holding key, or -1.
+func (b bucket) find(key []byte) int {
+	for i := 0; i < b.t.slots; i++ {
+		s := b.slot(i)
+		if slotUsed(s) && bytes.Equal(slotKey(s), key) {
+			return i
+		}
+	}
+	return -1
+}
+
+// freeSlot returns an unused slot index, or -1.
+func (b bucket) freeSlot() int {
+	for i := 0; i < b.t.slots; i++ {
+		if !slotUsed(b.slot(i)) {
+			return i
+		}
+	}
+	return -1
+}
+
+var zeroAddr = proto.Addr{}
+
+// Get looks key up within tx. ok reports presence; val is a copy.
+func (t *Table) Get(tx *core.Tx, key []byte, cb func(val []byte, ok bool, err error)) {
+	if len(key) > t.maxKey {
+		cb(nil, false, fmt.Errorf("kv: key too long"))
+		return
+	}
+	t.getAt(tx, t.buckets[t.hash(key)], key, cb)
+}
+
+func (t *Table) getAt(tx *core.Tx, addr proto.Addr, key []byte, cb func([]byte, bool, error)) {
+	tx.Read(addr, t.BucketBytes(), func(data []byte, err error) {
+		if err != nil {
+			cb(nil, false, err)
+			return
+		}
+		b := bucket{t: t, data: data}
+		if i := b.find(key); i >= 0 {
+			cb(append([]byte(nil), slotVal(b.slot(i), t.maxKey)...), true, nil)
+			return
+		}
+		if n := b.next(); n != zeroAddr {
+			t.getAt(tx, n, key, cb)
+			return
+		}
+		cb(nil, false, nil)
+	})
+}
+
+// LockFreeGet is the single-read lookup outside any transaction (FaRM's
+// lock-free reads, used by TATP's read-only single-row operations). It
+// only examines the top-level bucket chain, retrying through the machine's
+// lock-free read path.
+func (t *Table) LockFreeGet(m *core.Machine, thread int, key []byte, cb func(val []byte, ok bool, err error)) {
+	t.lockFreeGetAt(m, thread, t.buckets[t.hash(key)], key, cb)
+}
+
+func (t *Table) lockFreeGetAt(m *core.Machine, thread int, addr proto.Addr, key []byte, cb func([]byte, bool, error)) {
+	m.LockFreeRead(thread, addr, t.BucketBytes(), func(data []byte, err error) {
+		if err != nil {
+			cb(nil, false, err)
+			return
+		}
+		b := bucket{t: t, data: data}
+		if i := b.find(key); i >= 0 {
+			cb(append([]byte(nil), slotVal(b.slot(i), t.maxKey)...), true, nil)
+			return
+		}
+		if n := b.next(); n != zeroAddr {
+			t.lockFreeGetAt(m, thread, n, key, cb)
+			return
+		}
+		cb(nil, false, nil)
+	})
+}
+
+// Put inserts or updates key within tx.
+func (t *Table) Put(tx *core.Tx, key, val []byte, cb func(err error)) {
+	if len(key) > t.maxKey || len(val) > t.maxVal {
+		cb(fmt.Errorf("kv: key/value too long"))
+		return
+	}
+	t.putAt(tx, t.buckets[t.hash(key)], key, val, cb)
+}
+
+func (t *Table) putAt(tx *core.Tx, addr proto.Addr, key, val []byte, cb func(error)) {
+	tx.Read(addr, t.BucketBytes(), func(data []byte, err error) {
+		if err != nil {
+			cb(err)
+			return
+		}
+		b := bucket{t: t, data: data}
+		if i := b.find(key); i >= 0 {
+			b.setSlot(i, key, val)
+			tx.Write(addr, b.data)
+			cb(nil)
+			return
+		}
+		if n := b.next(); n != zeroAddr {
+			t.putAt(tx, n, key, val, cb)
+			return
+		}
+		if i := b.freeSlot(); i >= 0 {
+			b.setSlot(i, key, val)
+			tx.Write(addr, b.data)
+			cb(nil)
+			return
+		}
+		// Chain a fresh overflow bucket near this one (same region).
+		overflow := make([]byte, t.BucketBytes())
+		ob := bucket{t: t, data: overflow}
+		ob.setSlot(0, key, val)
+		hint := addr
+		tx.Alloc(len(overflow), overflow, &hint, func(oaddr proto.Addr, err error) {
+			if err != nil {
+				cb(ErrFull)
+				return
+			}
+			b.setNext(oaddr)
+			tx.Write(addr, b.data)
+			cb(nil)
+		})
+	})
+}
+
+// Delete removes key within tx; ok reports whether it was present.
+func (t *Table) Delete(tx *core.Tx, key []byte, cb func(ok bool, err error)) {
+	t.deleteAt(tx, t.buckets[t.hash(key)], key, cb)
+}
+
+func (t *Table) deleteAt(tx *core.Tx, addr proto.Addr, key []byte, cb func(bool, error)) {
+	tx.Read(addr, t.BucketBytes(), func(data []byte, err error) {
+		if err != nil {
+			cb(false, err)
+			return
+		}
+		b := bucket{t: t, data: data}
+		if i := b.find(key); i >= 0 {
+			b.clearSlot(i)
+			tx.Write(addr, b.data)
+			cb(true, nil)
+			return
+		}
+		if n := b.next(); n != zeroAddr {
+			t.deleteAt(tx, n, key, cb)
+			return
+		}
+		cb(false, nil)
+	})
+}
+
+// U64Key encodes an integer key (the common TATP/TPC-C case).
+func U64Key(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}

@@ -1,0 +1,311 @@
+package kv
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"farm/internal/core"
+	"farm/internal/sim"
+)
+
+type rig struct {
+	c *core.Cluster
+	t *Table
+}
+
+func newRig(t *testing.T, buckets, slots int) *rig {
+	t.Helper()
+	c := core.New(core.Options{NumMachines: 5, Seed: 9})
+	regions, err := c.CreateRegions(0, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := MustCreate(c, c.Machine(0), Config{
+		Name: "test", Buckets: buckets, Slots: slots, MaxKey: 16, MaxVal: 32, Regions: regions,
+	})
+	return &rig{c: c, t: table}
+}
+
+// do runs fn inside a fresh transaction on machine mi and commits.
+func (r *rig) do(t *testing.T, mi int, fn func(tx *core.Tx, done func(error))) error {
+	t.Helper()
+	finished := false
+	var result error
+	tx := r.c.Machine(mi).Begin(0)
+	fn(tx, func(err error) {
+		if err != nil {
+			finished, result = true, err
+			return
+		}
+		tx.Commit(func(err error) { finished, result = true, err })
+	})
+	deadline := r.c.Eng.Now() + 5*sim.Second
+	for !finished && r.c.Eng.Now() < deadline {
+		if !r.c.Eng.Step() {
+			break
+		}
+	}
+	if !finished {
+		t.Fatal("kv op stalled")
+	}
+	return result
+}
+
+func (r *rig) put(t *testing.T, mi int, key, val string) error {
+	return r.do(t, mi, func(tx *core.Tx, done func(error)) {
+		r.t.Put(tx, []byte(key), []byte(val), done)
+	})
+}
+
+func (r *rig) get(t *testing.T, mi int, key string) (string, bool) {
+	var out string
+	var found bool
+	err := r.do(t, mi, func(tx *core.Tx, done func(error)) {
+		r.t.Get(tx, []byte(key), func(val []byte, ok bool, err error) {
+			out, found = string(val), ok
+			done(err)
+		})
+	})
+	if err != nil {
+		t.Fatalf("get %q: %v", key, err)
+	}
+	return out, found
+}
+
+func TestPutGetDelete(t *testing.T) {
+	r := newRig(t, 16, 4)
+	if err := r.put(t, 0, "alpha", "one"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := r.get(t, 1, "alpha"); !ok || v != "one" {
+		t.Fatalf("get: %q %v", v, ok)
+	}
+	if _, ok := r.get(t, 2, "beta"); ok {
+		t.Fatal("phantom key")
+	}
+	// Update.
+	if err := r.put(t, 3, "alpha", "two"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := r.get(t, 4, "alpha"); v != "two" {
+		t.Fatalf("after update: %q", v)
+	}
+	// Delete.
+	err := r.do(t, 0, func(tx *core.Tx, done func(error)) {
+		r.t.Delete(tx, []byte("alpha"), func(ok bool, err error) {
+			if !ok {
+				t.Error("delete missed")
+			}
+			done(err)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.get(t, 1, "alpha"); ok {
+		t.Fatal("key survived delete")
+	}
+}
+
+func TestOverflowChains(t *testing.T) {
+	// One bucket, two slots: everything collides, forcing overflow chains.
+	r := newRig(t, 1, 2)
+	for i := 0; i < 20; i++ {
+		if err := r.put(t, i%5, fmt.Sprintf("key-%d", i), fmt.Sprintf("val-%d", i)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		v, ok := r.get(t, (i+1)%5, fmt.Sprintf("key-%d", i))
+		if !ok || v != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("key-%d: %q %v", i, v, ok)
+		}
+	}
+}
+
+func TestLockFreeGet(t *testing.T) {
+	r := newRig(t, 8, 4)
+	if err := r.put(t, 0, "lf", "fast-read"); err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	var found, fired bool
+	r.t.LockFreeGet(r.c.Machine(3), 0, []byte("lf"), func(val []byte, ok bool, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		got, found, fired = string(val), ok, true
+	})
+	deadline := r.c.Eng.Now() + sim.Second
+	for !fired && r.c.Eng.Now() < deadline {
+		r.c.Eng.Step()
+	}
+	if !found || got != "fast-read" {
+		t.Fatalf("lock-free get: %q %v", got, found)
+	}
+}
+
+func TestTransactionalComposition(t *testing.T) {
+	// Two puts in one transaction are atomic: a conflicting interleaved
+	// writer aborts one of them entirely.
+	r := newRig(t, 16, 4)
+	if err := r.put(t, 0, "x", "0"); err != nil {
+		t.Fatal(err)
+	}
+	err := r.do(t, 1, func(tx *core.Tx, done func(error)) {
+		r.t.Get(tx, []byte("x"), func(_ []byte, _ bool, err error) {
+			if err != nil {
+				done(err)
+				return
+			}
+			r.t.Put(tx, []byte("x"), []byte("1"), func(err error) {
+				if err != nil {
+					done(err)
+					return
+				}
+				r.t.Put(tx, []byte("y"), []byte("1"), done)
+			})
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vx, _ := r.get(t, 2, "x")
+	vy, oky := r.get(t, 2, "y")
+	if vx != "1" || !oky || vy != "1" {
+		t.Fatalf("composed tx: x=%q y=%q", vx, vy)
+	}
+}
+
+func TestConflictOnSameBucket(t *testing.T) {
+	r := newRig(t, 1, 8) // everything in one bucket → guaranteed conflict
+	if err := r.put(t, 0, "a", "0"); err != nil {
+		t.Fatal(err)
+	}
+	results := make([]error, 0, 2)
+	launch := func(mi int, key string) {
+		tx := r.c.Machine(mi).Begin(0)
+		r.t.Put(tx, []byte(key), []byte("v"), func(err error) {
+			if err != nil {
+				results = append(results, err)
+				return
+			}
+			tx.Commit(func(err error) { results = append(results, err) })
+		})
+	}
+	launch(1, "k1")
+	launch(2, "k2")
+	deadline := r.c.Eng.Now() + sim.Second
+	for len(results) < 2 && r.c.Eng.Now() < deadline {
+		r.c.Eng.Step()
+	}
+	conflicts := 0
+	for _, err := range results {
+		if errors.Is(err, core.ErrConflict) {
+			conflicts++
+		} else if err != nil {
+			t.Fatalf("unexpected: %v", err)
+		}
+	}
+	if conflicts != 1 {
+		t.Fatalf("conflicts = %d, want 1 (same-bucket writers must collide)", conflicts)
+	}
+}
+
+func TestQuickMapEquivalence(t *testing.T) {
+	// Property: a random op sequence applied to the table matches a Go map.
+	type op struct {
+		Put bool
+		Key uint8
+		Val uint8
+	}
+	f := func(ops []op) bool {
+		if len(ops) > 60 {
+			ops = ops[:60]
+		}
+		r := newRig(t, 4, 2)
+		model := map[string]string{}
+		for i, o := range ops {
+			key := fmt.Sprintf("k%d", o.Key%20)
+			if o.Put {
+				val := fmt.Sprintf("v%d", o.Val)
+				if err := r.put(t, i%5, key, val); err != nil {
+					return false
+				}
+				model[key] = val
+			} else {
+				r.do(t, i%5, func(tx *core.Tx, done func(error)) {
+					r.t.Delete(tx, []byte(key), func(bool, error) { done(nil) })
+				})
+				delete(model, key)
+			}
+		}
+		for k, want := range model {
+			got, ok := r.get(t, 0, k)
+			if !ok || got != want {
+				return false
+			}
+		}
+		// And absent keys stay absent.
+		for i := 0; i < 20; i++ {
+			k := fmt.Sprintf("k%d", i)
+			if _, inModel := model[k]; !inModel {
+				if _, ok := r.get(t, 1, k); ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestU64Key(t *testing.T) {
+	a, b := U64Key(7), U64Key(8)
+	if bytes.Equal(a, b) || len(a) != 8 {
+		t.Fatal("U64Key broken")
+	}
+}
+
+func TestTableSurvivesMachineFailure(t *testing.T) {
+	c := core.New(core.Options{NumMachines: 5, Seed: 67, LeaseDuration: 5 * sim.Millisecond})
+	regions, err := c.CreateRegions(0, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := MustCreate(c, c.Machine(0), Config{
+		Name: "failkv", Buckets: 16, Slots: 4, MaxKey: 16, MaxVal: 32, Regions: regions,
+	})
+	r := &rig{c: c, t: table}
+	for i := 0; i < 30; i++ {
+		if err := r.put(t, i%5, fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.RunFor(20 * sim.Millisecond)
+	c.Kill(2)
+	c.RunFor(400 * sim.Millisecond)
+
+	for i := 0; i < 30; i++ {
+		reader := i % 5
+		if reader == 2 {
+			reader = 3
+		}
+		v, ok := r.get(t, reader, fmt.Sprintf("k%d", i))
+		if !ok || v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("k%d after failure: %q %v", i, v, ok)
+		}
+	}
+	// Writes still work (chains, allocation, the lot).
+	if err := r.put(t, 0, "post-failure", "yes"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := r.get(t, 1, "post-failure"); !ok || v != "yes" {
+		t.Fatalf("post-failure put: %q %v", v, ok)
+	}
+}

@@ -1,0 +1,140 @@
+// Package loadgen drives closed-loop workloads against a cluster the way
+// the paper's benchmarks do (§6.3): every machine runs the benchmark code
+// itself (symmetric model), each worker thread keeps a fixed number of
+// operations outstanding, and the harness records per-operation latency
+// histograms and a 1 ms throughput timeline. Load is varied by changing
+// active thread count and per-thread concurrency, exactly how Figures 7–8
+// sweep their throughput–latency curves.
+package loadgen
+
+import (
+	"farm/internal/core"
+	"farm/internal/sim"
+	"farm/internal/stats"
+)
+
+// Op runs one operation on machine m / worker thread `thread` and must
+// call done exactly once (ok=false counts as an abort/retry, not reported
+// in throughput).
+type Op func(m *core.Machine, thread int, rng *sim.Rand, done func(ok bool))
+
+// Generator drives Ops in a closed loop.
+type Generator struct {
+	c  *core.Cluster
+	op Op
+
+	// Latency is recorded for successful operations only, after Warmup.
+	Latency *stats.Histogram
+	// Timeline counts successful completions per 1 ms bucket.
+	Timeline *stats.Timeline
+	// Warmup excludes the initial ramp from the statistics.
+	Warmup sim.Time
+
+	committed uint64
+	aborted   uint64
+	stopped   bool
+	startAt   sim.Time
+}
+
+// New creates a generator for op.
+func New(c *core.Cluster, op Op) *Generator {
+	return &Generator{
+		c:        c,
+		op:       op,
+		Latency:  stats.NewHistogram(),
+		Timeline: stats.NewTimeline(sim.Millisecond),
+	}
+}
+
+// Start launches the closed loops: on every listed machine, `threads`
+// worker threads each keep `concurrency` operations outstanding.
+func (g *Generator) Start(machines []int, threads, concurrency int) {
+	g.startAt = g.c.Eng.Now()
+	for _, mi := range machines {
+		m := g.c.Machines[mi]
+		for th := 0; th < threads; th++ {
+			for slot := 0; slot < concurrency; slot++ {
+				rng := sim.NewRand(g.c.Opts.Seed*1_000_003 + uint64(mi)*1009 + uint64(th)*31 + uint64(slot) + 1)
+				g.loop(m, th, rng)
+			}
+		}
+	}
+}
+
+func (g *Generator) loop(m *core.Machine, thread int, rng *sim.Rand) {
+	if g.stopped || !m.Alive() {
+		return
+	}
+	begin := g.c.Eng.Now()
+	g.op(m, thread, rng, func(ok bool) {
+		now := g.c.Eng.Now()
+		if ok {
+			g.committed++
+			if now-g.startAt >= g.Warmup {
+				g.Latency.Record(now - begin)
+				g.Timeline.Add(now, 1)
+			}
+			g.loop(m, thread, rng)
+			return
+		}
+		g.aborted++
+		// Back off briefly on aborts (conflict retry).
+		g.c.Eng.After(rng.Duration(20*sim.Microsecond)+sim.Microsecond, func() {
+			g.loop(m, thread, rng)
+		})
+	})
+}
+
+// Stop ends the loops after in-flight operations complete.
+func (g *Generator) Stop() { g.stopped = true }
+
+// Committed and Aborted report operation counts.
+func (g *Generator) Committed() uint64 { return g.committed }
+func (g *Generator) Aborted() uint64   { return g.aborted }
+
+// ThroughputPerSecond is the successful-operation rate over [from, to).
+func (g *Generator) ThroughputPerSecond(from, to sim.Time) float64 {
+	if to <= from {
+		return 0
+	}
+	return g.Timeline.WindowAverage(from, to) * 1000
+}
+
+// RunSync drives one transaction to completion synchronously (setup and
+// population helper). fn must call done(err) exactly once; a nil error
+// commits the transaction.
+func RunSync(c *core.Cluster, m *core.Machine, thread int, fn func(tx *core.Tx, done func(error))) error {
+	finished := false
+	var result error
+	tx := m.Begin(thread)
+	fn(tx, func(err error) {
+		if err != nil {
+			finished, result = true, err
+			return
+		}
+		tx.Commit(func(err error) { finished, result = true, err })
+	})
+	deadline := c.Eng.Now() + 30*sim.Second
+	for !finished && c.Eng.Now() < deadline {
+		if !c.Eng.Step() {
+			break
+		}
+	}
+	if !finished {
+		return core.ErrUnavailable
+	}
+	return result
+}
+
+// RunPoint drives one load point for the throughput–latency sweeps: run
+// for warmup+measure of virtual time and return (throughput ops/s, median,
+// p99).
+func (g *Generator) RunPoint(machines []int, threads, concurrency int, warmup, measure sim.Time) (float64, sim.Time, sim.Time) {
+	g.Warmup = warmup
+	g.Start(machines, threads, concurrency)
+	g.c.Eng.RunFor(warmup + measure)
+	g.Stop()
+	start := g.startAt + warmup
+	tput := g.ThroughputPerSecond(start, start+measure)
+	return tput, g.Latency.Median(), g.Latency.P99()
+}

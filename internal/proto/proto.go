@@ -1,0 +1,285 @@
+// Package proto defines the wire-visible vocabulary of the FaRM protocols:
+// the log record types of Table 1 (which are binary-encoded, because they
+// are written into remote non-volatile ring buffers with one-sided RDMA and
+// must be re-parseable during recovery) and the message types of Table 2
+// plus the reconfiguration/lease control messages of §5.1–§5.2 (which
+// travel as in-memory values over the simulated reliable transport).
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Addr is a FaRM global address: a region identifier plus an offset within
+// the region (§3). Objects are always read at their primary.
+type Addr struct {
+	Region uint32
+	Off    uint32
+}
+
+// String formats an address as region:offset.
+func (a Addr) String() string { return fmt.Sprintf("%d:%d", a.Region, a.Off) }
+
+// TxID is the transaction identifier ⟨c, m, t, l⟩ of §5.3: the
+// configuration in which commit started, the coordinator machine, the
+// coordinator thread, and a thread-local sequence number.
+type TxID struct {
+	Config  uint64
+	Machine uint16
+	Thread  uint16
+	Local   uint64
+}
+
+// IsZero reports whether the id is unset.
+func (id TxID) IsZero() bool { return id == TxID{} }
+
+// String formats the id as ⟨c,m,t,l⟩.
+func (id TxID) String() string {
+	return fmt.Sprintf("⟨%d,%d,%d,%d⟩", id.Config, id.Machine, id.Thread, id.Local)
+}
+
+// CoordKey identifies the coordinating thread — the log/queue pair and the
+// truncation lower-bound domain.
+type CoordKey struct {
+	Machine uint16
+	Thread  uint16
+}
+
+// Coord returns the coordinator thread key of the transaction.
+func (id TxID) Coord() CoordKey { return CoordKey{Machine: id.Machine, Thread: id.Thread} }
+
+// RecordType enumerates the log record types of Table 1.
+type RecordType uint8
+
+// Table 1 log record types.
+const (
+	RecInvalid RecordType = iota
+	RecLock
+	RecCommitBackup
+	RecCommitPrimary
+	RecAbort
+	RecTruncate
+)
+
+// String names the record type.
+func (t RecordType) String() string {
+	switch t {
+	case RecLock:
+		return "LOCK"
+	case RecCommitBackup:
+		return "COMMIT-BACKUP"
+	case RecCommitPrimary:
+		return "COMMIT-PRIMARY"
+	case RecAbort:
+		return "ABORT"
+	case RecTruncate:
+		return "TRUNCATE"
+	default:
+		return "INVALID"
+	}
+}
+
+// ObjectWrite is one written object carried in a LOCK or COMMIT-BACKUP
+// record: its address, the version observed at read time (the version to
+// lock at), and the new value. Allocated is the object's allocation bit
+// after commit — set for writes and allocations, clear for frees, because
+// FaRM replicates allocation-state changes through the transaction write
+// path (§5.5).
+type ObjectWrite struct {
+	Addr      Addr
+	Version   uint64
+	Allocated bool
+	Value     []byte
+}
+
+// Record is a Table 1 log record. Per the table's note, every record
+// piggybacks the coordinator thread's truncation state: a low bound on
+// non-truncated local transaction ids and a set of transaction ids to
+// truncate now.
+type Record struct {
+	Type RecordType
+	Tx   TxID
+	// Regions lists the ids of all regions containing objects written by
+	// the transaction (LOCK and COMMIT-BACKUP records).
+	Regions []uint32
+	// Writes holds the addresses, lock versions and new values of written
+	// objects the destination is primary (LOCK) or backup (COMMIT-BACKUP)
+	// for.
+	Writes []ObjectWrite
+	// TruncLow is the piggybacked low bound on non-truncated local ids for
+	// this coordinator thread.
+	TruncLow uint64
+	// TruncIDs are piggybacked local ids (same coordinator thread) whose
+	// records can be truncated.
+	TruncIDs []uint64
+}
+
+// ErrBadRecord is returned when a log record fails to parse.
+var ErrBadRecord = errors.New("proto: malformed log record")
+
+// MarshalRecord encodes r into self-describing bytes suitable for a ring
+// buffer frame.
+func MarshalRecord(r *Record) []byte {
+	size := 1 + 8 + 2 + 2 + 8 + 8 + 2 + 8*len(r.TruncIDs) + 2 + 4*len(r.Regions) + 2
+	for _, w := range r.Writes {
+		size += 4 + 4 + 8 + 1 + 4 + len(w.Value)
+	}
+	b := make([]byte, 0, size)
+	b = append(b, byte(r.Type))
+	b = binary.LittleEndian.AppendUint64(b, r.Tx.Config)
+	b = binary.LittleEndian.AppendUint16(b, r.Tx.Machine)
+	b = binary.LittleEndian.AppendUint16(b, r.Tx.Thread)
+	b = binary.LittleEndian.AppendUint64(b, r.Tx.Local)
+	b = binary.LittleEndian.AppendUint64(b, r.TruncLow)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(r.TruncIDs)))
+	for _, id := range r.TruncIDs {
+		b = binary.LittleEndian.AppendUint64(b, id)
+	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(r.Regions)))
+	for _, rg := range r.Regions {
+		b = binary.LittleEndian.AppendUint32(b, rg)
+	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(r.Writes)))
+	for _, w := range r.Writes {
+		b = binary.LittleEndian.AppendUint32(b, w.Addr.Region)
+		b = binary.LittleEndian.AppendUint32(b, w.Addr.Off)
+		b = binary.LittleEndian.AppendUint64(b, w.Version)
+		if w.Allocated {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(w.Value)))
+		b = append(b, w.Value...)
+	}
+	return b
+}
+
+type reader struct {
+	b   []byte
+	pos int
+	err bool
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err || r.pos+n > len(r.b) {
+		r.err = true
+		return nil
+	}
+	out := r.b[r.pos : r.pos+n]
+	r.pos += n
+	return out
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// UnmarshalRecord decodes a record previously produced by MarshalRecord.
+func UnmarshalRecord(data []byte) (*Record, error) {
+	rd := &reader{b: data}
+	rec := &Record{}
+	rec.Type = RecordType(rd.u8())
+	if rec.Type == RecInvalid || rec.Type > RecTruncate {
+		return nil, ErrBadRecord
+	}
+	rec.Tx.Config = rd.u64()
+	rec.Tx.Machine = rd.u16()
+	rec.Tx.Thread = rd.u16()
+	rec.Tx.Local = rd.u64()
+	rec.TruncLow = rd.u64()
+	if n := int(rd.u16()); n > 0 {
+		rec.TruncIDs = make([]uint64, n)
+		for i := range rec.TruncIDs {
+			rec.TruncIDs[i] = rd.u64()
+		}
+	}
+	if n := int(rd.u16()); n > 0 {
+		rec.Regions = make([]uint32, n)
+		for i := range rec.Regions {
+			rec.Regions[i] = rd.u32()
+		}
+	}
+	if n := int(rd.u16()); n > 0 {
+		rec.Writes = make([]ObjectWrite, n)
+		for i := range rec.Writes {
+			w := &rec.Writes[i]
+			w.Addr.Region = rd.u32()
+			w.Addr.Off = rd.u32()
+			w.Version = rd.u64()
+			w.Allocated = rd.u8() != 0
+			vlen := int(rd.u32())
+			v := rd.take(vlen)
+			if v != nil {
+				w.Value = make([]byte, vlen)
+				copy(w.Value, v)
+			}
+		}
+	}
+	if rd.err || rd.pos != len(data) {
+		return nil, ErrBadRecord
+	}
+	return rec, nil
+}
+
+// Vote is a recovery vote (§5.3 step 6) sent by the primary of a region to
+// the recovery coordinator of a transaction.
+type Vote uint8
+
+// Vote values, strongest first.
+const (
+	VoteUnknown Vote = iota
+	VoteAbort
+	VoteLock
+	VoteCommitBackup
+	VoteCommitPrimary
+	VoteTruncated
+)
+
+// String names the vote.
+func (v Vote) String() string {
+	switch v {
+	case VoteCommitPrimary:
+		return "commit-primary"
+	case VoteCommitBackup:
+		return "commit-backup"
+	case VoteLock:
+		return "lock"
+	case VoteAbort:
+		return "abort"
+	case VoteTruncated:
+		return "truncated"
+	default:
+		return "unknown"
+	}
+}

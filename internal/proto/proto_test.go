@@ -1,0 +1,152 @@
+package proto
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleRecord() *Record {
+	return &Record{
+		Type:    RecLock,
+		Tx:      TxID{Config: 3, Machine: 7, Thread: 11, Local: 42},
+		Regions: []uint32{1, 9, 200},
+		Writes: []ObjectWrite{
+			{Addr: Addr{Region: 1, Off: 64}, Version: 5, Value: []byte("hello")},
+			{Addr: Addr{Region: 9, Off: 128}, Version: 77, Value: []byte{}},
+		},
+		TruncLow: 40,
+		TruncIDs: []uint64{40, 41},
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	r := sampleRecord()
+	b := MarshalRecord(r)
+	got, err := UnmarshalRecord(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != r.Type || got.Tx != r.Tx || got.TruncLow != r.TruncLow {
+		t.Fatalf("header mismatch: %+v vs %+v", got, r)
+	}
+	if !reflect.DeepEqual(got.Regions, r.Regions) {
+		t.Fatalf("regions: %v vs %v", got.Regions, r.Regions)
+	}
+	if !reflect.DeepEqual(got.TruncIDs, r.TruncIDs) {
+		t.Fatalf("trunc ids: %v vs %v", got.TruncIDs, r.TruncIDs)
+	}
+	if len(got.Writes) != len(r.Writes) {
+		t.Fatalf("writes: %d vs %d", len(got.Writes), len(r.Writes))
+	}
+	for i := range r.Writes {
+		if got.Writes[i].Addr != r.Writes[i].Addr || got.Writes[i].Version != r.Writes[i].Version {
+			t.Fatalf("write %d header mismatch", i)
+		}
+		if !bytes.Equal(got.Writes[i].Value, r.Writes[i].Value) {
+			t.Fatalf("write %d value mismatch", i)
+		}
+	}
+}
+
+func TestAllTable1RecordTypesRoundTrip(t *testing.T) {
+	for _, typ := range []RecordType{RecLock, RecCommitBackup, RecCommitPrimary, RecAbort, RecTruncate} {
+		r := &Record{Type: typ, Tx: TxID{Config: 1, Machine: 2, Thread: 3, Local: 4}}
+		got, err := UnmarshalRecord(MarshalRecord(r))
+		if err != nil {
+			t.Fatalf("%v: %v", typ, err)
+		}
+		if got.Type != typ || got.Tx != r.Tx {
+			t.Fatalf("%v: round trip mismatch", typ)
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0},                                      // invalid type
+		{255, 1, 2, 3},                           // unknown type
+		MarshalRecord(sampleRecord())[:10],       // truncated
+		append(MarshalRecord(sampleRecord()), 0), // trailing bytes
+	}
+	for i, c := range cases {
+		if _, err := UnmarshalRecord(c); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestRecordRoundTripQuick(t *testing.T) {
+	f := func(cfg uint64, m, th uint16, local uint64, regions []uint32, low uint64, vals [][]byte) bool {
+		if len(regions) > 1000 || len(vals) > 100 {
+			return true
+		}
+		r := &Record{
+			Type:     RecCommitBackup,
+			Tx:       TxID{Config: cfg, Machine: m, Thread: th, Local: local},
+			Regions:  regions,
+			TruncLow: low,
+		}
+		for i, v := range vals {
+			r.Writes = append(r.Writes, ObjectWrite{
+				Addr:    Addr{Region: uint32(i), Off: uint32(i * 8)},
+				Version: uint64(i),
+				Value:   v,
+			})
+		}
+		got, err := UnmarshalRecord(MarshalRecord(r))
+		if err != nil {
+			return false
+		}
+		if got.Tx != r.Tx || len(got.Writes) != len(r.Writes) {
+			return false
+		}
+		for i := range r.Writes {
+			if !bytes.Equal(got.Writes[i].Value, r.Writes[i].Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTxIDHelpers(t *testing.T) {
+	id := TxID{Config: 1, Machine: 2, Thread: 3, Local: 4}
+	if id.IsZero() {
+		t.Fatal("non-zero id reported zero")
+	}
+	if (TxID{}).IsZero() == false {
+		t.Fatal("zero id not detected")
+	}
+	if id.Coord() != (CoordKey{Machine: 2, Thread: 3}) {
+		t.Fatalf("coord key = %+v", id.Coord())
+	}
+	if id.String() != "⟨1,2,3,4⟩" {
+		t.Fatalf("String = %s", id)
+	}
+}
+
+func TestVoteAndRecordTypeNames(t *testing.T) {
+	if VoteCommitPrimary.String() != "commit-primary" || VoteTruncated.String() != "truncated" {
+		t.Fatal("vote names wrong")
+	}
+	if RecLock.String() != "LOCK" || RecCommitBackup.String() != "COMMIT-BACKUP" {
+		t.Fatal("record names wrong")
+	}
+	if RecordType(99).String() != "INVALID" {
+		t.Fatal("unknown record type name")
+	}
+}
+
+func TestConfigMember(t *testing.T) {
+	c := &Config{ID: 5, Machines: []uint16{0, 2, 4}, CM: 0}
+	if !c.Member(2) || c.Member(1) {
+		t.Fatal("Member wrong")
+	}
+}

@@ -1,0 +1,306 @@
+// Package regionmem implements the FaRM memory layout of §3 and §5.5: the
+// global address space is made of regions; each object starts with a 64-bit
+// header word holding a lock bit, an allocation bit and a version; regions
+// are split into blocks used as slabs for small-object allocation, with
+// block headers (object size per block) and per-slab free lists kept at the
+// primary.
+//
+// Everything here operates on plain byte slices so the same code runs
+// against local memory, the bytes a one-sided RDMA read returned, or a
+// backup's replica during recovery scans.
+package regionmem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// HeaderSize is the size of the per-object version word.
+const HeaderSize = 8
+
+// Header word layout: bit 63 = lock, bit 62 = allocated, bits 0..61 =
+// version (§4: "Each object has a 64-bit version that is used for
+// concurrency control and replication"; §5.5: "Each object has a bit in its
+// header that is set by an allocation").
+const (
+	lockBit  = uint64(1) << 63
+	allocBit = uint64(1) << 62
+	verMask  = allocBit - 1
+)
+
+// Compose builds a header word.
+func Compose(version uint64, locked, allocated bool) uint64 {
+	w := version & verMask
+	if locked {
+		w |= lockBit
+	}
+	if allocated {
+		w |= allocBit
+	}
+	return w
+}
+
+// Locked reports the lock bit.
+func Locked(word uint64) bool { return word&lockBit != 0 }
+
+// Allocated reports the allocation bit.
+func Allocated(word uint64) bool { return word&allocBit != 0 }
+
+// Version extracts the version number.
+func Version(word uint64) uint64 { return word & verMask }
+
+// ReadHeader loads the header word of the object at off.
+func ReadHeader(b []byte, off int) uint64 {
+	return binary.LittleEndian.Uint64(b[off:])
+}
+
+// WriteHeader stores the header word of the object at off.
+func WriteHeader(b []byte, off int, word uint64) {
+	binary.LittleEndian.PutUint64(b[off:], word)
+}
+
+// TryLock attempts the compare-and-swap a primary performs for a LOCK
+// record (§4 step 1): it succeeds iff the object is unlocked and its
+// version equals version. On success the lock bit is set.
+func TryLock(b []byte, off int, version uint64) bool {
+	w := ReadHeader(b, off)
+	if Locked(w) || Version(w) != version {
+		return false
+	}
+	WriteHeader(b, off, w|lockBit)
+	return true
+}
+
+// Unlock clears the lock bit without changing version or allocation state
+// (used when a transaction aborts after locking).
+func Unlock(b []byte, off int) {
+	WriteHeader(b, off, ReadHeader(b, off)&^lockBit)
+}
+
+// CommitWrite installs a committed write at off: the payload is copied,
+// the version advanced to newVersion, the allocation bit set as given, and
+// the lock released (§4 step 4).
+func CommitWrite(b []byte, off int, newVersion uint64, allocated bool, payload []byte) {
+	copy(b[off+HeaderSize:], payload)
+	WriteHeader(b, off, Compose(newVersion, false, allocated))
+}
+
+// ReadObject returns the header word and a copy of size payload bytes of
+// the object at off.
+func ReadObject(b []byte, off, size int) (word uint64, data []byte) {
+	word = ReadHeader(b, off)
+	data = make([]byte, size)
+	copy(data, b[off+HeaderSize:off+HeaderSize+size])
+	return word, data
+}
+
+// Layout fixes the geometry of regions. The paper uses 2 GB regions and
+// 1 MB blocks; simulations scale both down, preserving the ratios that
+// matter (many blocks per region, many objects per block).
+type Layout struct {
+	RegionSize int
+	BlockSize  int
+}
+
+// DefaultLayout is the scaled-down simulation geometry.
+func DefaultLayout() Layout { return Layout{RegionSize: 1 << 20, BlockSize: 1 << 14} }
+
+// Validate checks the geometry is usable.
+func (l Layout) Validate() error {
+	if l.BlockSize < 2*HeaderSize || l.RegionSize < l.BlockSize || l.RegionSize%l.BlockSize != 0 {
+		return fmt.Errorf("regionmem: invalid layout %+v", l)
+	}
+	return nil
+}
+
+// Blocks returns the number of blocks per region.
+func (l Layout) Blocks() int { return l.RegionSize / l.BlockSize }
+
+// sizeClass returns the slot size (header included) for a payload of size
+// bytes: the smallest power of two ≥ size + HeaderSize, minimum 16.
+func sizeClass(size int) int {
+	need := size + HeaderSize
+	c := 16
+	for c < need {
+		c <<= 1
+	}
+	return c
+}
+
+// SlotSize exposes the slot size chosen for a payload size (for tests and
+// capacity planning).
+func SlotSize(payload int) int { return sizeClass(payload) }
+
+// Allocator manages one region's blocks and slab free lists. It lives at
+// the region's primary only (§5.5); backups learn block headers through
+// replication messages and rebuild free lists by scanning after a failure.
+type Allocator struct {
+	layout Layout
+	mem    []byte
+
+	// class[b] is the slot size of block b; 0 means the block is unused.
+	class []int
+	// free maps slot size → offsets of free slots, LIFO.
+	free map[int][]int
+	// used counts allocated slots per block, to return empty blocks.
+	used []int
+
+	// onNewBlock, if set, is called when a block is assigned a size class
+	// — the hook the core layer uses to replicate block headers to backups
+	// at allocation time (§5.5).
+	onNewBlock func(block, slotSize int)
+}
+
+// NewAllocator creates an allocator over a fresh region.
+func NewAllocator(layout Layout, mem []byte) *Allocator {
+	if err := layout.Validate(); err != nil {
+		panic(err)
+	}
+	if len(mem) != layout.RegionSize {
+		panic(fmt.Sprintf("regionmem: region size %d != layout %d", len(mem), layout.RegionSize))
+	}
+	return &Allocator{
+		layout: layout,
+		mem:    mem,
+		class:  make([]int, layout.Blocks()),
+		free:   make(map[int][]int),
+		used:   make([]int, layout.Blocks()),
+	}
+}
+
+// OnNewBlock installs the block-header replication hook.
+func (a *Allocator) OnNewBlock(fn func(block, slotSize int)) { a.onNewBlock = fn }
+
+// Alloc reserves a slot for a payload of size bytes and returns the object
+// offset (of the header). The allocation bit is NOT set here: FaRM sets it
+// through the transaction write at commit time; the slot is merely removed
+// from the free list so concurrent transactions cannot claim it.
+func (a *Allocator) Alloc(size int) (int, bool) {
+	c := sizeClass(size)
+	if c > a.layout.BlockSize {
+		return 0, false
+	}
+	if lst := a.free[c]; len(lst) > 0 {
+		off := lst[len(lst)-1]
+		a.free[c] = lst[:len(lst)-1]
+		a.used[off/a.layout.BlockSize]++
+		return off, true
+	}
+	// Claim a fresh block as a slab of class c.
+	for b, cls := range a.class {
+		if cls != 0 {
+			continue
+		}
+		a.class[b] = c
+		if a.onNewBlock != nil {
+			a.onNewBlock(b, c)
+		}
+		base := b * a.layout.BlockSize
+		slots := a.layout.BlockSize / c
+		// Push in reverse so allocation proceeds from the block's start.
+		for s := slots - 1; s >= 1; s-- {
+			a.free[c] = append(a.free[c], base+s*c)
+		}
+		a.used[b] = 1
+		return base, true
+	}
+	return 0, false
+}
+
+// Free returns a slot to its slab's free list. The caller is responsible
+// for having cleared the allocation bit via a committed transaction first.
+func (a *Allocator) Free(off int) {
+	b := off / a.layout.BlockSize
+	c := a.class[b]
+	if c == 0 {
+		panic(fmt.Sprintf("regionmem: free of offset %d in unused block", off))
+	}
+	if off%c != 0 {
+		panic(fmt.Sprintf("regionmem: free of misaligned offset %d (class %d)", off, c))
+	}
+	a.free[c] = append(a.free[c], off)
+	a.used[b]--
+}
+
+// SlotPayload returns the payload capacity of the slot at off.
+func (a *Allocator) SlotPayload(off int) int {
+	c := a.class[off/a.layout.BlockSize]
+	if c == 0 {
+		return 0
+	}
+	return c - HeaderSize
+}
+
+// BlockHeaders returns a copy of the block → slot-size map for blocks in
+// use: the metadata replicated to backups.
+func (a *Allocator) BlockHeaders() map[int]int {
+	out := make(map[int]int)
+	for b, c := range a.class {
+		if c != 0 {
+			out[b] = c
+		}
+	}
+	return out
+}
+
+// FreeCount returns the number of free slots of the class serving payload
+// size (diagnostics and tests).
+func (a *Allocator) FreeCount(size int) int { return len(a.free[sizeClass(size)]) }
+
+// LiveObjects returns the offsets of all slots whose allocation bit is set,
+// in address order (used by data recovery and tests).
+func (a *Allocator) LiveObjects() []int {
+	var out []int
+	for b, c := range a.class {
+		if c == 0 {
+			continue
+		}
+		base := b * a.layout.BlockSize
+		for off := base; off+c <= base+a.layout.BlockSize; off += c {
+			if Allocated(ReadHeader(a.mem, off)) {
+				out = append(out, off)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Rebuild reconstructs an allocator from a region replica and replicated
+// block headers by scanning allocation bits — the §5.5 recovery path a new
+// primary runs. It returns the allocator plus the scanned offsets in scan
+// order so the caller can pace the scan (100 objects per 100 µs in the
+// paper).
+func Rebuild(layout Layout, mem []byte, headers map[int]int) *Allocator {
+	a := NewAllocator(layout, mem)
+	// Deterministic block order.
+	blocks := make([]int, 0, len(headers))
+	for b := range headers {
+		blocks = append(blocks, b)
+	}
+	sort.Ints(blocks)
+	for _, b := range blocks {
+		c := headers[b]
+		a.class[b] = c
+		base := b * layout.BlockSize
+		for off := base; off+c <= base+layout.BlockSize; off += c {
+			if Allocated(ReadHeader(mem, off)) {
+				a.used[b]++
+			} else {
+				a.free[c] = append(a.free[c], off)
+			}
+		}
+	}
+	return a
+}
+
+// ScanWork returns the number of slots Rebuild must examine for the given
+// headers — the unit the paced recovery scan charges time against.
+func ScanWork(layout Layout, headers map[int]int) int {
+	total := 0
+	for _, c := range headers {
+		total += layout.BlockSize / c
+	}
+	return total
+}

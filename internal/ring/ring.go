@@ -1,0 +1,324 @@
+// Package ring implements FaRM's ring buffers (§3): FIFO queues physically
+// located in the receiver's non-volatile memory, appended to by the sender
+// with one-sided RDMA writes acknowledged by the NIC, polled by the
+// receiver, and truncated lazily. They serve as both transaction logs and
+// message queues; each sender–receiver pair has its own ring.
+//
+// Space management follows §4: senders make reservations before starting a
+// commit so every record needed to commit and truncate a transaction is
+// guaranteed to fit, because the receiver's CPU is not involved and cannot
+// push back.
+//
+// Frame format (all sizes multiples of 8):
+//
+//	[u32 payload length][u32 magic][payload][padding to 8]
+//
+// A frame lands atomically (one RDMA write), so a valid magic implies a
+// complete frame. A wrap marker (magic wrapMagic) tells the reader to skip
+// to offset 0. Truncated frames are zeroed so the reader never misparses
+// stale bytes after the buffer wraps.
+package ring
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"farm/internal/fabric"
+	"farm/internal/nvram"
+)
+
+const (
+	frameMagic  = 0xFA12FA12
+	wrapMagic   = 0xFA12FFFF
+	headerBytes = 8
+)
+
+func pad8(n int) int { return (n + 7) &^ 7 }
+
+// FrameBytes returns the ring space consumed by a payload of n bytes —
+// what a reservation for that payload must cover.
+func FrameBytes(n int) int { return headerBytes + pad8(n) }
+
+// Writer is the sender half of a ring. It tracks the tail and free space
+// locally; the receiver's consumption is learned asynchronously through
+// UpdateConsumed (lazy truncation updates, typically piggybacked).
+type Writer struct {
+	nic      *fabric.NIC
+	dst      fabric.MachineID
+	region   nvram.RegionID
+	capacity int
+
+	tail     int
+	appended uint64 // total bytes ever appended (frames + wrap padding)
+	consumed uint64 // total bytes the receiver reported truncated
+	reserved int    // bytes promised to reservations not yet written
+}
+
+// NewWriter creates the sender side of the ring stored in (dst, region)
+// with the given byte capacity. Capacity must be a multiple of 8 and large
+// enough for at least one maximal frame.
+func NewWriter(nic *fabric.NIC, dst fabric.MachineID, region nvram.RegionID, capacity int) *Writer {
+	if capacity%8 != 0 || capacity < 64 {
+		panic(fmt.Sprintf("ring: bad capacity %d", capacity))
+	}
+	return &Writer{nic: nic, dst: dst, region: region, capacity: capacity}
+}
+
+// Dst returns the receiving machine.
+func (w *Writer) Dst() fabric.MachineID { return w.dst }
+
+// free returns bytes available for new frames, keeping one header of slack
+// for a possible wrap marker.
+func (w *Writer) free() int {
+	used := int(w.appended - w.consumed)
+	return w.capacity - used - w.reserved - headerBytes
+}
+
+// Reserve sets aside space for a future payload of n bytes. It returns
+// false if the ring cannot currently guarantee the space; the caller must
+// then back off (FaRM coordinators retry or force explicit truncation).
+func (w *Writer) Reserve(n int) bool {
+	need := FrameBytes(n)
+	if need > w.free() {
+		return false
+	}
+	w.reserved += need
+	return true
+}
+
+// Release returns an unused reservation for a payload of n bytes (e.g. a
+// truncation record whose ids were piggybacked instead).
+func (w *Writer) Release(n int) {
+	w.reserved -= FrameBytes(n)
+	if w.reserved < 0 {
+		panic("ring: reservation underflow")
+	}
+}
+
+// Append writes payload as one frame. reservedSize >= len(payload) must
+// name a prior Reserve(reservedSize); pass -1 for unreserved appends, which
+// fail (return false) when space is insufficient. cb, if non-nil, receives
+// the hardware ack (or error) for the frame's RDMA write.
+func (w *Writer) Append(payload []byte, reservedSize int, cb func(error)) bool {
+	need := FrameBytes(len(payload))
+	if reservedSize >= 0 {
+		if len(payload) > reservedSize {
+			panic(fmt.Sprintf("ring: payload %d exceeds reservation %d", len(payload), reservedSize))
+		}
+		w.reserved -= FrameBytes(reservedSize)
+		if w.reserved < 0 {
+			panic("ring: append without matching reservation")
+		}
+	} else if need > w.free() {
+		return false
+	}
+	// Wrap if the frame does not fit before the end of the buffer.
+	if w.tail+need > w.capacity {
+		w.writeWrapMarker()
+	}
+	frame := make([]byte, need)
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], frameMagic)
+	copy(frame[headerBytes:], payload)
+	off := w.tail
+	w.tail = (w.tail + need) % w.capacity
+	w.appended += uint64(need)
+	w.nic.Write(w.dst, w.region, off, frame, cb)
+	return true
+}
+
+func (w *Writer) writeWrapMarker() {
+	skip := w.capacity - w.tail
+	marker := make([]byte, headerBytes)
+	binary.LittleEndian.PutUint32(marker, uint32(skip))
+	binary.LittleEndian.PutUint32(marker[4:], wrapMagic)
+	w.nic.Write(w.dst, w.region, w.tail, marker, nil)
+	w.appended += uint64(skip)
+	w.tail = 0
+}
+
+// UpdateConsumed installs the receiver's cumulative truncation counter.
+// Values are monotonic; stale updates are ignored.
+func (w *Writer) UpdateConsumed(total uint64) {
+	if total > w.consumed {
+		w.consumed = total
+	}
+}
+
+// Appended returns the cumulative appended byte counter (diagnostics).
+func (w *Writer) Appended() uint64 { return w.appended }
+
+// ConsumedEstimate returns the last truncation watermark the receiver
+// reported (diagnostics).
+func (w *Writer) ConsumedEstimate() uint64 { return w.consumed }
+
+// ReservedBytes returns bytes promised to outstanding reservations
+// (diagnostics).
+func (w *Writer) ReservedBytes() int { return w.reserved }
+
+// FreeBytes returns the space currently available for new frames.
+func (w *Writer) FreeBytes() int { return w.free() }
+
+// Frame is a received, still-untruncated log entry.
+type Frame struct {
+	// Seq is the frame's position in arrival order, unique per ring.
+	Seq uint64
+	// Payload is the frame body (aliases ring memory readers must treat as
+	// read-only; it is copied out at parse time).
+	Payload []byte
+
+	off  int
+	size int
+	gone bool
+}
+
+// Reader is the receiver half: it parses frames out of the local region
+// bytes, hands them to the host exactly once via Poll, retains them until
+// Truncate, and zeroes their bytes when truncating a contiguous prefix.
+type Reader struct {
+	mem      []byte
+	head     int // truncation head: first byte of first retained frame
+	scan     int // parse head: next byte to parse
+	nextSeq  uint64
+	frames   []*Frame // retained (parsed, not yet reclaimed), in order
+	polled   int      // how many of frames were returned by Poll already
+	consumed uint64   // cumulative truncated bytes (reported to writer)
+}
+
+// NewReader wraps the receiver's ring memory.
+func NewReader(mem []byte) *Reader {
+	if len(mem)%8 != 0 {
+		panic("ring: reader memory not 8-aligned")
+	}
+	return &Reader{mem: mem}
+}
+
+// parse advances over newly landed frames.
+func (r *Reader) parse() {
+	for {
+		if r.scan+headerBytes > len(r.mem) {
+			r.scan = 0
+			continue
+		}
+		length := binary.LittleEndian.Uint32(r.mem[r.scan:])
+		magic := binary.LittleEndian.Uint32(r.mem[r.scan+4:])
+		switch magic {
+		case wrapMagic:
+			// Wrap marker: account its span and restart at 0. It is
+			// reclaimed like a frame, in order.
+			f := &Frame{Seq: r.nextSeq, off: r.scan, size: int(length), gone: true}
+			r.nextSeq++
+			r.frames = append(r.frames, f)
+			r.scan = 0
+		case frameMagic:
+			size := headerBytes + pad8(int(length))
+			if r.scan+size > len(r.mem) {
+				return // torn/garbage; wait
+			}
+			payload := make([]byte, length)
+			copy(payload, r.mem[r.scan+headerBytes:])
+			f := &Frame{Seq: r.nextSeq, Payload: payload, off: r.scan, size: size}
+			r.nextSeq++
+			r.frames = append(r.frames, f)
+			r.scan += size
+		default:
+			return // nothing (or not yet) here
+		}
+	}
+}
+
+// Poll returns frames that have landed since the last Poll, in order.
+// Frames remain in the log (for recovery draining and voting) until
+// truncated.
+func (r *Reader) Poll() []*Frame {
+	r.parse()
+	var out []*Frame
+	for _, f := range r.frames[r.polled:] {
+		if !f.gone { // skip wrap markers
+			out = append(out, f)
+		}
+	}
+	r.polled = len(r.frames)
+	return out
+}
+
+// RewindTo makes frames with sequence numbers >= seq eligible for Poll
+// again. Receivers use it when the processing of a polled batch is lost
+// (e.g. the process dies mid-batch with the frames still in the
+// non-volatile log): the records must be handed out again rather than
+// silently skipped.
+func (r *Reader) RewindTo(seq uint64) {
+	for i, f := range r.frames {
+		if f.Seq >= seq {
+			if i < r.polled {
+				r.polled = i
+			}
+			return
+		}
+	}
+}
+
+// Pending returns every parsed-but-untruncated frame (the records a drain
+// or recovery vote examines).
+func (r *Reader) Pending() []*Frame {
+	r.parse()
+	r.polled = len(r.frames)
+	var out []*Frame
+	for _, f := range r.frames {
+		if !f.gone {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Truncate marks the frame with the given sequence number reclaimable and
+// reclaims the maximal contiguous prefix of reclaimable frames, zeroing
+// their bytes. Out-of-order truncation is remembered and applied when the
+// prefix catches up — mirroring FaRM's by-transaction truncation over a
+// FIFO log.
+func (r *Reader) Truncate(seq uint64) {
+	for _, f := range r.frames {
+		if f.Seq == seq {
+			f.gone = true
+			break
+		}
+	}
+	r.reclaim()
+}
+
+func (r *Reader) reclaim() {
+	i := 0
+	for ; i < len(r.frames) && r.frames[i].gone; i++ {
+		f := r.frames[i]
+		end := f.off + f.size
+		if end > len(r.mem) {
+			end = len(r.mem)
+		}
+		for j := f.off; j < end; j++ {
+			r.mem[j] = 0
+		}
+		r.consumed += uint64(f.size)
+		r.head = (f.off + f.size) % len(r.mem)
+	}
+	r.frames = r.frames[i:]
+	r.polled -= i
+	if r.polled < 0 {
+		r.polled = 0
+	}
+}
+
+// ConsumedBytes returns the cumulative truncated byte counter the receiver
+// lazily reports to the writer.
+func (r *Reader) ConsumedBytes() uint64 { return r.consumed }
+
+// Retained returns how many frames are currently held (diagnostics).
+func (r *Reader) Retained() int {
+	n := 0
+	for _, f := range r.frames {
+		if !f.gone {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,184 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All of the FaRM reproduction runs inside a single sim.Engine: machines,
+// NICs, CPU threads, leases and workloads are event handlers scheduled on a
+// virtual clock. Determinism (one goroutine, seeded randomness) makes every
+// distributed-systems failure scenario replayable bit-for-bit, which the
+// recovery tests rely on.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a virtual timestamp or duration in nanoseconds.
+type Time int64
+
+// Convenient duration units, mirroring package time.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String formats a Time using the most natural unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros returns the time as a floating-point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis returns the time as a floating-point number of milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+type event struct {
+	at  Time
+	seq uint64 // tie-breaker: FIFO among same-time events
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler with a virtual clock.
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	rng     *Rand
+	stopped bool
+	// executed counts events processed, useful for run-away detection in tests.
+	executed uint64
+}
+
+// NewEngine returns an engine whose clock starts at zero and whose
+// pseudo-random source is seeded with seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: NewRand(seed)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *Rand { return e.rng }
+
+// Executed reports how many events have run so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending reports how many events are scheduled but not yet run.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it always indicates a protocol bug.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now. Negative d is clamped
+// to zero.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Timer is a cancellable scheduled event returned by AfterTimer.
+type Timer struct{ stopped bool }
+
+// Stop cancels the timer; the associated function will not run. Stopping an
+// already-fired or already-stopped timer is a no-op.
+func (t *Timer) Stop() { t.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (t *Timer) Stopped() bool { return t.stopped }
+
+// AfterTimer schedules fn after d and returns a handle that can cancel it.
+func (e *Engine) AfterTimer(d Time, fn func()) *Timer {
+	t := &Timer{}
+	e.After(d, func() {
+		if !t.stopped {
+			fn()
+		}
+	})
+	return t
+}
+
+// Step runs the earliest pending event, advancing the clock to its time.
+// It reports whether an event was run.
+func (e *Engine) Step() bool {
+	if e.stopped || len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	e.executed++
+	ev.fn()
+	return true
+}
+
+// Run processes events until none remain or Stop is called.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil processes all events scheduled at or before deadline and then
+// advances the clock to exactly deadline. Events scheduled later remain
+// pending.
+func (e *Engine) RunUntil(deadline Time) {
+	for !e.stopped && len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if !e.stopped && e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor processes events for d of virtual time from now.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+// Stop halts Run/RunUntil after the current event returns. Pending events
+// stay queued; a stopped engine can be resumed with Resume.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Resume clears the stopped flag set by Stop.
+func (e *Engine) Resume() { e.stopped = false }

@@ -1,0 +1,148 @@
+package sim
+
+import "math"
+
+// Rand is a small, fast, deterministic pseudo-random generator
+// (splitmix64 core) used for all stochastic choices in the simulation.
+// Using our own generator rather than math/rand keeps results stable across
+// Go releases, which matters because EXPERIMENTS.md records exact numbers.
+type Rand struct{ state uint64 }
+
+// NewRand returns a generator seeded with seed. Seed zero is remapped so
+// the state never sticks at the splitmix64 fixed point.
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniform uint64 in [0, n). It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("sim: Uint64n with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// ExpFloat64 returns an exponentially distributed value with mean 1.
+func (r *Rand) ExpFloat64() float64 {
+	u := r.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return -math.Log(1 - u)
+}
+
+// Duration returns a uniform Time in [0, d).
+func (r *Rand) Duration(d Time) Time {
+	if d <= 0 {
+		return 0
+	}
+	return Time(r.Int63n(int64(d)))
+}
+
+// Between returns a uniform Time in [lo, hi).
+func (r *Rand) Between(lo, hi Time) Time {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.Duration(hi-lo)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Zipf draws from a Zipfian distribution over [0, n) with skew theta using
+// rejection-inversion. theta = 0 degenerates to uniform. Used by workloads
+// that model skewed key popularity (the paper attributes TATP throughput
+// dips to access skew).
+type Zipf struct {
+	r     *Rand
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+}
+
+// NewZipf builds a Zipf sampler over [0, n). The construction is O(n) once;
+// sampling is O(1) (YCSB-style).
+func NewZipf(r *Rand, n uint64, theta float64) *Zipf {
+	if n == 0 {
+		panic("sim: Zipf with zero n")
+	}
+	z := &Zipf{r: r, n: n, theta: theta}
+	if theta <= 0 {
+		return z
+	}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next returns the next sample in [0, n).
+func (z *Zipf) Next() uint64 {
+	if z.theta <= 0 {
+		return z.r.Uint64n(z.n)
+	}
+	u := z.r.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}

@@ -1,0 +1,186 @@
+package sim
+
+// Thread models one hardware thread as a non-preemptive FIFO server with a
+// two-level priority queue. Work items are (cpu-cost, completion) pairs; a
+// thread serves one item at a time and charges its cost to the virtual
+// clock, so CPU saturation and queueing delay emerge naturally. This is how
+// the reproduction exposes the CPU bottlenecks the paper is about: RPC
+// handling costs remote CPU here, one-sided RDMA does not.
+type Thread struct {
+	eng  *Engine
+	name string
+
+	busy   bool
+	high   []workItem // served before normal work (lease-manager priority)
+	normal []workItem
+
+	// busyNS accumulates time spent serving work, for utilization metrics.
+	busyNS Time
+	// jitter, if set, is sampled and added to every item's service time.
+	// It models scheduler preemption by unrelated OS tasks.
+	jitter func(r *Rand) Time
+
+	served uint64
+}
+
+type workItem struct {
+	cost Time
+	fn   func()
+}
+
+// NewThread creates an idle thread attached to eng.
+func NewThread(eng *Engine, name string) *Thread {
+	return &Thread{eng: eng, name: name}
+}
+
+// Name returns the diagnostic name given at construction.
+func (t *Thread) Name() string { return t.name }
+
+// SetJitter installs a per-item scheduling-delay sampler (may be nil).
+func (t *Thread) SetJitter(f func(r *Rand) Time) { t.jitter = f }
+
+// Do enqueues work costing cost CPU time; fn runs when the work completes.
+// fn may be nil for pure CPU-burn accounting.
+func (t *Thread) Do(cost Time, fn func()) { t.enqueue(cost, fn, false) }
+
+// DoPriority enqueues work ahead of all normal-priority work.
+func (t *Thread) DoPriority(cost Time, fn func()) { t.enqueue(cost, fn, true) }
+
+func (t *Thread) enqueue(cost Time, fn func(), prio bool) {
+	if cost < 0 {
+		cost = 0
+	}
+	it := workItem{cost: cost, fn: fn}
+	if prio {
+		t.high = append(t.high, it)
+	} else {
+		t.normal = append(t.normal, it)
+	}
+	if !t.busy {
+		t.serveNext()
+	}
+}
+
+func (t *Thread) serveNext() {
+	var it workItem
+	switch {
+	case len(t.high) > 0:
+		it = t.high[0]
+		t.high = t.high[1:]
+	case len(t.normal) > 0:
+		it = t.normal[0]
+		t.normal = t.normal[1:]
+	default:
+		t.busy = false
+		return
+	}
+	t.busy = true
+	cost := it.cost
+	if t.jitter != nil {
+		cost += t.jitter(t.eng.Rand())
+	}
+	t.busyNS += cost
+	t.eng.After(cost, func() {
+		t.served++
+		if it.fn != nil {
+			it.fn()
+		}
+		t.serveNext()
+	})
+}
+
+// QueueLen reports the number of items waiting (not counting the one in
+// service).
+func (t *Thread) QueueLen() int { return len(t.high) + len(t.normal) }
+
+// Busy reports whether the thread is currently serving an item.
+func (t *Thread) Busy() bool { return t.busy }
+
+// BusyTime returns the cumulative service time charged so far.
+func (t *Thread) BusyTime() Time { return t.busyNS }
+
+// Served returns the number of completed work items.
+func (t *Thread) Served() uint64 { return t.served }
+
+// ThreadPool is a set of threads with least-loaded dispatch, modelling the
+// worker threads of one machine.
+type ThreadPool struct {
+	Threads []*Thread
+	rr      int
+}
+
+// NewThreadPool creates n threads named prefix/0..n-1.
+func NewThreadPool(eng *Engine, n int, prefix string) *ThreadPool {
+	p := &ThreadPool{}
+	for i := 0; i < n; i++ {
+		p.Threads = append(p.Threads, NewThread(eng, prefix+"/"+itoa(i)))
+	}
+	return p
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	pos := len(b)
+	for i > 0 {
+		pos--
+		b[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[pos:])
+}
+
+// Size returns the number of threads in the pool.
+func (p *ThreadPool) Size() int { return len(p.Threads) }
+
+// Dispatch places work on the least-loaded thread (round-robin among ties).
+func (p *ThreadPool) Dispatch(cost Time, fn func()) {
+	p.pick().Do(cost, fn)
+}
+
+func (p *ThreadPool) pick() *Thread {
+	best := -1
+	bestLen := int(^uint(0) >> 1)
+	n := len(p.Threads)
+	for i := 0; i < n; i++ {
+		idx := (p.rr + i) % n
+		th := p.Threads[idx]
+		l := th.QueueLen()
+		if th.Busy() {
+			l++
+		}
+		if l < bestLen {
+			bestLen = l
+			best = idx
+			if l == 0 {
+				break
+			}
+		}
+	}
+	p.rr = (best + 1) % n
+	return p.Threads[best]
+}
+
+// ByIndex dispatches to a specific thread, used when the protocol shards
+// work by thread id (e.g. FaRM recovery shards transactions by coordinator
+// thread).
+func (p *ThreadPool) ByIndex(i int) *Thread { return p.Threads[i%len(p.Threads)] }
+
+// BusyTime sums service time across all threads.
+func (p *ThreadPool) BusyTime() Time {
+	var total Time
+	for _, t := range p.Threads {
+		total += t.BusyTime()
+	}
+	return total
+}
+
+// Utilization returns mean thread utilization over elapsed virtual time.
+func (p *ThreadPool) Utilization(elapsed Time) float64 {
+	if elapsed <= 0 || len(p.Threads) == 0 {
+		return 0
+	}
+	return float64(p.BusyTime()) / float64(elapsed) / float64(len(p.Threads))
+}

@@ -1,0 +1,291 @@
+// Package stats provides the measurement primitives used by the benchmark
+// harness: log-bucketed latency histograms with percentile queries,
+// fixed-interval throughput timelines (the paper's recovery figures are
+// throughput aggregated at 1 ms intervals), and labelled counters.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"farm/internal/sim"
+)
+
+// Histogram records durations in logarithmic buckets (~2% resolution) so a
+// multi-million-sample run costs constant memory. Values are sim.Time
+// nanoseconds.
+type Histogram struct {
+	counts []uint64
+	total  uint64
+	sum    float64
+	min    sim.Time
+	max    sim.Time
+}
+
+// bucketsPerOctave controls resolution: 16 sub-buckets per power of two
+// bounds relative error to ~4.4%.
+const bucketsPerOctave = 16
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{min: math.MaxInt64}
+}
+
+func bucketOf(v sim.Time) int {
+	if v < 1 {
+		v = 1
+	}
+	f := float64(v)
+	exp := math.Log2(f)
+	return int(exp * bucketsPerOctave)
+}
+
+func bucketValue(b int) sim.Time {
+	return sim.Time(math.Exp2(float64(b)/bucketsPerOctave + 0.5/bucketsPerOctave))
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(v sim.Time) {
+	b := bucketOf(v)
+	if b >= len(h.counts) {
+		grown := make([]uint64, b+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[b]++
+	h.total++
+	h.sum += float64(v)
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the arithmetic mean, or 0 if empty.
+func (h *Histogram) Mean() sim.Time {
+	if h.total == 0 {
+		return 0
+	}
+	return sim.Time(h.sum / float64(h.total))
+}
+
+// Min returns the smallest observation, or 0 if empty.
+func (h *Histogram) Min() sim.Time {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() sim.Time { return h.max }
+
+// Percentile returns the value at quantile p in [0,100]. Within a bucket it
+// returns the bucket's geometric midpoint, except the exact min/max at the
+// extremes.
+func (h *Histogram) Percentile(p float64) sim.Time {
+	if h.total == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.min
+	}
+	if p >= 100 {
+		return h.max
+	}
+	target := uint64(math.Ceil(float64(h.total) * p / 100))
+	var cum uint64
+	for b, c := range h.counts {
+		cum += c
+		if cum >= target {
+			v := bucketValue(b)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Median is Percentile(50).
+func (h *Histogram) Median() sim.Time { return h.Percentile(50) }
+
+// P99 is Percentile(99).
+func (h *Histogram) P99() sim.Time { return h.Percentile(99) }
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.total == 0 {
+		return
+	}
+	if len(other.counts) > len(h.counts) {
+		grown := make([]uint64, len(other.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for b, c := range other.counts {
+		h.counts[b] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Reset clears all observations.
+func (h *Histogram) Reset() {
+	h.counts = h.counts[:0]
+	h.total = 0
+	h.sum = 0
+	h.min = math.MaxInt64
+	h.max = 0
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	if h.total == 0 {
+		return "empty"
+	}
+	return fmt.Sprintf("n=%d min=%v p50=%v p99=%v max=%v mean=%v",
+		h.total, h.Min(), h.Median(), h.P99(), h.Max(), h.Mean())
+}
+
+// Timeline accumulates event counts into fixed-width virtual-time buckets,
+// reproducing the paper's "throughput aggregated at 1 ms intervals" plots.
+type Timeline struct {
+	Interval sim.Time
+	buckets  map[int64]float64
+}
+
+// NewTimeline returns a timeline with the given bucket width.
+func NewTimeline(interval sim.Time) *Timeline {
+	if interval <= 0 {
+		interval = sim.Millisecond
+	}
+	return &Timeline{Interval: interval, buckets: make(map[int64]float64)}
+}
+
+// Add records weight at time t.
+func (tl *Timeline) Add(t sim.Time, weight float64) {
+	tl.buckets[int64(t/tl.Interval)] += weight
+}
+
+// Series returns (bucket start time, count) pairs in time order.
+func (tl *Timeline) Series() ([]sim.Time, []float64) {
+	if len(tl.buckets) == 0 {
+		return nil, nil
+	}
+	keys := make([]int64, 0, len(tl.buckets))
+	for k := range tl.buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	lo, hi := keys[0], keys[len(keys)-1]
+	times := make([]sim.Time, 0, hi-lo+1)
+	vals := make([]float64, 0, hi-lo+1)
+	for k := lo; k <= hi; k++ {
+		times = append(times, sim.Time(k)*tl.Interval)
+		vals = append(vals, tl.buckets[k])
+	}
+	return times, vals
+}
+
+// RatePerSecond converts a bucket count to an events/second rate.
+func (tl *Timeline) RatePerSecond(count float64) float64 {
+	return count / tl.Interval.Seconds()
+}
+
+// WindowAverage returns the mean bucket count in [from, to).
+func (tl *Timeline) WindowAverage(from, to sim.Time) float64 {
+	lo, hi := int64(from/tl.Interval), int64(to/tl.Interval)
+	if hi <= lo {
+		return 0
+	}
+	var sum float64
+	for k := lo; k < hi; k++ {
+		sum += tl.buckets[k]
+	}
+	return sum / float64(hi-lo)
+}
+
+// FirstBucketAtLeast returns the start of the first bucket at or after
+// "from" whose count reaches threshold, and whether one was found.
+func (tl *Timeline) FirstBucketAtLeast(from sim.Time, threshold float64) (sim.Time, bool) {
+	times, vals := tl.Series()
+	for i, t := range times {
+		if t >= from && vals[i] >= threshold {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// Counters is a set of named monotonic counters, used to account message
+// and RDMA-operation counts (the unit of the paper's §4 analysis).
+type Counters struct {
+	m map[string]uint64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters { return &Counters{m: make(map[string]uint64)} }
+
+// Inc adds delta to the named counter.
+func (c *Counters) Inc(name string, delta uint64) { c.m[name] += delta }
+
+// Get returns the named counter's value.
+func (c *Counters) Get(name string) uint64 { return c.m[name] }
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Diff returns counters minus a previous snapshot.
+func (c *Counters) Diff(prev map[string]uint64) map[string]uint64 {
+	out := make(map[string]uint64)
+	for k, v := range c.m {
+		if d := v - prev[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	return out
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() { c.m = make(map[string]uint64) }
+
+// String renders counters sorted by name.
+func (c *Counters) String() string {
+	names := make([]string, 0, len(c.m))
+	for k := range c.m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", n, c.m[n])
+	}
+	return b.String()
+}

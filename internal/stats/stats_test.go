@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"farm/internal/sim"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Median() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not zeroed")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Record(sim.Time(i * 1000))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 1000 || h.Max() != 100000 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	mean := h.Mean()
+	if mean < 50000 || mean > 51000 {
+		t.Fatalf("mean = %v, want ~50500", mean)
+	}
+}
+
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 10000; i++ {
+		h.Record(sim.Time(i))
+	}
+	for _, p := range []float64{10, 50, 90, 99, 99.9} {
+		got := float64(h.Percentile(p))
+		want := p / 100 * 10000
+		if math.Abs(got-want)/want > 0.10 {
+			t.Errorf("p%v = %v, want ~%v", p, got, want)
+		}
+	}
+	if h.Percentile(0) != 1 || h.Percentile(100) != 10000 {
+		t.Errorf("extremes: %v %v", h.Percentile(0), h.Percentile(100))
+	}
+}
+
+func TestHistogramMergeEqualsCombinedRecording(t *testing.T) {
+	a, b, both := NewHistogram(), NewHistogram(), NewHistogram()
+	for i := 1; i < 500; i++ {
+		v := sim.Time(i * i)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		both.Record(v)
+	}
+	a.Merge(b)
+	if a.Count() != both.Count() {
+		t.Fatalf("merged count %d != %d", a.Count(), both.Count())
+	}
+	for _, p := range []float64{25, 50, 75, 99} {
+		if a.Percentile(p) != both.Percentile(p) {
+			t.Errorf("p%v: merged %v != combined %v", p, a.Percentile(p), both.Percentile(p))
+		}
+	}
+}
+
+func TestHistogramResolutionBound(t *testing.T) {
+	// Property: a histogram with a single repeated value reports a median
+	// within the documented ~4.4% relative error.
+	f := func(raw uint32) bool {
+		v := sim.Time(raw%1000000 + 1)
+		h := NewHistogram()
+		for i := 0; i < 10; i++ {
+			h.Record(v)
+		}
+		got := float64(h.Median())
+		return math.Abs(got-float64(v))/float64(v) <= 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Record(55)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	h.Record(10)
+	if h.Min() != 10 {
+		t.Fatalf("min after reset = %v", h.Min())
+	}
+}
+
+func TestTimelineSeries(t *testing.T) {
+	tl := NewTimeline(sim.Millisecond)
+	tl.Add(500*sim.Microsecond, 1)  // bucket 0
+	tl.Add(1500*sim.Microsecond, 2) // bucket 1
+	tl.Add(3500*sim.Microsecond, 4) // bucket 3; bucket 2 empty
+	times, vals := tl.Series()
+	if len(times) != 4 {
+		t.Fatalf("series length %d, want 4 (gap filled)", len(times))
+	}
+	want := []float64{1, 2, 0, 4}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("vals = %v, want %v", vals, want)
+		}
+	}
+	if times[3] != 3*sim.Millisecond {
+		t.Fatalf("times[3] = %v", times[3])
+	}
+}
+
+func TestTimelineWindowAverageAndRecoveryDetection(t *testing.T) {
+	tl := NewTimeline(sim.Millisecond)
+	// Steady 100/ms until 35 ms, dip, then recover at 80 ms.
+	for ms := 0; ms < 120; ms++ {
+		v := 100.0
+		if ms >= 35 && ms < 80 {
+			v = 5
+		}
+		tl.Add(sim.Time(ms)*sim.Millisecond+sim.Microsecond, v)
+	}
+	pre := tl.WindowAverage(0, 35*sim.Millisecond)
+	if pre != 100 {
+		t.Fatalf("pre-failure average = %v", pre)
+	}
+	at, ok := tl.FirstBucketAtLeast(36*sim.Millisecond, 0.8*pre)
+	if !ok || at != 80*sim.Millisecond {
+		t.Fatalf("recovery detected at %v ok=%v, want 80ms", at, ok)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := NewCounters()
+	c.Inc("rdma_read", 3)
+	c.Inc("rdma_write", 1)
+	c.Inc("rdma_read", 2)
+	if c.Get("rdma_read") != 5 {
+		t.Fatalf("rdma_read = %d", c.Get("rdma_read"))
+	}
+	snap := c.Snapshot()
+	c.Inc("rdma_read", 10)
+	d := c.Diff(snap)
+	if d["rdma_read"] != 10 || len(d) != 1 {
+		t.Fatalf("diff = %v", d)
+	}
+	if s := c.String(); s != "rdma_read=15 rdma_write=1" {
+		t.Fatalf("String() = %q", s)
+	}
+	c.Reset()
+	if c.Get("rdma_read") != 0 {
+		t.Fatal("reset failed")
+	}
+}

@@ -1,0 +1,160 @@
+package tatp
+
+import (
+	"testing"
+
+	"farm/internal/core"
+	"farm/internal/kv"
+	"farm/internal/loadgen"
+	"farm/internal/sim"
+)
+
+func setup(t *testing.T, n uint64) (*core.Cluster, *Workload) {
+	t.Helper()
+	c := core.New(core.Options{NumMachines: 5, Seed: 31})
+	w, err := Setup(c, n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, w
+}
+
+func TestPopulation(t *testing.T) {
+	c, w := setup(t, 200)
+	// Every subscriber row must exist.
+	missing := 0
+	fired := 0
+	for s := uint64(0); s < 200; s += 7 {
+		w.Subscriber.LockFreeGet(c.Machine(int(s)%5), 0, kv.U64Key(s), func(_ []byte, ok bool, err error) {
+			fired++
+			if err != nil || !ok {
+				missing++
+			}
+		})
+	}
+	c.RunFor(50 * sim.Millisecond)
+	if fired == 0 || missing != 0 {
+		t.Fatalf("fired=%d missing=%d", fired, missing)
+	}
+}
+
+func TestEachTransactionType(t *testing.T) {
+	c, w := setup(t, 100)
+	rng := sim.NewRand(4)
+	run := func(name string, op func(done func(bool))) {
+		t.Helper()
+		completed, ok := false, false
+		op(func(r bool) { completed, ok = true, r })
+		deadline := c.Eng.Now() + 2*sim.Second
+		for !completed && c.Eng.Now() < deadline {
+			if !c.Eng.Step() {
+				break
+			}
+		}
+		if !completed {
+			t.Fatalf("%s never completed", name)
+		}
+		if !ok {
+			t.Logf("%s reported not-ok (acceptable for probabilistic rows)", name)
+		}
+	}
+	m := c.Machine(1)
+	run("GetSubscriberData", func(d func(bool)) { w.GetSubscriberData(m, 0, 5, d) })
+	run("GetAccessData", func(d func(bool)) { w.GetAccessData(m, 0, 5, rng, d) })
+	run("GetNewDestination", func(d func(bool)) { w.GetNewDestination(m, 0, 5, rng, d) })
+	run("UpdateSubscriberData", func(d func(bool)) { w.UpdateSubscriberData(m, 1, 6, rng, d) })
+	run("UpdateLocation", func(d func(bool)) { w.UpdateLocation(m, 1, 7, rng, d) })
+	run("InsertCallForwarding", func(d func(bool)) { w.InsertCallForwarding(m, 2, 8, rng, d) })
+	run("DeleteCallForwarding", func(d func(bool)) { w.DeleteCallForwarding(m, 2, 8, rng, d) })
+}
+
+func TestUpdateLocationPersists(t *testing.T) {
+	c, w := setup(t, 50)
+	rng := sim.NewRand(9)
+	// Run several UPDATE_LOCATIONs from a machine that is not the primary
+	// so function shipping triggers, then check the field changed.
+	m := c.Machine(2)
+	doneCount := 0
+	var next func(s uint64)
+	next = func(s uint64) {
+		if s >= 10 {
+			return
+		}
+		w.UpdateLocation(m, 0, s, rng, func(ok bool) {
+			if !ok {
+				t.Errorf("update location of %d failed", s)
+			}
+			doneCount++
+			next(s + 1)
+		})
+	}
+	next(0)
+	deadline := c.Eng.Now() + 2*sim.Second
+	for doneCount < 10 && c.Eng.Now() < deadline {
+		c.Eng.Step()
+	}
+	if doneCount != 10 {
+		t.Fatalf("completed %d/10", doneCount)
+	}
+	// With 10 subscribers spread over buckets in many regions, at least
+	// one primary must have been remote from machine 2.
+	if w.FunctionShipped == 0 {
+		t.Error("no update was function-shipped")
+	}
+}
+
+func TestMixRunsAndCommits(t *testing.T) {
+	c, w := setup(t, 300)
+	g := loadgen.New(c, w.Mix())
+	tput, med, p99 := g.RunPoint([]int{0, 1, 2, 3, 4}, 4, 2, 5*sim.Millisecond, 30*sim.Millisecond)
+	if tput < 50000 {
+		t.Fatalf("TATP throughput %v/s too low", tput)
+	}
+	if med <= 0 || p99 < med {
+		t.Fatalf("latencies: %v %v", med, p99)
+	}
+	abortRate := float64(g.Aborted()) / float64(g.Committed()+g.Aborted())
+	if abortRate > 0.2 {
+		t.Fatalf("abort rate %.2f too high", abortRate)
+	}
+	t.Logf("TATP: %.0f tx/s med=%v p99=%v shipped=%d aborts=%.3f",
+		tput, med, p99, w.FunctionShipped, abortRate)
+}
+
+func TestTATPSurvivesFailureWithIntegrity(t *testing.T) {
+	c := core.New(core.Options{NumMachines: 5, Seed: 59, LeaseDuration: 5 * sim.Millisecond})
+	w, err := Setup(c, 300, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := loadgen.New(c, w.Mix())
+	g.Start([]int{0, 1, 2, 3, 4}, 3, 2)
+	c.RunFor(20 * sim.Millisecond)
+	c.Kill(3)
+	c.RunFor(300 * sim.Millisecond)
+	g.Stop()
+	c.RunFor(20 * sim.Millisecond)
+
+	// Every subscriber row must still be readable through a survivor.
+	missing, fired := 0, 0
+	for s := uint64(0); s < 300; s += 5 {
+		w.Subscriber.LockFreeGet(c.Machine(1), 0, kv.U64Key(s), func(_ []byte, ok bool, err error) {
+			fired++
+			if err != nil || !ok {
+				missing++
+			}
+		})
+	}
+	deadline := c.Now() + 2*sim.Second
+	for fired < 60 && c.Now() < deadline {
+		if !c.Eng.Step() {
+			break
+		}
+	}
+	if missing > 0 || fired == 0 {
+		t.Fatalf("fired=%d missing=%d after failure", fired, missing)
+	}
+	if g.Committed() == 0 {
+		t.Fatal("no commits")
+	}
+}

@@ -1,0 +1,716 @@
+// Package tpcc implements the TPC-C benchmark on the FaRM API (§6.2):
+// nine tables over sixteen indexes — twelve point indexes as FaRM hash
+// tables and four range indexes (orders, order lines, new orders, customer
+// names) as FaRM B-trees — with the full five-transaction mix. Tables and
+// clients are co-partitioned by warehouse ("around 10% of all transactions
+// access remote data"), and throughput is reported as successfully
+// committed "new order" transactions, as the paper does.
+//
+// Scale knobs are reduced from the TPC-C defaults (customers per district,
+// items) so simulated populations stay tractable; the transaction logic is
+// complete.
+package tpcc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"farm/internal/btree"
+	"farm/internal/core"
+	"farm/internal/kv"
+	"farm/internal/loadgen"
+	"farm/internal/sim"
+	"farm/internal/stats"
+)
+
+// Config scales the database.
+type Config struct {
+	Warehouses       int
+	Districts        int // per warehouse (10 in the spec)
+	CustomersPerDist int // 3000 in the spec; scaled down by default
+	Items            int // 100000 in the spec; scaled down by default
+	RegionsPerWH     int
+	RemotePaymentPct int // 15 in the spec
+	RemoteItemPct    int // 1 in the spec
+}
+
+// DefaultConfig returns the scaled simulation defaults.
+func DefaultConfig(warehouses int) Config {
+	return Config{
+		Warehouses:       warehouses,
+		Districts:        10,
+		CustomersPerDist: 30,
+		Items:            200,
+		RegionsPerWH:     2,
+		RemotePaymentPct: 15,
+		RemoteItemPct:    1,
+	}
+}
+
+// warehouse holds one warehouse's co-partitioned tables and indexes.
+type warehouse struct {
+	id      int
+	regions []uint32
+	home    int // primary machine of the warehouse's first region
+
+	// Point indexes (hash tables).
+	wTbl    *kv.Table // warehouse row
+	dTbl    *kv.Table // districts
+	cTbl    *kv.Table // customers
+	sTbl    *kv.Table // stock
+	iTbl    *kv.Table // items (replicated per warehouse, standard trick)
+	histTbl *kv.Table // history (append-only)
+
+	// Range indexes (B-trees). The orders, order-line and new-order
+	// indexes are physically partitioned by district (their TPC-C keys are
+	// district-prefixed), which keeps B-tree growth splits from
+	// manufacturing cross-district conflicts; logically they are the four
+	// range indexes of §6.2.
+	orders     []*btree.Tree // per district
+	orderLines []*btree.Tree // per district
+	newOrders  []*btree.Tree // per district
+	custByName *btree.Tree
+}
+
+// Workload is the populated database.
+type Workload struct {
+	C   *core.Cluster
+	Cfg Config
+	whs []*warehouse
+
+	histSeq uint64
+
+	// NewOrderLat and NewOrderTimeline record only "new order"
+	// transactions, the metric of Figures 8 and 10.
+	NewOrderLat      *stats.Histogram
+	NewOrderTimeline *stats.Timeline
+	NewOrders        uint64
+	// MeasureFrom gates recording (set after warmup).
+	MeasureFrom sim.Time
+
+	// RemoteAccesses counts transactions that touched another warehouse.
+	RemoteAccesses uint64
+
+	// IgnoreLocality makes drivers pick random warehouses instead of ones
+	// homed on their machine — the ablation for §6.2's co-partitioning
+	// ("around 10% of all transactions access remote data" relies on it).
+	IgnoreLocality bool
+}
+
+// Row sizes.
+const (
+	warehouseRow = 16 // ytd, tax
+	districtRow  = 16 // next_o_id, ytd, tax
+	customerRow  = 32 // balance, ytd_payment, payment_cnt, delivery_cnt
+	stockRow     = 16 // quantity, ytd, order_cnt
+	itemRow      = 8  // price
+	historyRow   = 16
+	orderVal     = 16 // c_id, entry_d, carrier, ol_cnt
+	orderLineVal = 16 // i_id, qty, amount
+)
+
+// B-tree keys within one warehouse.
+func orderKey(d, o int) uint64 { return uint64(d)<<40 | uint64(o) }
+func olKey(d, o, n int) uint64 { return uint64(d)<<40 | uint64(o)<<8 | uint64(n) }
+func custKey(d, c int) []byte  { return kv.U64Key(uint64(d)<<16 | uint64(c)) }
+func custNameKey(d, c int) uint64 {
+	// Customers keyed by (district, synthetic last-name bucket, id) so
+	// by-name range lookups are possible.
+	return uint64(d)<<32 | uint64(c%10)<<16 | uint64(c)
+}
+
+// Setup creates and populates the database.
+func Setup(c *core.Cluster, cfg Config) (*Workload, error) {
+	w := &Workload{
+		C:                c,
+		Cfg:              cfg,
+		NewOrderLat:      stats.NewHistogram(),
+		NewOrderTimeline: stats.NewTimeline(sim.Millisecond),
+	}
+	for wid := 0; wid < cfg.Warehouses; wid++ {
+		wh, err := w.setupWarehouse(wid)
+		if err != nil {
+			return nil, fmt.Errorf("tpcc: warehouse %d: %w", wid, err)
+		}
+		w.whs = append(w.whs, wh)
+	}
+	return w, nil
+}
+
+func (w *Workload) setupWarehouse(wid int) (*warehouse, error) {
+	c := w.C
+	cfg := w.Cfg
+	// Allocate the warehouse's regions with locality chaining so they land
+	// on one replica set (§3 locality hints).
+	regions, err := c.CreateRegions(wid%len(c.Machines), 1, 0)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < cfg.RegionsPerWH; i++ {
+		more, err := c.CreateRegions(wid%len(c.Machines), 1, regions[0])
+		if err != nil {
+			return nil, err
+		}
+		regions = append(regions, more...)
+	}
+	wh := &warehouse{id: wid, regions: regions}
+	wh.home = c.Machine(0).PrimaryOf(regions[0])
+	if wh.home < 0 {
+		wh.home = 0
+	}
+	m := c.Machine(wh.home)
+
+	mk := func(name string, buckets, maxVal int) *kv.Table {
+		return kv.MustCreate(c, m, kv.Config{
+			Name: fmt.Sprintf("%s-%d", name, wid), Buckets: buckets, Slots: 4,
+			MaxKey: 8, MaxVal: maxVal, Regions: regions,
+		})
+	}
+	// Buckets are sized generously for the write-heavy tables: a bucket is
+	// the conflict granularity (one FaRM object), so co-hashing two hot
+	// rows would manufacture false conflicts.
+	nCust := cfg.Districts * cfg.CustomersPerDist
+	wh.wTbl = mk("warehouse", 1, warehouseRow)
+	wh.dTbl = mk("district", cfg.Districts*4, districtRow)
+	wh.cTbl = mk("customer", nCust, customerRow)
+	wh.sTbl = mk("stock", cfg.Items, stockRow)
+	wh.iTbl = mk("item", cfg.Items/3+1, itemRow)
+	wh.histTbl = mk("history", nCust*2, historyRow)
+
+	mkTree := func(name string, maxVal int) *btree.Tree {
+		return btree.MustCreate(c, m, btree.Config{
+			Name: fmt.Sprintf("%s-%d", name, wid), Order: 32, MaxVal: maxVal, Region: regions[0],
+		})
+	}
+	for d := 0; d <= cfg.Districts; d++ {
+		wh.orders = append(wh.orders, mkTree(fmt.Sprintf("orders-%d", d), orderVal))
+		wh.orderLines = append(wh.orderLines, mkTree(fmt.Sprintf("order_lines-%d", d), orderLineVal))
+		wh.newOrders = append(wh.newOrders, mkTree(fmt.Sprintf("new_orders-%d", d), 1))
+	}
+	wh.custByName = mkTree("cust_by_name", 8)
+
+	// Populate.
+	put := func(tx *core.Tx, t *kv.Table, key, val []byte) func(func(error)) {
+		return func(next func(error)) { t.Put(tx, key, val, next) }
+	}
+	var steps []func(func(error))
+	collect := func(tx *core.Tx) {
+		steps = steps[:0]
+		wrow := make([]byte, warehouseRow)
+		binary.LittleEndian.PutUint32(wrow[8:], uint32(wid%20)) // tax
+		steps = append(steps, put(tx, wh.wTbl, kv.U64Key(0), wrow))
+	}
+	_ = collect
+
+	// Warehouse + districts in one transaction.
+	err = loadgen.RunSync(c, m, 0, func(tx *core.Tx, done func(error)) {
+		var fns []func(func(error))
+		wrow := make([]byte, warehouseRow)
+		binary.LittleEndian.PutUint32(wrow[8:], uint32(wid%20))
+		fns = append(fns, put(tx, wh.wTbl, kv.U64Key(0), wrow))
+		for d := 1; d <= cfg.Districts; d++ {
+			drow := make([]byte, districtRow)
+			binary.LittleEndian.PutUint32(drow, 1) // next_o_id
+			fns = append(fns, put(tx, wh.dTbl, kv.U64Key(uint64(d)), drow))
+		}
+		chain(fns, done)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Customers (hash + name index), batched.
+	for d := 1; d <= cfg.Districts; d++ {
+		for base := 0; base < cfg.CustomersPerDist; base += 16 {
+			d, base := d, base
+			err := loadgen.RunSync(c, m, base%m.Threads(), func(tx *core.Tx, done func(error)) {
+				var fns []func(func(error))
+				for i := base; i < base+16 && i < cfg.CustomersPerDist; i++ {
+					crow := make([]byte, customerRow)
+					binary.LittleEndian.PutUint64(crow, 10) // balance -10.00 semantics aside
+					fns = append(fns, put(tx, wh.cTbl, custKey(d, i), crow))
+					i := i
+					fns = append(fns, func(next func(error)) {
+						wh.custByName.Put(tx, custNameKey(d, i), kv.U64Key(uint64(i)), next)
+					})
+				}
+				chain(fns, done)
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Items + stock, batched.
+	for base := 0; base < cfg.Items; base += 16 {
+		base := base
+		err := loadgen.RunSync(c, m, base%m.Threads(), func(tx *core.Tx, done func(error)) {
+			var fns []func(func(error))
+			for i := base; i < base+16 && i < cfg.Items; i++ {
+				irow := make([]byte, itemRow)
+				binary.LittleEndian.PutUint32(irow, uint32(100+i%900)) // price
+				fns = append(fns, put(tx, wh.iTbl, kv.U64Key(uint64(i)), irow))
+				srow := make([]byte, stockRow)
+				binary.LittleEndian.PutUint32(srow, 100) // quantity
+				fns = append(fns, put(tx, wh.sTbl, kv.U64Key(uint64(i)), srow))
+			}
+			chain(fns, done)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return wh, nil
+}
+
+func chain(fns []func(func(error)), done func(error)) {
+	var run func(i int)
+	run = func(i int) {
+		if i == len(fns) {
+			done(nil)
+			return
+		}
+		fns[i](func(err error) {
+			if err != nil {
+				done(err)
+				return
+			}
+			run(i + 1)
+		})
+	}
+	run(0)
+}
+
+// HomeMachines maps each machine to the warehouses it serves (clients are
+// co-partitioned with their warehouse, §6.2).
+func (w *Workload) HomeMachines() map[int][]int {
+	out := make(map[int][]int)
+	for _, wh := range w.whs {
+		out[wh.home] = append(out[wh.home], wh.id)
+	}
+	return out
+}
+
+// warehouseFor picks a home warehouse for a driver on machine m (falling
+// back to any warehouse when m hosts none).
+func (w *Workload) warehouseFor(m *core.Machine, rng *sim.Rand) *warehouse {
+	if w.IgnoreLocality {
+		return w.whs[rng.Intn(len(w.whs))]
+	}
+	var local []*warehouse
+	for _, wh := range w.whs {
+		if wh.home == m.ID {
+			local = append(local, wh)
+		}
+	}
+	if len(local) == 0 {
+		return w.whs[rng.Intn(len(w.whs))]
+	}
+	return local[rng.Intn(len(local))]
+}
+
+// Mix returns the standard TPC-C mix: 45% new-order, 43% payment, 4%
+// order-status, 4% delivery, 4% stock-level.
+func (w *Workload) Mix() loadgen.Op {
+	return func(m *core.Machine, thread int, rng *sim.Rand, done func(bool)) {
+		wh := w.warehouseFor(m, rng)
+		switch p := rng.Intn(100); {
+		case p < 45:
+			begin := w.C.Eng.Now()
+			w.NewOrder(m, thread, wh, rng, func(ok bool) {
+				if ok {
+					now := w.C.Eng.Now()
+					if now >= w.MeasureFrom {
+						w.NewOrderLat.Record(now - begin)
+						w.NewOrderTimeline.Add(now, 1)
+					}
+				}
+				done(ok)
+			})
+		case p < 88:
+			w.Payment(m, thread, wh, rng, done)
+		case p < 92:
+			w.OrderStatus(m, thread, wh, rng, done)
+		case p < 96:
+			w.Delivery(m, thread, wh, rng, done)
+		default:
+			w.StockLevel(m, thread, wh, rng, done)
+		}
+	}
+}
+
+// NewOrder is the measured transaction: read warehouse/district/customer,
+// advance the district's next_o_id, insert the order, its new-order entry
+// and 5–15 order lines, reading and updating stock for each item (1%
+// remote warehouse per item).
+func (w *Workload) NewOrder(m *core.Machine, thread int, wh *warehouse, rng *sim.Rand, done func(bool)) {
+	cfg := w.Cfg
+	d := rng.Intn(cfg.Districts) + 1
+	cid := rng.Intn(cfg.CustomersPerDist)
+	nItems := rng.Intn(11) + 5
+	fail := func(error) { done(false) }
+
+	tx := m.Begin(thread)
+	wh.wTbl.Get(tx, kv.U64Key(0), func(_ []byte, ok bool, err error) {
+		if err != nil || !ok {
+			fail(err)
+			return
+		}
+		wh.dTbl.Get(tx, kv.U64Key(uint64(d)), func(drow []byte, ok bool, err error) {
+			if err != nil || !ok {
+				fail(err)
+				return
+			}
+			oid := int(binary.LittleEndian.Uint32(drow))
+			binary.LittleEndian.PutUint32(drow, uint32(oid+1))
+			wh.dTbl.Put(tx, kv.U64Key(uint64(d)), drow, func(err error) {
+				if err != nil {
+					fail(err)
+					return
+				}
+				wh.cTbl.Get(tx, custKey(d, cid), func(_ []byte, ok bool, err error) {
+					if err != nil || !ok {
+						fail(err)
+						return
+					}
+					// Insert order + new-order entries.
+					orow := make([]byte, orderVal)
+					binary.LittleEndian.PutUint32(orow, uint32(cid))
+					orow[12] = byte(nItems)
+					wh.orders[d].Put(tx, orderKey(d, oid), orow, func(err error) {
+						if err != nil {
+							fail(err)
+							return
+						}
+						wh.newOrders[d].Put(tx, orderKey(d, oid), []byte{1}, func(err error) {
+							if err != nil {
+								fail(err)
+								return
+							}
+							w.orderLinesLoop(tx, m, wh, rng, d, oid, cid, nItems, 0, done)
+						})
+					})
+				})
+			})
+		})
+	})
+}
+
+// orderLinesLoop inserts order lines and updates stock (possibly remote).
+func (w *Workload) orderLinesLoop(tx *core.Tx, m *core.Machine, wh *warehouse, rng *sim.Rand, d, oid, cid, nItems, n int, done func(bool)) {
+	if n == nItems {
+		tx.Commit(func(err error) {
+			if err == nil {
+				w.NewOrders++
+			}
+			done(err == nil)
+		})
+		return
+	}
+	item := rng.Intn(w.Cfg.Items)
+	supply := wh
+	if rng.Intn(100) < w.Cfg.RemoteItemPct && len(w.whs) > 1 {
+		supply = w.whs[rng.Intn(len(w.whs))]
+		if supply != wh {
+			w.RemoteAccesses++
+		}
+	}
+	wh.iTbl.Get(tx, kv.U64Key(uint64(item)), func(irow []byte, ok bool, err error) {
+		if err != nil || !ok {
+			done(false)
+			return
+		}
+		price := binary.LittleEndian.Uint32(irow)
+		supply.sTbl.Get(tx, kv.U64Key(uint64(item)), func(srow []byte, ok bool, err error) {
+			if err != nil || !ok {
+				done(false)
+				return
+			}
+			qty := binary.LittleEndian.Uint32(srow)
+			if qty < 10 {
+				qty += 91
+			}
+			order := uint32(rng.Intn(10) + 1)
+			binary.LittleEndian.PutUint32(srow, qty-order)
+			binary.LittleEndian.PutUint32(srow[8:], binary.LittleEndian.Uint32(srow[8:])+1) // order_cnt
+			supply.sTbl.Put(tx, kv.U64Key(uint64(item)), srow, func(err error) {
+				if err != nil {
+					done(false)
+					return
+				}
+				ol := make([]byte, orderLineVal)
+				binary.LittleEndian.PutUint32(ol, uint32(item))
+				binary.LittleEndian.PutUint32(ol[4:], order)
+				binary.LittleEndian.PutUint32(ol[8:], order*price)
+				wh.orderLines[d].Put(tx, olKey(d, oid, n), ol, func(err error) {
+					if err != nil {
+						done(false)
+						return
+					}
+					w.orderLinesLoop(tx, m, wh, rng, d, oid, cid, nItems, n+1, done)
+				})
+			})
+		})
+	})
+}
+
+// Payment updates warehouse/district ytd and the customer balance (15%
+// remote customer) and appends a history row.
+func (w *Workload) Payment(m *core.Machine, thread int, wh *warehouse, rng *sim.Rand, done func(bool)) {
+	d := rng.Intn(w.Cfg.Districts) + 1
+	cwh := wh
+	if rng.Intn(100) < w.Cfg.RemotePaymentPct && len(w.whs) > 1 {
+		cwh = w.whs[rng.Intn(len(w.whs))]
+		if cwh != wh {
+			w.RemoteAccesses++
+		}
+	}
+	cid := rng.Intn(w.Cfg.CustomersPerDist)
+	amount := uint64(rng.Intn(5000) + 1)
+
+	tx := m.Begin(thread)
+	wh.wTbl.Get(tx, kv.U64Key(0), func(wrow []byte, ok bool, err error) {
+		if err != nil || !ok {
+			done(false)
+			return
+		}
+		binary.LittleEndian.PutUint64(wrow, binary.LittleEndian.Uint64(wrow)+amount)
+		wh.wTbl.Put(tx, kv.U64Key(0), wrow, func(err error) {
+			if err != nil {
+				done(false)
+				return
+			}
+			wh.dTbl.Get(tx, kv.U64Key(uint64(d)), func(drow []byte, ok bool, err error) {
+				if err != nil || !ok {
+					done(false)
+					return
+				}
+				binary.LittleEndian.PutUint64(drow[8:], binary.LittleEndian.Uint64(drow[8:])+amount)
+				wh.dTbl.Put(tx, kv.U64Key(uint64(d)), drow, func(err error) {
+					if err != nil {
+						done(false)
+						return
+					}
+					cwh.cTbl.Get(tx, custKey(d, cid), func(crow []byte, ok bool, err error) {
+						if err != nil || !ok {
+							done(false)
+							return
+						}
+						binary.LittleEndian.PutUint64(crow, binary.LittleEndian.Uint64(crow)+amount)
+						binary.LittleEndian.PutUint32(crow[16:], binary.LittleEndian.Uint32(crow[16:])+1)
+						cwh.cTbl.Put(tx, custKey(d, cid), crow, func(err error) {
+							if err != nil {
+								done(false)
+								return
+							}
+							w.histSeq++
+							hrow := make([]byte, historyRow)
+							binary.LittleEndian.PutUint64(hrow, amount)
+							wh.histTbl.Put(tx, kv.U64Key(w.histSeq<<8|uint64(wh.id)), hrow, func(err error) {
+								if err != nil {
+									done(false)
+									return
+								}
+								tx.Commit(func(err error) { done(err == nil) })
+							})
+						})
+					})
+				})
+			})
+		})
+	})
+}
+
+// OrderStatus reads a customer (by id or through the name index) and the
+// lines of the district's most recent order (read-only; B-tree range
+// read).
+func (w *Workload) OrderStatus(m *core.Machine, thread int, wh *warehouse, rng *sim.Rand, done func(bool)) {
+	d := rng.Intn(w.Cfg.Districts) + 1
+	cid := rng.Intn(w.Cfg.CustomersPerDist)
+	tx := m.Begin(thread)
+	lookupOrder := func() {
+		wh.dTbl.Get(tx, kv.U64Key(uint64(d)), func(drow []byte, ok bool, err error) {
+			if err != nil || !ok {
+				done(false)
+				return
+			}
+			next := int(binary.LittleEndian.Uint32(drow))
+			if next <= 1 {
+				tx.Commit(func(err error) { done(err == nil) })
+				return
+			}
+			oid := next - 1
+			wh.orders[d].Get(tx, m, orderKey(d, oid), func(_ []byte, _ bool, err error) {
+				if err != nil {
+					done(false)
+					return
+				}
+				wh.orderLines[d].Scan(tx, olKey(d, oid, 0), 15, func(_ []btree.Pair, err error) {
+					if err != nil {
+						done(false)
+						return
+					}
+					tx.Commit(func(err error) { done(err == nil) })
+				})
+			})
+		})
+	}
+	if rng.Bool(0.6) {
+		// 60% select customer by last name through the name index.
+		wh.custByName.Scan(tx, custNameKey(d, cid)&^0xFFFF, 3, func(_ []btree.Pair, err error) {
+			if err != nil {
+				done(false)
+				return
+			}
+			lookupOrder()
+		})
+		return
+	}
+	wh.cTbl.Get(tx, custKey(d, cid), func(_ []byte, ok bool, err error) {
+		if err != nil || !ok {
+			done(false)
+			return
+		}
+		lookupOrder()
+	})
+}
+
+// Delivery processes the oldest undelivered order of each district, one
+// transaction per district as the spec permits.
+func (w *Workload) Delivery(m *core.Machine, thread int, wh *warehouse, rng *sim.Rand, done func(bool)) {
+	var perDistrict func(d int)
+	perDistrict = func(d int) {
+		if d > w.Cfg.Districts {
+			done(true)
+			return
+		}
+		tx := m.Begin(thread)
+		wh.newOrders[d].Scan(tx, orderKey(d, 0), 1, func(pairs []btree.Pair, err error) {
+			if err != nil {
+				done(false)
+				return
+			}
+			if len(pairs) == 0 || pairs[0].Key>>40 != uint64(d) {
+				// No undelivered orders in this district.
+				tx.Commit(func(error) { perDistrict(d + 1) })
+				return
+			}
+			key := pairs[0].Key
+			oid := int(key & (1<<40 - 1))
+			wh.newOrders[d].Delete(tx, key, func(_ bool, err error) {
+				if err != nil {
+					done(false)
+					return
+				}
+				wh.orders[d].Get(tx, m, key, func(orow []byte, ok bool, err error) {
+					if err != nil || !ok {
+						done(false)
+						return
+					}
+					orow[13] = byte(rng.Intn(10) + 1) // carrier
+					wh.orders[d].Put(tx, key, orow, func(err error) {
+						if err != nil {
+							done(false)
+							return
+						}
+						cid := int(binary.LittleEndian.Uint32(orow))
+						wh.orderLines[d].Scan(tx, olKey(d, oid, 0), 15, func(lines []btree.Pair, err error) {
+							if err != nil {
+								done(false)
+								return
+							}
+							var total uint64
+							for _, l := range lines {
+								if l.Key>>8 == uint64(d)<<32|uint64(oid) {
+									total += uint64(binary.LittleEndian.Uint32(l.Val[8:]))
+								}
+							}
+							wh.cTbl.Get(tx, custKey(d, cid), func(crow []byte, ok bool, err error) {
+								if err != nil || !ok {
+									done(false)
+									return
+								}
+								binary.LittleEndian.PutUint64(crow, binary.LittleEndian.Uint64(crow)+total)
+								binary.LittleEndian.PutUint32(crow[20:], binary.LittleEndian.Uint32(crow[20:])+1)
+								wh.cTbl.Put(tx, custKey(d, cid), crow, func(err error) {
+									if err != nil {
+										done(false)
+										return
+									}
+									tx.Commit(func(err error) {
+										if err != nil {
+											done(false)
+											return
+										}
+										perDistrict(d + 1)
+									})
+								})
+							})
+						})
+					})
+				})
+			})
+		})
+	}
+	perDistrict(1)
+}
+
+// StockLevel counts recent-order items below a stock threshold (read-only,
+// large B-tree scan + stock point reads).
+func (w *Workload) StockLevel(m *core.Machine, thread int, wh *warehouse, rng *sim.Rand, done func(bool)) {
+	d := rng.Intn(w.Cfg.Districts) + 1
+	threshold := uint32(rng.Intn(11) + 10)
+	tx := m.Begin(thread)
+	wh.dTbl.Get(tx, kv.U64Key(uint64(d)), func(drow []byte, ok bool, err error) {
+		if err != nil || !ok {
+			done(false)
+			return
+		}
+		next := int(binary.LittleEndian.Uint32(drow))
+		if next <= 1 {
+			tx.Commit(func(err error) { done(err == nil) })
+			return
+		}
+		from := next - 10
+		if from < 1 {
+			from = 1
+		}
+		wh.orderLines[d].Scan(tx, olKey(d, from, 0), 60, func(lines []btree.Pair, err error) {
+			if err != nil {
+				done(false)
+				return
+			}
+			items := make(map[uint32]bool)
+			for _, l := range lines {
+				if int(l.Key>>40) != d {
+					break
+				}
+				items[binary.LittleEndian.Uint32(l.Val)] = true
+			}
+			ids := make([]uint32, 0, len(items))
+			for i := range items {
+				ids = append(ids, i)
+			}
+			low := 0
+			var check func(i int)
+			check = func(i int) {
+				if i == len(ids) {
+					tx.Commit(func(err error) { done(err == nil) })
+					return
+				}
+				wh.sTbl.Get(tx, kv.U64Key(uint64(ids[i])), func(srow []byte, ok bool, err error) {
+					if err != nil {
+						done(false)
+						return
+					}
+					if ok && binary.LittleEndian.Uint32(srow) < threshold {
+						low++
+					}
+					check(i + 1)
+				})
+			}
+			check(0)
+		})
+	})
+}

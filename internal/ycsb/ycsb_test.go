@@ -1,0 +1,56 @@
+package ycsb
+
+import (
+	"testing"
+
+	"farm/internal/core"
+	"farm/internal/loadgen"
+	"farm/internal/sim"
+)
+
+func TestSetupAndLookups(t *testing.T) {
+	c := core.New(core.Options{NumMachines: 5, Seed: 21})
+	w, err := Setup(c, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every key must be retrievable via lock-free read.
+	missing := 0
+	fired := 0
+	for id := uint64(0); id < 500; id += 17 {
+		id := id
+		w.Table.LockFreeGet(c.Machine(int(id)%5), 0, Key(id), func(val []byte, ok bool, err error) {
+			fired++
+			if err != nil || !ok {
+				missing++
+			}
+		})
+	}
+	c.RunFor(100 * sim.Millisecond)
+	if fired == 0 || missing > 0 {
+		t.Fatalf("fired=%d missing=%d", fired, missing)
+	}
+}
+
+func TestLookupWorkloadRuns(t *testing.T) {
+	c := core.New(core.Options{NumMachines: 5, Seed: 22})
+	w, err := Setup(c, 300, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := loadgen.New(c, w.LookupOp())
+	tput, med, p99 := g.RunPoint([]int{0, 1, 2, 3, 4}, 4, 2, 2*sim.Millisecond, 20*sim.Millisecond)
+	if tput < 100000 {
+		t.Fatalf("throughput %v ops/s too low", tput)
+	}
+	if med <= 0 || p99 < med {
+		t.Fatalf("latencies: med=%v p99=%v", med, p99)
+	}
+	// Lock-free reads at low-ish load should be tens of µs at worst.
+	if med > 100*sim.Microsecond {
+		t.Fatalf("median %v too high for lock-free reads", med)
+	}
+	if g.Aborted() > g.Committed()/10 {
+		t.Fatalf("aborts %d vs commits %d", g.Aborted(), g.Committed())
+	}
+}

@@ -1,0 +1,87 @@
+// Package zk models the Zookeeper coordination service FaRM uses as its
+// vertical-Paxos configuration store (§3, §5.2). FaRM deliberately keeps
+// Zookeeper off the critical path: it is invoked once per configuration
+// change to atomically advance the configuration record, using znode
+// sequence numbers as a compare-and-swap. This model provides exactly that:
+// a linearizable versioned register with quorum-write latency, plus an
+// availability switch so tests can exercise the "majority of Zookeeper
+// replicas reachable" requirement.
+package zk
+
+import (
+	"errors"
+
+	"farm/internal/sim"
+)
+
+// ErrUnavailable is reported when the service has no quorum.
+var ErrUnavailable = errors.New("zk: no quorum")
+
+// Service is the replicated configuration store.
+type Service struct {
+	eng *sim.Engine
+
+	// ReadLatency and WriteLatency model a quorum round trip from a FaRM
+	// machine to the 5-replica ensemble.
+	ReadLatency  sim.Time
+	WriteLatency sim.Time
+
+	version   uint64
+	data      interface{}
+	available bool
+
+	casAttempts uint64
+	casWins     uint64
+}
+
+// New creates a service holding initial data at version 1.
+func New(eng *sim.Engine, initial interface{}) *Service {
+	return &Service{
+		eng:          eng,
+		ReadLatency:  500 * sim.Microsecond,
+		WriteLatency: 1 * sim.Millisecond,
+		version:      1,
+		data:         initial,
+		available:    true,
+	}
+}
+
+// SetAvailable simulates losing or regaining the Zookeeper quorum.
+func (s *Service) SetAvailable(ok bool) { s.available = ok }
+
+// Get reads the current version and data.
+func (s *Service) Get(cb func(version uint64, data interface{}, err error)) {
+	s.eng.After(s.ReadLatency, func() {
+		if !s.available {
+			cb(0, nil, ErrUnavailable)
+			return
+		}
+		cb(s.version, s.data, nil)
+	})
+}
+
+// CAS atomically replaces the stored data if the current version equals
+// expect; on success the version advances to expect+1. On failure the
+// current version and data are returned so the caller can re-evaluate —
+// this is the znode sequence-number CAS of §5.2 step 3, which guarantees
+// only one machine can move the system from configuration c to c+1.
+func (s *Service) CAS(expect uint64, data interface{}, cb func(ok bool, version uint64, cur interface{}, err error)) {
+	s.eng.After(s.WriteLatency, func() {
+		if !s.available {
+			cb(false, 0, nil, ErrUnavailable)
+			return
+		}
+		s.casAttempts++
+		if s.version != expect {
+			cb(false, s.version, s.data, nil)
+			return
+		}
+		s.version++
+		s.data = data
+		s.casWins++
+		cb(true, s.version, s.data, nil)
+	})
+}
+
+// Stats reports CAS attempts and successes (test observability).
+func (s *Service) Stats() (attempts, wins uint64) { return s.casAttempts, s.casWins }

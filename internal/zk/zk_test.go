@@ -1,0 +1,109 @@
+package zk
+
+import (
+	"errors"
+	"testing"
+
+	"farm/internal/sim"
+)
+
+func TestGetInitial(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := New(eng, "cfg-1")
+	var v uint64
+	var d interface{}
+	s.Get(func(version uint64, data interface{}, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		v, d = version, data
+	})
+	eng.Run()
+	if v != 1 || d != "cfg-1" {
+		t.Fatalf("got v=%d d=%v", v, d)
+	}
+	if eng.Now() < s.ReadLatency {
+		t.Fatal("read had no latency")
+	}
+}
+
+func TestCASSuccessAndVersionAdvance(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := New(eng, "a")
+	s.CAS(1, "b", func(ok bool, v uint64, cur interface{}, err error) {
+		if !ok || v != 2 || cur != "b" || err != nil {
+			t.Errorf("CAS: ok=%v v=%d cur=%v err=%v", ok, v, cur, err)
+		}
+	})
+	eng.Run()
+	s.Get(func(v uint64, d interface{}, _ error) {
+		if v != 2 || d != "b" {
+			t.Errorf("after CAS: v=%d d=%v", v, d)
+		}
+	})
+	eng.Run()
+}
+
+func TestCASOnlyOneWinnerPerVersion(t *testing.T) {
+	// The §5.2 property: many machines racing to move c -> c+1; exactly
+	// one succeeds.
+	eng := sim.NewEngine(1)
+	s := New(eng, "c0")
+	wins := 0
+	for i := 0; i < 10; i++ {
+		i := i
+		s.CAS(1, i, func(ok bool, _ uint64, _ interface{}, _ error) {
+			if ok {
+				wins++
+			}
+		})
+	}
+	eng.Run()
+	if wins != 1 {
+		t.Fatalf("%d winners, want exactly 1", wins)
+	}
+	attempts, casWins := s.Stats()
+	if attempts != 10 || casWins != 1 {
+		t.Fatalf("stats: %d/%d", attempts, casWins)
+	}
+}
+
+func TestCASStaleVersionFails(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := New(eng, "x")
+	s.CAS(1, "y", func(bool, uint64, interface{}, error) {})
+	eng.Run()
+	s.CAS(1, "z", func(ok bool, v uint64, cur interface{}, err error) {
+		if ok {
+			t.Error("stale CAS succeeded")
+		}
+		if v != 2 || cur != "y" {
+			t.Errorf("stale CAS did not return current state: v=%d cur=%v", v, cur)
+		}
+	})
+	eng.Run()
+}
+
+func TestUnavailable(t *testing.T) {
+	eng := sim.NewEngine(1)
+	s := New(eng, "x")
+	s.SetAvailable(false)
+	s.Get(func(_ uint64, _ interface{}, err error) {
+		if !errors.Is(err, ErrUnavailable) {
+			t.Errorf("get err = %v", err)
+		}
+	})
+	s.CAS(1, "y", func(ok bool, _ uint64, _ interface{}, err error) {
+		if ok || !errors.Is(err, ErrUnavailable) {
+			t.Errorf("cas ok=%v err=%v", ok, err)
+		}
+	})
+	eng.Run()
+	s.SetAvailable(true)
+	s.CAS(1, "y", func(ok bool, _ uint64, _ interface{}, err error) {
+		if !ok || err != nil {
+			t.Errorf("after recovery: ok=%v err=%v", ok, err)
+		}
+	})
+	eng.Run()
+}
