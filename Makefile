@@ -1,6 +1,9 @@
 # Convenience targets; everything is stdlib-only `go` commands.
 
-.PHONY: test bench figures chaos examples vet
+.PHONY: check test bench figures chaos examples vet race
+
+# Default CI gate: static checks, the full suite, then the race detector.
+check: vet test race
 
 test:
 	go test ./...
@@ -27,3 +30,6 @@ examples:
 vet:
 	go vet ./...
 	gofmt -l .
+
+race:
+	go test -race ./...

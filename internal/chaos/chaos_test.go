@@ -1,6 +1,29 @@
 package chaos
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+
+	"farm/internal/sim"
+)
+
+// TestRunIsDeterministic replays one faulted run twice in the same process
+// and requires identical results. Go randomizes map iteration per range
+// statement, so any protocol loop walking a map in raw order while emitting
+// simulation events diverges here (and would make chaos seeds unreplayable).
+func TestRunIsDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Duration = 400 * sim.Millisecond
+	cfg.FaultEvery = 80 * sim.Millisecond
+	a := Run(cfg)
+	b := Run(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different runs:\n  %v\n  %v", a, b)
+	}
+	if a.Kills+a.Partitions+a.PowerCycles == 0 {
+		t.Fatalf("determinism check exercised no faults: %v", a)
+	}
+}
 
 func TestChaosCampaignHoldsInvariants(t *testing.T) {
 	cfg := DefaultConfig()

@@ -6,8 +6,8 @@ import (
 )
 
 // This file is the participant side of the commit protocol: processing of
-// log records polled out of ring buffers (§4) and the reliable-message
-// router shared by all protocol components.
+// log records polled out of ring buffers (§4) and the envelope-RPC service
+// methods. Message dispatch lives in transport.go's handler registry.
 
 // handleRecord processes one parsed log record from the ring of lr.src.
 func (m *Machine) handleRecord(lr *logReader, rec *proto.Record, seq uint64) {
@@ -258,202 +258,44 @@ func (m *Machine) recordIsRecovering(rec *proto.Record) bool {
 	return false
 }
 
-// msgName maps a message to its Table 2 (or infrastructure) name for the
-// protocol-vocabulary counters.
-func msgName(msg interface{}) string {
-	switch msg.(type) {
-	case *proto.LockReply:
-		return "LOCK-REPLY"
-	case *proto.ValidateReq:
-		return "VALIDATE"
-	case *proto.ValidateReply:
-		return "VALIDATE-REPLY"
-	case *proto.NeedRecovery:
-		return "NEED-RECOVERY"
-	case *proto.FetchTxState:
-		return "FETCH-TX-STATE"
-	case *proto.SendTxState:
-		return "SEND-TX-STATE"
-	case *proto.ReplicateTxState:
-		return "REPLICATE-TX-STATE"
-	case *proto.RecoveryVote:
-		return "RECOVERY-VOTE"
-	case *proto.RequestVote:
-		return "REQUEST-VOTE"
-	case *proto.CommitRecovery:
-		return "COMMIT-RECOVERY"
-	case *proto.AbortRecovery:
-		return "ABORT-RECOVERY"
-	case *proto.TruncateRecovery:
-		return "TRUNCATE-RECOVERY"
-	case *proto.NewConfig:
-		return "NEW-CONFIG"
-	case *proto.NewConfigAck:
-		return "NEW-CONFIG-ACK"
-	case *proto.NewConfigCommit:
-		return "NEW-CONFIG-COMMIT"
-	case *proto.RegionsActive:
-		return "REGIONS-ACTIVE"
-	case *proto.AllRegionsActive:
-		return "ALL-REGIONS-ACTIVE"
-	default:
-		return ""
-	}
+// rpcAllocSlot serves a slot-reservation request at the region's primary
+// (the free lists live only there, §5.5).
+func (m *Machine) rpcAllocSlot(from int, id uint64, req *allocSlotReq) {
+	off, ver, err := m.allocSlotLocal(req.Region, req.Size)
+	m.send(from, &rpcReply{ID: id, Body: &allocSlotResp{
+		Region: req.Region, OK: err == nil, Off: off, Version: ver,
+	}})
 }
 
-// handleMessage is the reliable-message router (runs on a worker thread
-// with its handling cost already charged).
-func (m *Machine) handleMessage(src int, msg interface{}) {
-	if n := msgName(msg); n != "" {
-		m.c.Counters.Inc("msg "+n, 1)
-	}
-	switch v := msg.(type) {
-	// Transaction protocol (Table 2).
-	case *proto.LockReply:
-		m.onLockReply(v)
-	case *proto.ValidateReq:
-		m.onValidateReq(src, v)
-	case *proto.ValidateReply:
-		m.onValidateReply(v)
-
-	// Slot allocation and mapping RPCs.
-	case *rpcEnvelope:
-		m.onRPC(src, v)
-	case *rpcReply:
-		if w := m.rpcWaiters[v.ID]; w != nil {
-			delete(m.rpcWaiters, v.ID)
-			w(v.Body)
-		}
-	case *releaseSlotReq:
-		if rep := m.replicas[v.Region]; rep != nil && rep.primary && !rep.allocRecovering {
-			rep.alloc.Free(int(v.Off))
-		}
-	case *proto.MappingResp:
-		if v.OK {
-			cp := v.Map
-			m.mappings[cp.Region] = &cp
-			m.wakeMappingWaiters(cp.Region)
-		}
-
-	// Region allocation (CM side + replica side).
-	case *proto.AllocRegionPrepare:
-		m.onAllocPrepare(src, v)
-	case *proto.AllocRegionPrepared:
-		m.onAllocPrepared(src, v)
-	case *proto.AllocRegionCommit:
-		m.onAllocCommit(v)
-
-	// Leases over the RPC transport (LeaseRPC variant).
-	case *proto.LeaseRequest:
-		m.lease.onRequest(src, v)
-	case *proto.LeaseGrant:
-		m.lease.onGrant(src, v)
-
-	// Hierarchical lease suspicions (§5.1).
-	case *suspectReport:
-		if v.Config == m.config.ID && m.IsCM() {
-			m.suspect(v.Suspect)
-		}
-
-	// Reconfiguration (§5.2).
-	case *reconfigAsk:
-		m.onReconfigAsk(v)
-	case *proto.NewConfig:
-		m.onNewConfig(src, v)
-	case *proto.NewConfigAck:
-		m.onNewConfigAck(src, v)
-	case *proto.NewConfigCommit:
-		m.onNewConfigCommit(v)
-	case *proto.RegionsActive:
-		m.onRegionsActive(src, v)
-	case *proto.AllRegionsActive:
-		m.onAllRegionsActive(v)
-	case *regionActiveAnnounce:
-		m.unblockRegion(v.Region)
-	case *proto.BlockHeaderSync:
-		m.onBlockHeaderSync(v)
-
-	// Transaction state recovery (§5.3).
-	case *proto.NeedRecovery:
-		m.onNeedRecovery(src, v)
-	case *proto.FetchTxState:
-		m.onFetchTxState(src, v)
-	case *proto.SendTxState:
-		m.onSendTxState(v)
-	case *proto.ReplicateTxState:
-		m.onReplicateTxState(src, v)
-	case *proto.ReplicateTxStateAck:
-		m.onReplicateTxStateAck(v)
-	case *proto.RecoveryVote:
-		m.onRecoveryVote(src, v)
-	case *proto.RequestVote:
-		m.onRequestVote(src, v)
-	case *proto.CommitRecovery:
-		m.onRecoveryDecision(src, v.Tx, true)
-	case *proto.AbortRecovery:
-		m.onRecoveryDecision(src, v.Tx, false)
-	case *proto.RecoveryDecisionAck:
-		m.onRecoveryDecisionAck(v)
-	case *proto.TruncateRecovery:
-		m.onTruncateRecovery(v)
-
-	// Data recovery (§5.4).
-	case *dataRecoveryDone:
-		m.onDataRecoveryDone(v)
-
-	// Cluster growth (§3).
-	case *joinReq:
-		m.onJoinReq(v)
-
-	// External clients (§5.2).
-	case *clientReadReq:
-		m.onClientRead(src, v)
-	case *clientUpdateReq:
-		m.onClientUpdate(src, v)
-
-	// Application messages (function shipping, §6.2).
-	case *appMsg:
-		if m.appHandler != nil {
-			m.appHandler(src, v.Body)
+// rpcValidate serves RPC validation for read-only transactions: the reply
+// is matched by envelope id because there is no coordinator-side
+// transaction record to route through.
+func (m *Machine) rpcValidate(from int, id uint64, req *proto.ValidateReq) {
+	ok := true
+	for i, addr := range req.Addrs {
+		rep := m.replicas[addr.Region]
+		if rep == nil || !rep.primary ||
+			!validHeaderWord(regionmem.ReadHeader(rep.mem, int(addr.Off)), req.Versions[i]) {
+			ok = false
+			break
 		}
 	}
+	m.send(from, &rpcReply{ID: id, Body: &proto.ValidateReply{OK: ok}})
 }
 
-// onRPC serves request/response envelopes.
-func (m *Machine) onRPC(src int, env *rpcEnvelope) {
-	switch req := env.Body.(type) {
-	case *allocSlotReq:
-		off, ver, err := m.allocSlotLocal(req.Region, req.Size)
-		m.send(env.From, &rpcReply{ID: env.ID, Body: &allocSlotResp{
-			Region: req.Region, OK: err == nil, Off: off, Version: ver,
-		}})
-	case *proto.ValidateReq:
-		// RPC validation for read-only transactions: the reply is matched
-		// by envelope id because there is no coordinator-side transaction
-		// record to route through.
-		ok := true
-		for i, addr := range req.Addrs {
-			rep := m.replicas[addr.Region]
-			if rep == nil || !rep.primary ||
-				!validHeaderWord(regionmem.ReadHeader(rep.mem, int(addr.Off)), req.Versions[i]) {
-				ok = false
-				break
-			}
-		}
-		m.send(env.From, &rpcReply{ID: env.ID, Body: &proto.ValidateReply{OK: ok}})
-	case *proto.MappingReq:
-		var resp proto.MappingResp
-		if m.cm != nil {
-			if rm := m.cm.regions[req.Region]; rm != nil {
-				resp = proto.MappingResp{OK: true, Map: *rm}
-			}
-		} else if rm := m.mappings[req.Region]; rm != nil {
+// rpcMapping answers a region-placement cache miss. The response is a bare
+// MappingResp (not an rpcReply): mapping fetches are keyed by region, not
+// request id, so late responses still refresh the cache.
+func (m *Machine) rpcMapping(from int, _ uint64, req *proto.MappingReq) {
+	var resp proto.MappingResp
+	if m.cm != nil {
+		if rm := m.cm.regions[req.Region]; rm != nil {
 			resp = proto.MappingResp{OK: true, Map: *rm}
 		}
-		m.send(env.From, &resp)
-	case *proto.AllocRegionReq:
-		m.onAllocRegionReq(env.From, env.ID, req)
+	} else if rm := m.mappings[req.Region]; rm != nil {
+		resp = proto.MappingResp{OK: true, Map: *rm}
 	}
+	m.send(from, &resp)
 }
 
 // onValidateReq validates a read set over RPC at the primary (§4 step 2).

@@ -59,11 +59,7 @@ func (c *Cluster) NewClient() *Client {
 		nic:     c.Net.AddMachine(fabric.MachineID(id), nvram.NewStore()),
 		waiters: make(map[uint64]func([]byte, error)),
 	}
-	cl.nic.SetMessageHandler(func(_ fabric.MachineID, msg interface{}) {
-		resp, ok := msg.(*clientResp)
-		if !ok {
-			return
-		}
+	deliver := func(resp *clientResp) {
 		if w := cl.waiters[resp.Token]; w != nil {
 			delete(cl.waiters, resp.Token)
 			if resp.Err != "" {
@@ -71,6 +67,21 @@ func (c *Cluster) NewClient() *Client {
 				return
 			}
 			w(resp.Data, nil)
+		}
+	}
+	cl.nic.SetMessageHandler(func(_ fabric.MachineID, msg interface{}) {
+		// Members reply through their coalescing transport, so responses
+		// may arrive batched.
+		if b, ok := msg.(*fabric.Batch); ok {
+			for _, inner := range b.Msgs {
+				if resp, ok := inner.(*clientResp); ok {
+					deliver(resp)
+				}
+			}
+			return
+		}
+		if resp, ok := msg.(*clientResp); ok {
+			deliver(resp)
 		}
 	})
 	return cl
@@ -156,12 +167,5 @@ func (m *Machine) onClientUpdate(src int, req *clientUpdateReq) {
 // machine that lost its configuration stops replying by virtue of being
 // evicted and blocked).
 func (m *Machine) sendToClient(dst int, msg interface{}) {
-	if !m.alive {
-		return
-	}
-	m.pool.Dispatch(m.c.Opts.CPUMsg, func() {
-		if m.alive {
-			m.nic.Send(fabric.MachineID(dst), msg)
-		}
-	})
+	m.send(dst, msg)
 }

@@ -32,6 +32,9 @@ type Cluster struct {
 	// Counters aggregates protocol-level counts (commits, aborts,
 	// recovering transactions, lease expiries, ...).
 	Counters *stats.Counters
+	// MsgLatency holds per-message-type delivery latency (transport
+	// enqueue → receiver dispatch), recorded by the message transport.
+	MsgLatency *stats.LatencySet
 
 	// DisableRecovery makes lease expiries count-only (the Figure 16
 	// methodology: "We disabled recovery and counted the number of lease
@@ -61,6 +64,7 @@ func New(opts Options) *Cluster {
 		Net:               fabric.NewNetwork(eng, opts.Fabric),
 		Opts:              opts,
 		Counters:          stats.NewCounters(),
+		MsgLatency:        stats.NewLatencySet(),
 		RegionRecoveredAt: make(map[uint32]sim.Time),
 	}
 

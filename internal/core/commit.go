@@ -341,7 +341,7 @@ func (m *Machine) writeRecord(ct *coordTx, dst int, rec *proto.Record, ack func(
 // object (§4 step 1). The coordinator thread issues one verb per record.
 func (m *Machine) sendLocks(ct *coordTx) {
 	ct.lockOutstanding = len(ct.primWrites)
-	for pm := range ct.primWrites {
+	for _, pm := range intKeys(ct.primWrites) {
 		pm := pm
 		rec := m.lockRecordFor(ct, pm)
 		m.pool.ByIndex(ct.tx.thread).Do(m.c.Opts.CPUVerb, func() {
@@ -381,7 +381,7 @@ func (m *Machine) abortTx(ct *coordTx, err error) {
 	delete(m.inflight, ct.id)
 	ct.tx.releaseAllocs()
 	acks := len(ct.primWrites)
-	for pm := range ct.primWrites {
+	for _, pm := range intKeys(ct.primWrites) {
 		rec := &proto.Record{Type: proto.RecAbort, Tx: ct.id, Regions: ct.writeRegions}
 		pm := pm
 		m.pool.ByIndex(ct.tx.thread).Do(m.c.Opts.CPUVerb, func() {
@@ -428,7 +428,7 @@ func (ct *coordTx) primariesOnly() []int {
 func (m *Machine) validate(ct *coordTx) {
 	t := ct.tx
 	byPrimary := make(map[int][]*readEntry)
-	for addr, r := range t.reads {
+	for _, addr := range addrKeys(t.reads) {
 		if _, written := t.writes[addr]; written {
 			continue
 		}
@@ -437,7 +437,7 @@ func (m *Machine) validate(ct *coordTx) {
 			m.abortTx(ct, ErrUnavailable)
 			return
 		}
-		byPrimary[pm] = append(byPrimary[pm], r)
+		byPrimary[pm] = append(byPrimary[pm], t.reads[addr])
 	}
 	if len(byPrimary) == 0 {
 		ct.phase = phaseCommitBackup
@@ -464,8 +464,8 @@ func (m *Machine) validate(ct *coordTx) {
 			ct.valOutstanding += len(entries)
 		}
 	}
-	for pm, entries := range byPrimary {
-		pm, entries := pm, entries
+	for _, pm := range intKeys(byPrimary) {
+		pm, entries := pm, byPrimary[pm]
 		switch {
 		case pm == m.ID:
 			// Local validation: direct header loads.
@@ -547,7 +547,7 @@ func (m *Machine) commitBackups(ct *coordTx) {
 		return
 	}
 	ct.cbOutstanding = len(ct.backupWrites)
-	for bm := range ct.backupWrites {
+	for _, bm := range intKeys(ct.backupWrites) {
 		bm := bm
 		rec := m.backupRecordFor(ct, bm)
 		m.pool.ByIndex(ct.tx.thread).Do(m.c.Opts.CPUVerb, func() {
@@ -577,7 +577,7 @@ func (m *Machine) commitBackups(ct *coordTx) {
 // queued once all primaries acked (§4 step 5).
 func (m *Machine) commitPrimaries(ct *coordTx) {
 	ct.cpOutstanding = len(ct.primWrites)
-	for pm := range ct.primWrites {
+	for _, pm := range intKeys(ct.primWrites) {
 		pm := pm
 		rec := &proto.Record{Type: proto.RecCommitPrimary, Tx: ct.id, Regions: ct.writeRegions}
 		m.pool.ByIndex(ct.tx.thread).Do(m.c.Opts.CPUVerb, func() {
@@ -630,7 +630,8 @@ func (t *Tx) validateReadOnly(cb func(error)) {
 		return
 	}
 	byPrimary := make(map[int][]*readEntry)
-	for _, r := range t.reads {
+	for _, addr := range addrKeys(t.reads) {
+		r := t.reads[addr]
 		byPrimary[m.primaryOf(r.addr.Region)] = append(byPrimary[m.primaryOf(r.addr.Region)], r)
 	}
 	outstanding := 0
@@ -660,8 +661,8 @@ func (t *Tx) validateReadOnly(cb func(error)) {
 			cb(nil)
 		}
 	}
-	for pm, entries := range byPrimary {
-		pm, entries := pm, entries
+	for _, pm := range intKeys(byPrimary) {
+		pm, entries := pm, byPrimary[pm]
 		switch {
 		case pm == m.ID:
 			for _, r := range entries {

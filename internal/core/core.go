@@ -151,6 +151,13 @@ type Options struct {
 	AllocScanBatch    int
 	AllocScanInterval sim.Time
 
+	// CoalesceInterval is how long the message transport buffers small
+	// control messages per destination before flushing them as one fabric
+	// frame (§1/§4: reduce message counts). 0 takes the default; negative
+	// disables coalescing (every message is its own fabric send). Lease
+	// traffic never coalesces regardless.
+	CoalesceInterval sim.Time
+
 	// CPUVerb is the worker-thread cost to issue a one-sided verb and
 	// later reap its completion.
 	CPUVerb sim.Time
@@ -189,6 +196,7 @@ func DefaultOptions() Options {
 		DataRecConcurrency:    1,
 		AllocScanBatch:        100,
 		AllocScanInterval:     100 * sim.Microsecond,
+		CoalesceInterval:      3 * sim.Microsecond,
 		CPUVerb:               2500 * sim.Nanosecond,
 		CPUMsg:                2500 * sim.Nanosecond,
 		CPUPerObject:          300 * sim.Nanosecond,
@@ -244,6 +252,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.AllocScanInterval == 0 {
 		o.AllocScanInterval = d.AllocScanInterval
+	}
+	if o.CoalesceInterval == 0 {
+		o.CoalesceInterval = d.CoalesceInterval
 	}
 	if o.CPUVerb == 0 {
 		o.CPUVerb = d.CPUVerb

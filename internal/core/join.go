@@ -51,7 +51,7 @@ func (c *Cluster) Join() *Machine {
 	// Register with the CM; the CM adds us via reconfiguration.
 	cm := int(m.config.CM)
 	m.c.Eng.After(0, func() {
-		m.nic.Send(fabric.MachineID(cm), &joinReq{ID: id, Domain: domain})
+		m.send(cm, &joinReq{ID: id, Domain: domain})
 	})
 	c.trace("join-requested", id, 0)
 	return m

@@ -121,6 +121,9 @@ type Machine struct {
 	nic   *fabric.NIC
 	store *nvram.Store
 	pool  *sim.ThreadPool
+	// tp is the typed message transport: handler registry, per-destination
+	// coalescing queues, and per-type accounting.
+	tp *transport
 
 	alive bool
 	// poweredOff marks machines taken down by a cluster-wide power
@@ -276,6 +279,7 @@ func (c *Cluster) newMachine(id int) *Machine {
 		mappingWaiters: make(map[uint32][]func()),
 	}
 	m.nic = c.Net.AddMachine(fabric.MachineID(id), store)
+	m.tp = newTransport(m)
 	m.nic.SetMessageHandler(m.onMessage)
 	m.nic.SetWriteHook(m.onRemoteWrite)
 	return m
@@ -344,11 +348,7 @@ func (m *Machine) mapping(region uint32) *proto.RegionMap { return m.mappings[re
 // HostedRegions lists the data regions this machine holds a replica of
 // (observability for experiments choosing failure victims).
 func (m *Machine) HostedRegions() []uint32 {
-	out := make([]uint32, 0, len(m.replicas))
-	for id := range m.replicas {
-		out = append(out, id)
-	}
-	return out
+	return regionKeys(m.replicas)
 }
 
 // PrimaryOf exposes the cached primary machine for a region (-1 when
@@ -409,29 +409,56 @@ func (m *Machine) LogSpaceReport() map[int][4]int {
 	return out
 }
 
-// onMessage is the NIC upcall for reliable sends: dispatch to a worker
-// thread and charge the message-handling cost there.
+// onMessage is the NIC upcall for reliable sends. Coalesced frames are
+// unpacked here (in completion context, free — the real cost is the
+// per-message handling charged in dispatchMsg); bare messages still arrive
+// from external clients and from transports with coalescing disabled.
 func (m *Machine) onMessage(src fabric.MachineID, msg interface{}) {
 	if !m.alive {
 		return
 	}
 	s := int(src)
-	switch msg.(type) {
-	case *proto.RecoveryVote:
+	if b, ok := msg.(*fabric.Batch); ok {
+		for i, inner := range b.Msgs {
+			var stamp sim.Time
+			if i < len(b.Stamps) {
+				stamp = b.Stamps[i]
+			}
+			m.dispatchMsg(s, inner, stamp)
+		}
+		return
+	}
+	m.dispatchMsg(s, msg, 0)
+}
+
+// dispatchMsg routes one received message through the handler registry:
+// count it, record its delivery latency, and run its handler on a worker
+// thread with the handling cost charged there. Unregistered types are
+// counted as drops instead of vanishing silently.
+func (m *Machine) dispatchMsg(src int, msg interface{}, stamp sim.Time) {
+	h := m.tp.reg.Lookup(msg)
+	if h == nil || h.Fn == nil {
+		m.c.Counters.Inc("msg unknown", 1)
+		return
+	}
+	m.c.Counters.Inc(h.RecvCounter, 1)
+	if stamp > 0 {
+		m.c.MsgLatency.Record(h.Name, m.c.Eng.Now()-stamp)
+	}
+	if v, ok := msg.(*proto.RecoveryVote); ok {
 		// Votes go to the peer thread of the coordinator thread (§5.3).
-		v := msg.(*proto.RecoveryVote)
 		m.pool.ByIndex(int(v.Tx.Thread)).Do(m.c.Opts.CPUMsg, func() {
 			if m.alive {
-				m.handleMessage(s, msg)
+				h.Fn(src, msg)
 			}
 		})
-	default:
-		m.pool.Dispatch(m.c.Opts.CPUMsg, func() {
-			if m.alive {
-				m.handleMessage(s, msg)
-			}
-		})
+		return
 	}
+	m.pool.Dispatch(m.c.Opts.CPUMsg, func() {
+		if m.alive {
+			h.Fn(src, msg)
+		}
+	})
 }
 
 // onRemoteWrite reacts to one-sided writes landing in local memory; for
@@ -573,14 +600,16 @@ func (m *Machine) installAllocHook(r *replica) {
 	})
 }
 
-// send transmits a reliable message, charging the sender-side CPU cost.
+// send transmits a reliable message through the transport, charging the
+// sender-side CPU cost. All control-plane sends funnel through here (and
+// sendFromThread); only the lease manager talks to the NIC directly.
 func (m *Machine) send(dst int, msg interface{}) {
 	if !m.alive {
 		return
 	}
 	m.pool.Dispatch(m.c.Opts.CPUMsg, func() {
 		if m.alive {
-			m.nic.Send(fabric.MachineID(dst), msg)
+			m.tp.enqueue(dst, msg)
 		}
 	})
 }
@@ -592,7 +621,7 @@ func (m *Machine) sendFromThread(thread, dst int, msg interface{}) {
 	}
 	m.pool.ByIndex(thread).Do(m.c.Opts.CPUMsg, func() {
 		if m.alive {
-			m.nic.Send(fabric.MachineID(dst), msg)
+			m.tp.enqueue(dst, msg)
 		}
 	})
 }

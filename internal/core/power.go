@@ -108,7 +108,8 @@ func (c *Cluster) reestablishRings() {
 		if !m.alive {
 			continue
 		}
-		for _, lr := range m.logR {
+		for _, src := range intKeys(m.logR) {
+			lr := m.logR[src]
 			for _, f := range lr.rd.Pending() {
 				rec, err := proto.UnmarshalRecord(f.Payload)
 				if err != nil {
@@ -151,20 +152,21 @@ func (c *Cluster) reestablishRings() {
 		for _, ct := range m.inflight {
 			ct.reservations = make(map[int]*resSet)
 		}
-		for dst, pend := range m.truncPending {
+		for _, dst := range intKeys(m.truncPending) {
+			pend := m.truncPending[dst]
 			q := m.truncQueueFor(dst)
 			queued := make(map[uint64]bool, len(q.ids))
 			for _, id := range q.ids {
 				queued[id] = true
 			}
-			for id := range pend {
+			for _, id := range u64Keys(pend) {
 				if !queued[id] {
 					q.ids = append(q.ids, id)
 				}
 			}
 		}
-		for dst, q := range m.truncQ {
-			if len(q.ids) > 0 && !q.flushArmed {
+		for _, dst := range intKeys(m.truncQ) {
+			if q := m.truncQ[dst]; len(q.ids) > 0 && !q.flushArmed {
 				m.armTruncFlush(dst)
 			}
 		}

@@ -212,8 +212,8 @@ func (m *Machine) becomeCM(cfg *proto.Config, suspects map[int]bool, bumpAll boo
 		}
 		m.remapRegions(cfg, suspects)
 		nc := &proto.NewConfig{Config: *cfg}
-		for _, rm := range m.cm.regions {
-			nc.Regions = append(nc.Regions, *rm)
+		for _, id := range regionKeys(m.cm.regions) {
+			nc.Regions = append(nc.Regions, *m.cm.regions[id])
 		}
 		m.c.trace("remap-done", m.ID, 0)
 		m.cmAwaitAcks = make(map[int]bool)
@@ -235,7 +235,8 @@ func (m *Machine) becomeCM(cfg *proto.Config, suspects map[int]bool, bumpAll boo
 // remapRegions is step 4: restore f+1 replicas for regions that lost any,
 // promoting surviving backups to primary so the region recovers fast.
 func (m *Machine) remapRegions(cfg *proto.Config, suspects map[int]bool) {
-	for _, rm := range m.cm.regions {
+	for _, id := range regionKeys(m.cm.regions) {
+		rm := m.cm.regions[id]
 		var survivors []uint16
 		primaryFailed := false
 		for i, r := range rm.Replicas {
@@ -452,8 +453,8 @@ func (m *Machine) onNewConfigCommit(cc *proto.NewConfigCommit) {
 	m.unblockClients()
 	// New primaries push block headers to all backups right away so
 	// allocator metadata survives further failures (§5.5).
-	for _, rep := range m.replicas {
-		if rep.primary && rep.promotedAt == m.config.ID {
+	for _, id := range regionKeys(m.replicas) {
+		if rep := m.replicas[id]; rep.primary && rep.promotedAt == m.config.ID {
 			m.syncBlockHeaders(rep)
 		}
 	}
@@ -509,7 +510,8 @@ func (m *Machine) onAllRegionsActive(aa *proto.AllRegionsActive) {
 		return
 	}
 	m.c.trace("data-rec-start", m.ID, 0)
-	for _, rep := range m.replicas {
+	for _, id := range regionKeys(m.replicas) {
+		rep := m.replicas[id]
 		if rep.needsDataRecovery {
 			m.startDataRecovery(rep)
 		}

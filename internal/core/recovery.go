@@ -112,8 +112,8 @@ func (m *Machine) startTxRecovery(configID uint64) {
 		m.recov.drained = true
 		m.findRecoveringTxs()
 	}
-	for _, lr := range m.logR {
-		lr := lr
+	for _, src := range intKeys(m.logR) {
+		lr := m.logR[src]
 		outstanding++
 		m.drainLog(lr, func() { done() })
 	}
@@ -183,7 +183,8 @@ func (m *Machine) findRecoveringTxs() {
 
 	// Classify our participant-side transactions.
 	needByPrimary := make(map[int]map[uint32][]proto.TxSeen)
-	for _, rt := range m.pend {
+	for _, k := range mtlKeys(m.pend) {
+		rt := m.pend[k]
 		if !m.txIsRecovering(rt) {
 			continue
 		}
@@ -238,22 +239,23 @@ func (m *Machine) findRecoveringTxs() {
 			needByPrimary[p][id] = nil
 		}
 	}
-	for p, byRegion := range needByPrimary {
-		for region, txs := range byRegion {
-			m.send(p, &proto.NeedRecovery{Config: m.config.ID, Region: region, Txs: txs})
+	for _, p := range intKeys(needByPrimary) {
+		byRegion := needByPrimary[p]
+		for _, region := range regionKeys(byRegion) {
+			m.send(p, &proto.NeedRecovery{Config: m.config.ID, Region: region, Txs: byRegion[region]})
 		}
 	}
 	m.c.Counters.Inc("recovering_tx_found", uint64(countRecovering(rs)))
 
 	// Coordinator side: arm vote collection for our own recovering
 	// transactions so read-set-only recoveries make progress too.
-	for _, ct := range m.inflight {
-		if ct.recovering {
+	for _, id := range txIDKeys(m.inflight) {
+		if ct := m.inflight[id]; ct.recovering {
 			m.armVoteCollector(ct.id, ct.writeRegions, ct.participantSet())
 		}
 	}
-	for _, rr := range rs.regions {
-		m.maybeRecoverRegion(rr)
+	for _, region := range regionKeys(rs.regions) {
+		m.maybeRecoverRegion(rs.regions[region])
 	}
 	m.maybeAllPrimariesActive()
 }
@@ -377,7 +379,8 @@ func (m *Machine) maybeRecoverRegion(rr *regionRecovery) {
 		// Shard lock recovery across threads by coordinator thread id and
 		// charge the CPU there (§5.3 step 4).
 		work := make(map[int][]*recTx)
-		for _, rt := range rr.txs {
+		for _, k := range mtlKeys(rr.txs) {
+			rt := rr.txs[k]
 			work[int(rt.id.Thread)%m.c.Opts.Threads] = append(work[int(rt.id.Thread)%m.c.Opts.Threads], rt)
 		}
 		pendingThreads := len(work)
@@ -396,8 +399,8 @@ func (m *Machine) maybeRecoverRegion(rr *regionRecovery) {
 			m.replicateAndVote(rr)
 			return
 		}
-		for th, txs := range work {
-			th, txs := th, txs
+		for _, th := range intKeys(work) {
+			th, txs := th, work[th]
 			cost := sim.Time(len(txs)) * (m.c.Opts.CPUPerObject*4 + m.c.Opts.CPULocal)
 			m.pool.ByIndex(th).Do(cost, func() {
 				if !m.alive {
@@ -411,12 +414,13 @@ func (m *Machine) maybeRecoverRegion(rr *regionRecovery) {
 		}
 	}
 	// Fetch lock records we are missing but some backup saw (step 4).
-	for _, rt := range rr.txs {
+	for _, k := range mtlKeys(rr.txs) {
+		rt := rr.txs[k]
 		if rt.lock != nil || rt.saw&(proto.SawLock|proto.SawCommitBackup) == 0 {
 			continue
 		}
-		for b, saw := range rt.sawBy {
-			if b != m.ID && saw&(proto.SawLock|proto.SawCommitBackup) != 0 {
+		for _, b := range intKeys(rt.sawBy) {
+			if saw := rt.sawBy[b]; b != m.ID && saw&(proto.SawLock|proto.SawCommitBackup) != 0 {
 				rt.fetchOutstanding++
 				m.send(b, &proto.FetchTxState{Config: m.config.ID, Region: rr.region, TxIDs: []proto.TxID{rt.id}})
 				break
@@ -522,8 +526,8 @@ func (m *Machine) replicateAndVote(rr *regionRecovery) {
 	if rm == nil {
 		return
 	}
-	for _, rt := range rr.txs {
-		rt := rt
+	for _, k := range mtlKeys(rr.txs) {
+		rt := rr.txs[k]
 		if rt.voted {
 			continue
 		}
@@ -768,7 +772,7 @@ func (m *Machine) requestMissingVotes(vc *voteCollector) {
 		return
 	}
 	missing := false
-	for region := range vc.known {
+	for _, region := range regionKeys(vc.known) {
 		if _, ok := vc.regions[region]; ok {
 			continue
 		}
@@ -886,7 +890,7 @@ func (m *Machine) decide(vc *voteCollector, commit bool) {
 		}
 	}
 	vc.acksOutstanding = 0
-	for p := range vc.participants {
+	for _, p := range intKeys(vc.participants) {
 		if !m.isMember(p) {
 			continue
 		}
@@ -990,7 +994,7 @@ func (m *Machine) onRecoveryDecisionAck(a *proto.RecoveryDecisionAck) {
 }
 
 func (m *Machine) sendTruncateRecovery(vc *voteCollector) {
-	for p := range vc.participants {
+	for _, p := range intKeys(vc.participants) {
 		if m.isMember(p) {
 			m.send(p, &proto.TruncateRecovery{Config: m.config.ID, Tx: vc.id})
 		}

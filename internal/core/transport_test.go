@@ -1,0 +1,197 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"farm/internal/proto"
+	"farm/internal/sim"
+)
+
+// TestRegistryCompleteness asserts every message type the system can put
+// on the wire has a registered handler: the proto package's public
+// vocabulary, the envelope-RPC request types, and core's internal control
+// messages. A type added to the protocol without a registration fails
+// here rather than being silently dropped at runtime.
+func TestRegistryCompleteness(t *testing.T) {
+	c := New(Options{NumMachines: 2, Seed: 1})
+	m := c.Machine(0)
+
+	for _, msg := range proto.WireMessages() {
+		if !m.tp.reg.Handles(msg) {
+			t.Errorf("no handler registered for %T", msg)
+		}
+	}
+	internal := []interface{}{
+		&rpcEnvelope{}, &rpcReply{}, &releaseSlotReq{},
+		&suspectReport{}, &reconfigAsk{}, &regionActiveAnnounce{},
+		&dataRecoveryDone{}, &joinReq{},
+		&clientReadReq{}, &clientUpdateReq{}, &appMsg{},
+	}
+	for _, msg := range internal {
+		if !m.tp.reg.Handles(msg) {
+			t.Errorf("no handler registered for internal type %T", msg)
+		}
+	}
+	// Send-only types must still be registered (for wire-size accounting)
+	// even though machines never receive them.
+	if m.tp.reg.Lookup(&clientResp{}) == nil {
+		t.Error("clientResp not registered for send-side accounting")
+	}
+	for _, body := range proto.RPCBodies() {
+		if _, ok := m.tp.rpc[reflect.TypeOf(body)]; !ok {
+			t.Errorf("no RPC service method for envelope body %T", body)
+		}
+	}
+	if _, ok := m.tp.rpc[reflect.TypeOf(&allocSlotReq{})]; !ok {
+		t.Error("no RPC service method for allocSlotReq")
+	}
+}
+
+// TestUnknownMessageCounted asserts an unregistered type arriving at a
+// machine is counted under "msg unknown" instead of vanishing.
+func TestUnknownMessageCounted(t *testing.T) {
+	type bogusMsg struct{ X int }
+	c := New(Options{NumMachines: 2, Seed: 1})
+	c.Machine(0).send(1, &bogusMsg{X: 42})
+	c.RunFor(sim.Millisecond)
+	if n := c.Counters.Get("msg unknown"); n != 1 {
+		t.Fatalf("msg unknown = %d, want 1", n)
+	}
+}
+
+// TestCoalescedBatchesPreserveHandlerSequence sends a stream of
+// application messages between two machines with coalescing enabled and
+// asserts (a) the batched frames decode to the exact enqueue sequence and
+// (b) the stream costs fewer fabric sends than one per message.
+func TestCoalescedBatchesPreserveHandlerSequence(t *testing.T) {
+	const n = 24
+	run := func(interval sim.Time) ([]int, uint64) {
+		c := New(Options{NumMachines: 2, Seed: 5, CoalesceInterval: interval})
+		var got []int
+		var done bool
+		c.Machine(1).SetAppHandler(func(_ int, msg interface{}) {
+			got = append(got, msg.(int))
+			done = len(got) == n
+		})
+		c.RunFor(sim.Millisecond) // settle boot traffic
+		before := c.Net.Counters.Get("msg_send")
+		for i := 0; i < n; i++ {
+			c.Machine(0).SendApp(1, i)
+		}
+		runUntil(t, c, sim.Second, func() bool { return done })
+		return got, c.Net.Counters.Get("msg_send") - before
+	}
+
+	coalesced, coalescedSends := run(0)                   // 0 → default interval
+	uncoalesced, uncoalescedSends := run(-sim.Nanosecond) // negative → disabled
+
+	for i, v := range coalesced {
+		if v != i {
+			t.Fatalf("coalesced delivery out of order at %d: got %v", i, coalesced)
+		}
+	}
+	if len(uncoalesced) != n {
+		t.Fatalf("uncoalesced run delivered %d of %d", len(uncoalesced), n)
+	}
+	if uncoalescedSends < n {
+		t.Fatalf("uncoalesced run used %d fabric sends for %d messages", uncoalescedSends, n)
+	}
+	if coalescedSends >= uncoalescedSends {
+		t.Fatalf("coalescing did not reduce fabric sends: %d vs %d",
+			coalescedSends, uncoalescedSends)
+	}
+}
+
+// TestCoalescingReducesFabricSendsPerTransaction runs the same bank-style
+// transfer workload with coalescing on and off and asserts the on-run
+// commits transactions with fewer fabric sends each — the counter-level
+// form of FaRM's "reduce message counts" principle (§1, §4).
+func TestCoalescingReducesFabricSendsPerTransaction(t *testing.T) {
+	const (
+		accounts = 16
+		target   = 250
+		drivers  = 4
+	)
+	run := func(interval sim.Time) (sendsPerTx float64, c *Cluster) {
+		c = New(Options{NumMachines: 6, Seed: 3, CoalesceInterval: interval})
+		if _, err := c.CreateRegions(0, 1, 0); err != nil {
+			t.Fatal(err)
+		}
+		addrs := make([]proto.Addr, accounts)
+		for i := range addrs {
+			addrs[i] = writeObject(t, c, c.Machine(1+i%3), []byte{byte(i), 0, 0, 0, 0, 0, 0, 0})
+		}
+		c.RunFor(5 * sim.Millisecond)
+		committedBefore := c.TotalCommitted()
+		sendsBefore := c.Net.Counters.Get("msg_send")
+
+		for _, mm := range c.Machines {
+			m := mm
+			for d := 0; d < drivers; d++ {
+				dd := d
+				var loop func(i int)
+				loop = func(i int) {
+					if !m.Alive() || c.TotalCommitted()-committedBefore >= target {
+						return
+					}
+					a := addrs[(i*7+dd+m.ID)%accounts]
+					b := addrs[(i*11+dd*3+m.ID*5+1)%accounts]
+					if a == b {
+						loop(i + 1)
+						return
+					}
+					tx := m.Begin(dd % m.Threads())
+					tx.Read(a, 8, func(av []byte, err error) {
+						if err != nil {
+							c.Eng.After(50*sim.Microsecond, func() { loop(i + 1) })
+							return
+						}
+						tx.Read(b, 8, func(bv []byte, err error) {
+							if err != nil {
+								c.Eng.After(50*sim.Microsecond, func() { loop(i + 1) })
+								return
+							}
+							av[0]++
+							bv[0]--
+							tx.Write(a, av)
+							tx.Write(b, bv)
+							tx.Commit(func(error) { loop(i + 1) })
+						})
+					})
+				}
+				loop(m.ID * 17)
+			}
+		}
+		runUntil(t, c, 5*sim.Second, func() bool {
+			return c.TotalCommitted()-committedBefore >= target
+		})
+		committed := c.TotalCommitted() - committedBefore
+		sends := c.Net.Counters.Get("msg_send") - sendsBefore
+		return float64(sends) / float64(committed), c
+	}
+
+	onRatio, onCluster := run(0)
+	offRatio, offCluster := run(-sim.Nanosecond)
+
+	t.Logf("fabric sends per committed tx: coalescing on %.2f, off %.2f", onRatio, offRatio)
+	if onRatio >= offRatio {
+		t.Fatalf("fabric sends per committed tx did not drop: coalescing on %.2f, off %.2f",
+			onRatio, offRatio)
+	}
+	if onCluster.Net.Counters.Get("msg_send_coalesced") == 0 {
+		t.Error("coalescing-on run never batched anything")
+	}
+	// The transport's accounting must have been populated.
+	if h := onCluster.MsgLatency.Get("LOCK-REPLY"); h == nil || h.Count() == 0 {
+		t.Error("no delivery-latency stats recorded for LOCK-REPLY")
+	}
+	if onCluster.Counters.Get("sent LOCK-REPLY") == 0 || onCluster.Counters.Get("wire LOCK-REPLY") == 0 {
+		t.Error("per-type sent/wire counters not populated")
+	}
+	for _, c := range []*Cluster{onCluster, offCluster} {
+		if n := c.Counters.Get("msg unknown"); n != 0 {
+			t.Errorf("%d messages dropped with no registered handler", n)
+		}
+	}
+}

@@ -223,7 +223,8 @@ func (m *Machine) startTruncSweep() {
 		if !m.alive {
 			return
 		}
-		for dst, pend := range m.truncPending {
+		for _, dst := range intKeys(m.truncPending) {
+			pend := m.truncPending[dst]
 			if len(pend) == 0 || !m.isMember(dst) {
 				continue
 			}
@@ -233,7 +234,7 @@ func (m *Machine) startTruncSweep() {
 				queued[id] = true
 			}
 			requeued := false
-			for id := range pend {
+			for _, id := range u64Keys(pend) {
 				if !queued[id] {
 					q.ids = append(q.ids, id)
 					requeued = true

@@ -289,7 +289,8 @@ func (m *Machine) allocCandidates(hint *proto.Addr) []uint32 {
 		return []uint32{hint.Region}
 	}
 	var local, remote []uint32
-	for id, rm := range m.mappings {
+	for _, id := range regionKeys(m.mappings) {
+		rm := m.mappings[id]
 		if len(rm.Replicas) == 0 {
 			continue
 		}

@@ -400,6 +400,10 @@ func TestProtocolVocabularyExercised(t *testing.T) {
 	if c.Counters.Get("msg COMMIT-RECOVERY")+c.Counters.Get("msg ABORT-RECOVERY") == 0 {
 		t.Error("no recovery decisions exchanged")
 	}
+	// Every message that arrived must have found a registered handler.
+	if n := c.Counters.Get("msg unknown"); n != 0 {
+		t.Errorf("%d messages dropped with no registered handler", n)
+	}
 }
 
 func TestPlacementRespectsCapacity(t *testing.T) {

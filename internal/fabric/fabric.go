@@ -340,23 +340,44 @@ func (c *NIC) oneSided(dst MachineID, bytes int, remote func(r *NIC) (interface{
 	})
 }
 
+// Batch is one coalesced fabric frame carrying several small control
+// messages to the same destination. The receiver's message handler gets
+// the Batch itself and dispatches the contained messages individually.
+// Stamps carries each message's enqueue time (for queueing-latency stats);
+// it is either empty or parallel to Msgs.
+type Batch struct {
+	Msgs   []interface{}
+	Stamps []sim.Time
+}
+
 // Send delivers msg reliably to dst's message handler. Delivery is
 // fire-and-forget at this layer: if dst is dead or partitioned the message
 // vanishes and higher layers notice via leases/timeouts, as in the paper.
 // The payload is shared by reference; senders must not mutate it.
 func (c *NIC) Send(dst MachineID, msg interface{}) {
 	c.net.Counters.Inc("msg_send", 1)
-	c.transmit(dst, msg, false)
+	c.transmit(dst, msg, false, 0)
+}
+
+// SendBatch delivers a coalesced frame of len(b.Msgs) messages as a single
+// fabric send, occupying the NIC once and the wire for the frame's modeled
+// size. bytes is the total modeled payload size; the serialization cost it
+// implies is charged at the sending NIC.
+func (c *NIC) SendBatch(dst MachineID, b *Batch, bytes int) {
+	c.net.Counters.Inc("msg_send", 1)
+	c.net.Counters.Inc("msg_send_coalesced", uint64(len(b.Msgs)))
+	c.net.Counters.Inc("msg_send_bytes", uint64(bytes))
+	c.transmit(dst, b, false, bytes)
 }
 
 // SendUD delivers msg over the connectionless unreliable datagram
 // transport used by the lease manager (§5.1). Datagrams may be dropped.
 func (c *NIC) SendUD(dst MachineID, msg interface{}) {
 	c.net.Counters.Inc("ud_send", 1)
-	c.transmit(dst, msg, true)
+	c.transmit(dst, msg, true, 0)
 }
 
-func (c *NIC) transmit(dst MachineID, msg interface{}, ud bool) {
+func (c *NIC) transmit(dst MachineID, msg interface{}, ud bool, bytes int) {
 	net := c.net
 	if !c.powered {
 		return
@@ -381,7 +402,7 @@ func (c *NIC) transmit(dst MachineID, msg interface{}, ud bool) {
 		})
 		return
 	}
-	c.tx.Do(net.Opts.NICOpTime, func() {
+	c.tx.Do(net.Opts.NICOpTime+net.xfer(bytes), func() {
 		net.Eng.After(net.hop(), func() {
 			r := net.nics[dst]
 			if r == nil || !r.powered || !net.reachable(c.ID, dst) {

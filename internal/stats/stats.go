@@ -235,6 +235,52 @@ func (tl *Timeline) FirstBucketAtLeast(from sim.Time, threshold float64) (sim.Ti
 	return 0, false
 }
 
+// LatencySet is a collection of named latency histograms, created lazily
+// on first record. The message transport keeps one histogram per message
+// type (delivery latency from enqueue to handler dispatch).
+type LatencySet struct {
+	m map[string]*Histogram
+}
+
+// NewLatencySet returns an empty set.
+func NewLatencySet() *LatencySet { return &LatencySet{m: make(map[string]*Histogram)} }
+
+// Record adds one observation to the named histogram.
+func (ls *LatencySet) Record(name string, v sim.Time) {
+	h := ls.m[name]
+	if h == nil {
+		h = NewHistogram()
+		ls.m[name] = h
+	}
+	h.Record(v)
+}
+
+// Get returns the named histogram, or nil if nothing was recorded under
+// that name.
+func (ls *LatencySet) Get(name string) *Histogram { return ls.m[name] }
+
+// Names returns the recorded names in sorted order.
+func (ls *LatencySet) Names() []string {
+	names := make([]string, 0, len(ls.m))
+	for k := range ls.m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders one summary line per name.
+func (ls *LatencySet) String() string {
+	var b strings.Builder
+	for i, n := range ls.Names() {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "%s: %s", n, ls.m[n].String())
+	}
+	return b.String()
+}
+
 // Counters is a set of named monotonic counters, used to account message
 // and RDMA-operation counts (the unit of the paper's §4 analysis).
 type Counters struct {
