@@ -2,8 +2,9 @@
 
 .PHONY: check test bench figures chaos examples vet race
 
-# Default CI gate: static checks, the full suite, then the race detector.
-check: vet test race
+# Default CI gate: static checks, the full suite, the race detector, then
+# a multi-seed nemesis campaign with every fault kind enabled.
+check: vet test race chaos
 
 test:
 	go test ./...
@@ -17,8 +18,13 @@ bench:
 figures:
 	go run ./cmd/farm-bench -fig all
 
+# Nemesis campaign: 20 seeds of mixed faults plus a determinism replay.
+# Narrow with -faults (e.g. `go run ./cmd/farm-chaos -faults oneway,gray`)
+# and reproduce any reported seed with `-replay <seed>`.
 chaos:
-	go run ./cmd/farm-chaos -runs 5
+	go run ./cmd/farm-chaos -runs 20
+	go run ./cmd/farm-chaos -replay 1
+	go test -race -run TestRunIsDeterministic ./internal/chaos
 
 examples:
 	go run ./examples/quickstart

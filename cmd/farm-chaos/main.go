@@ -5,12 +5,16 @@
 //
 //	farm-chaos -runs 10
 //	farm-chaos -runs 5 -machines 9 -duration 2s -seed 42
+//	farm-chaos -faults oneway,gray -runs 8
+//	farm-chaos -replay 42
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
+	"strings"
 	"time"
 
 	"farm/internal/chaos"
@@ -22,6 +26,8 @@ var (
 	machines = flag.Int("machines", 6, "cluster size")
 	duration = flag.Duration("duration", 1200*time.Millisecond, "virtual time per run")
 	seed     = flag.Uint64("seed", 1, "base seed")
+	faults   = flag.String("faults", "", "comma-separated fault kinds to enable (kill,cmkill,partition,oneway,flap,gray,power); empty = all")
+	replay   = flag.Uint64("replay", 0, "replay one seed twice, verify the runs are identical, and print its fault timeline")
 )
 
 func main() {
@@ -31,8 +37,20 @@ func main() {
 	cfg.Duration = sim.Time(duration.Nanoseconds())
 	cfg.Seed = *seed
 
-	fmt.Printf("chaos campaign: %d runs × %v on %d machines (kills, partitions, power cycles)\n\n",
-		*runs, *duration, *machines)
+	if *faults != "" {
+		if err := selectFaults(&cfg, *faults); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	if *replay != 0 {
+		replaySeed(cfg, *replay)
+		return
+	}
+
+	fmt.Printf("chaos campaign: %d runs × %v on %d machines (%s)\n\n",
+		*runs, *duration, *machines, enabledKinds(cfg))
 	bad := 0
 	for _, r := range chaos.Campaign(cfg, *runs) {
 		fmt.Println(r)
@@ -45,4 +63,84 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("\nall %d runs clean: money conserved, one configuration, cluster live\n", *runs)
+}
+
+// selectFaults zeroes every nemesis weight, then restores the default
+// weight of each kind named in the comma-separated list.
+func selectFaults(cfg *chaos.Config, list string) error {
+	def := chaos.DefaultConfig()
+	weights := map[string]*int{
+		"kill":      &cfg.KillWeight,
+		"cmkill":    &cfg.CMKillWeight,
+		"partition": &cfg.PartitionWeight,
+		"oneway":    &cfg.OneWayWeight,
+		"flap":      &cfg.FlapWeight,
+		"gray":      &cfg.GrayWeight,
+		"power":     &cfg.PowerWeight,
+	}
+	defaults := map[string]int{
+		"kill":      def.KillWeight,
+		"cmkill":    def.CMKillWeight,
+		"partition": def.PartitionWeight,
+		"oneway":    def.OneWayWeight,
+		"flap":      def.FlapWeight,
+		"gray":      def.GrayWeight,
+		"power":     def.PowerWeight,
+	}
+	for _, w := range weights {
+		*w = 0
+	}
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		w, ok := weights[name]
+		if !ok {
+			return fmt.Errorf("farm-chaos: unknown fault kind %q (have kill,cmkill,partition,oneway,flap,gray,power)", name)
+		}
+		if *w == 0 {
+			*w = defaults[name]
+		}
+	}
+	return nil
+}
+
+// enabledKinds renders the active fault kinds for the banner.
+func enabledKinds(cfg chaos.Config) string {
+	var kinds []string
+	for _, k := range []struct {
+		name string
+		w    int
+	}{
+		{"kill", cfg.KillWeight}, {"cmkill", cfg.CMKillWeight},
+		{"partition", cfg.PartitionWeight}, {"oneway", cfg.OneWayWeight},
+		{"flap", cfg.FlapWeight}, {"gray", cfg.GrayWeight}, {"power", cfg.PowerWeight},
+	} {
+		if k.w > 0 {
+			kinds = append(kinds, k.name)
+		}
+	}
+	return strings.Join(kinds, ",")
+}
+
+// replaySeed runs one seed twice, requires the runs to be byte-identical
+// (the determinism contract every chaos bug report rests on), and prints
+// the fault timeline of the run.
+func replaySeed(cfg chaos.Config, seed uint64) {
+	cfg.Seed = seed
+	fmt.Printf("replaying seed %d twice (%v on %d machines, faults: %s)\n\n",
+		seed, time.Duration(cfg.Duration), cfg.Machines, enabledKinds(cfg))
+	a := chaos.Run(cfg)
+	b := chaos.Run(cfg)
+	if !reflect.DeepEqual(a, b) {
+		fmt.Fprintf(os.Stderr, "NOT DETERMINISTIC: same seed, different runs\n  first:  %v\n  second: %v\n", a, b)
+		os.Exit(1)
+	}
+	fmt.Println(a)
+	fmt.Printf("\nfault timeline (%d episodes):\n", len(a.Timeline))
+	for _, e := range a.Timeline {
+		fmt.Printf("  %s\n", e)
+	}
+	fmt.Println("\nreplay identical: run is deterministic in its seed")
+	if len(a.Violations) > 0 {
+		os.Exit(1)
+	}
 }

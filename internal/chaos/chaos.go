@@ -1,11 +1,18 @@
-// Package chaos long-runs the platform under randomized fault injection —
-// machine kills, minority partitions, whole-cluster power cycles — while a
-// bank-transfer workload executes, then audits the invariants FaRM
+// Package chaos long-runs the platform under randomized fault injection
+// while a bank-transfer workload executes, then audits the invariants FaRM
 // promises: conservation (serializable transfers never create or destroy
 // money), durability (committed state survives every fault the
 // configuration tolerates), agreement (one configuration), and liveness
-// (the surviving majority keeps committing). Every run is deterministic in
-// its seed, so a violated invariant is a replayable bug report.
+// (the surviving majority keeps committing).
+//
+// Faults are produced by a nemesis schedule: a weighted set of composable
+// fault generators. Instantaneous nemeses (machine kills, CM kills) leave
+// permanent damage; durational nemeses (partitions, one-way cuts, link
+// flapping, gray failures, power outages) install a fault, hold it for a
+// randomized episode, and heal it — one durational episode at a time, so a
+// violated invariant points at one fault kind. Every run is deterministic
+// in its seed: the same seed replays the same faults at the same virtual
+// times, so a violation is a replayable bug report.
 package chaos
 
 import (
@@ -13,6 +20,7 @@ import (
 	"fmt"
 
 	"farm/internal/core"
+	"farm/internal/fabric"
 	"farm/internal/loadgen"
 	"farm/internal/proto"
 	"farm/internal/sim"
@@ -27,19 +35,29 @@ type Config struct {
 	Duration sim.Time
 	// FaultEvery is the mean interval between injected faults.
 	FaultEvery sim.Time
-	// KillWeight / PartitionWeight / PowerWeight select fault kinds.
+	// Nemesis weights; a zero weight disables the kind. KillWeight picks
+	// any alive machine — including the CM, whose death must produce a
+	// failover, not an exemption. CMKillWeight additionally targets
+	// whatever machine is currently CM, so failover is exercised even in
+	// short runs where a uniform pick rarely lands on it.
 	KillWeight      int
+	CMKillWeight    int
 	PartitionWeight int
+	OneWayWeight    int
+	FlapWeight      int
+	GrayWeight      int
 	PowerWeight     int
-	// MaxKills bounds how many machines may stay dead at once (the
-	// cluster must keep a ZK-probe majority and f+1 replicas).
+	// MaxKills bounds how many machines may stay dead at once; kills are
+	// additionally blocked when they would drop the alive population below
+	// Machines-2 (the cluster must keep a probe majority and room for f+1
+	// replicas).
 	MaxKills int
 	Lease    sim.Time
 	Seed     uint64
 }
 
 // DefaultConfig returns a campaign tuned to finish one run in a few wall
-// seconds.
+// seconds, with every nemesis kind enabled.
 func DefaultConfig() Config {
 	return Config{
 		Machines:        6,
@@ -48,9 +66,13 @@ func DefaultConfig() Config {
 		Duration:        1200 * sim.Millisecond,
 		FaultEvery:      150 * sim.Millisecond,
 		KillWeight:      3,
+		CMKillWeight:    2,
 		PartitionWeight: 2,
+		OneWayWeight:    2,
+		FlapWeight:      1,
+		GrayWeight:      2,
 		PowerWeight:     1,
-		MaxKills:        1,
+		MaxKills:        2,
 		Lease:           5 * sim.Millisecond,
 		Seed:            1,
 	}
@@ -62,10 +84,22 @@ type Result struct {
 	Commits     uint64
 	Aborts      uint64
 	Kills       int
+	CMKills     int
 	Partitions  int
+	OneWays     int
+	Flaps       int
+	Grays       int
 	PowerCycles int
+	// Timeline records every fired fault episode as "<virtual-time> <kind>"
+	// in injection order; replaying the seed reproduces it byte for byte.
+	Timeline []string
 	// Violations lists invariant failures (empty = clean run).
 	Violations []string
+}
+
+// Faults is the total number of injected fault episodes.
+func (r Result) Faults() int {
+	return r.Kills + r.CMKills + r.Partitions + r.OneWays + r.Flaps + r.Grays + r.PowerCycles
 }
 
 // String renders the result.
@@ -74,8 +108,242 @@ func (r Result) String() string {
 	if len(r.Violations) > 0 {
 		status = fmt.Sprintf("VIOLATED %v", r.Violations)
 	}
-	return fmt.Sprintf("seed=%d commits=%d aborts=%d kills=%d partitions=%d powercycles=%d → %s",
-		r.Seed, r.Commits, r.Aborts, r.Kills, r.Partitions, r.PowerCycles, status)
+	return fmt.Sprintf("seed=%d commits=%d aborts=%d kills=%d cmkills=%d partitions=%d oneways=%d flaps=%d grays=%d powercycles=%d → %s",
+		r.Seed, r.Commits, r.Aborts, r.Kills, r.CMKills, r.Partitions, r.OneWays, r.Flaps, r.Grays, r.PowerCycles, status)
+}
+
+// Nemesis is one composable fault generator. Inject attempts to start an
+// episode and reports whether it fired; generators decline when their
+// preconditions do not hold (eviction budget exhausted, another durational
+// episode in flight). Durational nemeses schedule their own heal.
+type Nemesis struct {
+	Name   string
+	Weight int
+	Inject func() bool
+}
+
+// nemesisCtx is the state a schedule's generators share.
+type nemesisCtx struct {
+	c   *core.Cluster
+	cfg Config
+	rng *sim.Rand
+	res *Result
+	// busy serializes durational episodes.
+	busy bool
+	// cmKillCfg is the highest configuration observed at the moment of a
+	// CM kill; the post-run audit requires the final configuration to have
+	// advanced past it (failover happened).
+	cmKillCfg uint64
+}
+
+// aliveMembers counts alive machines that are members of the latest
+// configuration any alive machine holds — the population that matters for
+// probe majorities and replica placement.
+func (n *nemesisCtx) aliveMembers() int {
+	var latest *core.Machine
+	for _, id := range n.c.AliveMachines() {
+		m := n.c.Machine(id)
+		if latest == nil || m.ConfigID() > latest.ConfigID() {
+			latest = m
+		}
+	}
+	if latest == nil {
+		return 0
+	}
+	count := 0
+	for _, id := range n.c.AliveMachines() {
+		if latest.Member(id) {
+			count++
+		}
+	}
+	return count
+}
+
+// killBudgetOK gates anything that permanently removes a machine: stay
+// within MaxKills and never drop the alive membership below Machines-2
+// (floor 4 on the default 6 — still a majority, still ≥ f+1 replicas).
+func (n *nemesisCtx) killBudgetOK() bool {
+	dead := n.cfg.Machines - len(n.c.AliveMachines())
+	return dead < n.cfg.MaxKills && n.aliveMembers()-1 >= n.cfg.Machines-2
+}
+
+// aliveCM returns the machine currently acting as CM of the latest
+// configuration, or -1.
+func (n *nemesisCtx) aliveCM() int {
+	cm, latest := -1, uint64(0)
+	for _, id := range n.c.AliveMachines() {
+		m := n.c.Machine(id)
+		if m.IsCM() && m.Member(id) && m.ConfigID() >= latest {
+			latest, cm = m.ConfigID(), id
+		}
+	}
+	return cm
+}
+
+// victim picks a random alive member of the latest configuration, or -1.
+func (n *nemesisCtx) victim() int {
+	alive := n.c.AliveMachines()
+	if len(alive) == 0 {
+		return -1
+	}
+	return alive[n.rng.Intn(len(alive))]
+}
+
+// schedule assembles the weighted generator set for cfg. Weights of zero
+// drop a generator entirely, which is how farm-chaos -faults selects kinds.
+func schedule(n *nemesisCtx) []Nemesis {
+	cfg := n.cfg
+	return []Nemesis{
+		{Name: "kill", Weight: cfg.KillWeight, Inject: func() bool {
+			// No CM exemption: a uniform pick that lands on the CM is a
+			// failover test like any other kill.
+			if !n.killBudgetOK() {
+				return false
+			}
+			v := n.victim()
+			if v < 0 {
+				return false
+			}
+			if v == n.aliveCM() {
+				n.cmKillCfg = maxU64(n.cmKillCfg, n.c.Machine(v).ConfigID())
+				n.res.CMKills++
+			} else {
+				n.res.Kills++
+			}
+			n.c.Kill(v)
+			return true
+		}},
+		{Name: "cmkill", Weight: cfg.CMKillWeight, Inject: func() bool {
+			if !n.killBudgetOK() {
+				return false
+			}
+			cm := n.aliveCM()
+			if cm < 0 {
+				return false
+			}
+			n.cmKillCfg = maxU64(n.cmKillCfg, n.c.Machine(cm).ConfigID())
+			n.res.CMKills++
+			n.c.Kill(cm)
+			return true
+		}},
+		{Name: "partition", Weight: cfg.PartitionWeight, Inject: func() bool {
+			if n.busy {
+				return false
+			}
+			// Cut off one non-CM machine symmetrically for a while.
+			v := 1 + n.rng.Intn(cfg.Machines-1)
+			n.busy = true
+			n.res.Partitions++
+			n.c.Partition(map[int]int{v: 1})
+			n.c.Eng.After(n.rng.Between(20*sim.Millisecond, 60*sim.Millisecond), func() {
+				n.c.Heal()
+				n.busy = false
+			})
+			return true
+		}},
+		{Name: "oneway", Weight: cfg.OneWayWeight, Inject: func() bool {
+			if n.busy {
+				return false
+			}
+			v := n.victim()
+			if v < 0 {
+				return false
+			}
+			n.busy = true
+			n.res.OneWays++
+			// Inbound cut: v keeps sending (the CM keeps hearing its lease
+			// requests) but receives nothing — the asymmetric case precise
+			// membership exists for. Outbound cut: v goes silent but hears
+			// everything, including its own eviction's aftermath.
+			if n.rng.Bool(0.5) {
+				n.c.IsolateInbound(v)
+			} else {
+				n.c.IsolateOutbound(v)
+			}
+			n.c.Eng.After(n.rng.Between(20*sim.Millisecond, 50*sim.Millisecond), func() {
+				n.c.RestoreMachine(v)
+				n.busy = false
+			})
+			return true
+		}},
+		{Name: "flap", Weight: cfg.FlapWeight, Inject: func() bool {
+			if n.busy {
+				return false
+			}
+			alive := n.c.AliveMachines()
+			if len(alive) < 2 {
+				return false
+			}
+			a := alive[n.rng.Intn(len(alive))]
+			b := alive[n.rng.Intn(len(alive))]
+			if a == b {
+				return false
+			}
+			n.busy = true
+			n.res.Flaps++
+			deadline := n.c.Now() + n.rng.Between(24*sim.Millisecond, 48*sim.Millisecond)
+			cut := false
+			var toggle func()
+			toggle = func() {
+				if n.c.Now() >= deadline {
+					n.c.HealLink(a, b)
+					n.busy = false
+					return
+				}
+				if cut {
+					n.c.HealLink(a, b)
+				} else {
+					n.c.CutLink(a, b)
+				}
+				cut = !cut
+				n.c.Eng.After(n.rng.Between(2*sim.Millisecond, 6*sim.Millisecond), toggle)
+			}
+			toggle()
+			return true
+		}},
+		{Name: "gray", Weight: cfg.GrayWeight, Inject: func() bool {
+			if n.busy {
+				return false
+			}
+			v := n.victim()
+			if v < 0 {
+				return false
+			}
+			n.busy = true
+			n.res.Grays++
+			f := fabric.MachineFault{ // mild: slow but inside lease margins
+				OpTimeFactor:    4,
+				BandwidthFactor: 0.5,
+				ExtraDelay:      sim.Exp(10*sim.Microsecond, 20*sim.Microsecond),
+			}
+			if n.rng.Bool(0.5) { // severe: slow enough to look dead sometimes
+				f = fabric.MachineFault{
+					OpTimeFactor:    50,
+					BandwidthFactor: 0.05,
+					ExtraDelay:      sim.Uniform(50*sim.Microsecond, 200*sim.Microsecond),
+				}
+			}
+			n.c.DegradeMachine(v, f)
+			n.c.Eng.After(n.rng.Between(30*sim.Millisecond, 60*sim.Millisecond), func() {
+				n.c.RestoreMachine(v)
+				n.busy = false
+			})
+			return true
+		}},
+		{Name: "power", Weight: cfg.PowerWeight, Inject: func() bool {
+			if n.busy || len(n.c.AliveMachines()) != cfg.Machines {
+				return false
+			}
+			n.busy = true
+			n.res.PowerCycles++
+			n.c.PowerFailure()
+			n.c.Eng.After(n.rng.Between(20*sim.Millisecond, 80*sim.Millisecond), func() {
+				n.c.RestorePower()
+				n.busy = false
+			})
+			return true
+		}},
+	}
 }
 
 // Run executes one chaos run.
@@ -117,6 +385,15 @@ func Run(cfg Config) Result {
 		for th := 0; th < 2; th++ {
 			th := th
 			var drive func()
+			// bail finishes a transaction whose execute phase failed —
+			// the read error already counts as an abort, but the Tx must
+			// still be explicitly aborted, not dropped: abandoning it
+			// would leak allocated slots and leave it dangling forever.
+			bail := func(tx *core.Tx) {
+				tx.Abort()
+				aborts++
+				c.Eng.After(100*sim.Microsecond, drive)
+			}
 			drive = func() {
 				if !m.Alive() || c.Now() > cfg.Duration {
 					return
@@ -131,14 +408,12 @@ func Run(cfg Config) Result {
 				tx := m.Begin(th)
 				tx.Read(from, 8, func(fb []byte, err error) {
 					if err != nil {
-						aborts++
-						c.Eng.After(100*sim.Microsecond, drive)
+						bail(tx)
 						return
 					}
 					tx.Read(to, 8, func(tb []byte, err error) {
 						if err != nil {
-							aborts++
-							c.Eng.After(100*sim.Microsecond, drive)
+							bail(tx)
 							return
 						}
 						if u64(fb) < amount {
@@ -162,56 +437,44 @@ func Run(cfg Config) Result {
 		}
 	}
 
-	// Fault injector.
-	frng := sim.NewRand(cfg.Seed*31337 + 7)
-	partitioned := false
+	// Nemesis schedule: pick a generator by weight at randomized intervals.
+	nctx := &nemesisCtx{
+		c:   c,
+		cfg: cfg,
+		rng: sim.NewRand(cfg.Seed*31337 + 7),
+		res: &res,
+	}
+	gens := schedule(nctx)
+	weightSum := 0
+	for _, g := range gens {
+		weightSum += g.Weight
+	}
 	var inject func()
 	inject = func() {
-		if c.Now() > cfg.Duration-200*sim.Millisecond {
-			return // quiesce window at the end
+		// Stop injecting before the quiesce window so every durational
+		// episode (≤ 80ms) has healed well before the audits run.
+		if c.Now() > cfg.Duration-200*sim.Millisecond || weightSum == 0 {
+			return
 		}
-		weightSum := cfg.KillWeight + cfg.PartitionWeight + cfg.PowerWeight
-		pick := frng.Intn(weightSum)
-		switch {
-		case pick < cfg.KillWeight:
-			alive := c.AliveMachines()
-			dead := cfg.Machines - len(alive)
-			if dead < cfg.MaxKills && len(alive) > cfg.Machines/2+1 {
-				// Never the CM's machine 0 in this campaign: CM failover is
-				// exercised by the power cycles and dedicated tests.
-				v := alive[frng.Intn(len(alive))]
-				if v != 0 {
-					c.Kill(v)
-					res.Kills++
+		pick := nctx.rng.Intn(weightSum)
+		for _, g := range gens {
+			if pick < g.Weight {
+				if g.Inject() {
+					res.Timeline = append(res.Timeline, fmt.Sprintf("%v %s", c.Now(), g.Name))
 				}
+				break
 			}
-		case pick < cfg.KillWeight+cfg.PartitionWeight:
-			if !partitioned {
-				// Cut off one non-CM machine for a while.
-				v := 1 + frng.Intn(cfg.Machines-1)
-				c.Partition(map[int]int{v: 1})
-				partitioned = true
-				res.Partitions++
-				c.Eng.After(frng.Between(20*sim.Millisecond, 60*sim.Millisecond), func() {
-					c.Heal()
-					partitioned = false
-				})
-			}
-		default:
-			if len(c.AliveMachines()) == cfg.Machines && !partitioned {
-				c.PowerFailure()
-				res.PowerCycles++
-				c.Eng.After(frng.Between(20*sim.Millisecond, 80*sim.Millisecond), func() {
-					c.RestorePower()
-				})
-			}
+			pick -= g.Weight
 		}
-		c.Eng.After(sim.Time(float64(cfg.FaultEvery)*(0.5+frng.Float64())), inject)
+		c.Eng.After(sim.Time(float64(cfg.FaultEvery)*(0.5+nctx.rng.Float64())), inject)
 	}
 	c.Eng.After(cfg.FaultEvery, inject)
 
 	c.Eng.RunUntil(cfg.Duration)
-	// Quiesce: let recovery and truncation settle.
+	// Quiesce: let recovery and truncation settle. Every episode healed
+	// itself, but clear defensively so the audits never run over a
+	// half-faulted fabric left by a bug in a generator.
+	c.ClearNetworkFaults()
 	c.RunFor(500 * sim.Millisecond)
 	res.Commits, res.Aborts = commits, aborts
 
@@ -249,6 +512,17 @@ func Run(cfg Config) Result {
 		if member0.Member(id) && m.ConfigID() != latest {
 			res.Violations = append(res.Violations,
 				fmt.Sprintf("member %d lags at config %d (latest %d)", id, m.ConfigID(), latest))
+		}
+	}
+	// CM failover: every CM kill must have produced a configuration beyond
+	// the one the dead CM led, led by an alive CM.
+	if res.CMKills > 0 {
+		if latest <= nctx.cmKillCfg {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("cm-failover: config stuck at %d after CM kill at config %d", latest, nctx.cmKillCfg))
+		}
+		if nctx.aliveCM() < 0 {
+			res.Violations = append(res.Violations, "cm-failover: no alive CM after CM kill")
 		}
 	}
 	// Conservation + liveness: audit reads must succeed and sum to total.
@@ -308,3 +582,10 @@ func Campaign(cfg Config, n int) []Result {
 
 func u64(b []byte) uint64  { return binary.LittleEndian.Uint64(b) }
 func u64b(v uint64) []byte { b := make([]byte, 8); binary.LittleEndian.PutUint64(b, v); return b }
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

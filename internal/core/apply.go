@@ -26,6 +26,18 @@ func (m *Machine) handleRecordInner(lr *logReader, rec *proto.Record, seq uint64
 		lr.rd.Truncate(seq)
 		return
 	}
+	// §5.2 precise membership: reject log records from coordinators outside
+	// the current configuration, independent of drain progress. The stale-
+	// record gate below only engages once this configuration's drain has
+	// run; between NEW-CONFIG receipt and the drain, an evicted coordinator
+	// that never learned of its eviction could otherwise slip LOCK and
+	// COMMIT records built on pre-eviction reads into live logs, and
+	// recovery would then commit a lost update.
+	if !preDrain && rec.Tx.Config < m.config.ID && !m.config.Member(rec.Tx.Machine) {
+		m.c.Counters.Inc("nonmember_record_rejected", 1)
+		lr.rd.Truncate(seq)
+		return
+	}
 	// Reject stale records from transactions that recovery already dealt
 	// with (§5.3 step 2: "Log records for transactions with configuration
 	// identifiers less than or equal to LastDrained are rejected").
@@ -261,6 +273,9 @@ func (m *Machine) recordIsRecovering(rec *proto.Record) bool {
 // rpcAllocSlot serves a slot-reservation request at the region's primary
 // (the free lists live only there, §5.5).
 func (m *Machine) rpcAllocSlot(from int, id uint64, req *allocSlotReq) {
+	if !m.isMember(from) {
+		return // §5.2: no slot reservations for non-member coordinators
+	}
 	off, ver, err := m.allocSlotLocal(req.Region, req.Size)
 	m.send(from, &rpcReply{ID: id, Body: &allocSlotResp{
 		Region: req.Region, OK: err == nil, Off: off, Version: ver,
@@ -271,6 +286,9 @@ func (m *Machine) rpcAllocSlot(from int, id uint64, req *allocSlotReq) {
 // is matched by envelope id because there is no coordinator-side
 // transaction record to route through.
 func (m *Machine) rpcValidate(from int, id uint64, req *proto.ValidateReq) {
+	if !m.isMember(from) {
+		return // §5.2: no validation service for non-member coordinators
+	}
 	ok := true
 	for i, addr := range req.Addrs {
 		rep := m.replicas[addr.Region]
@@ -300,6 +318,9 @@ func (m *Machine) rpcMapping(from int, _ uint64, req *proto.MappingReq) {
 
 // onValidateReq validates a read set over RPC at the primary (§4 step 2).
 func (m *Machine) onValidateReq(src int, req *proto.ValidateReq) {
+	if !m.isMember(src) {
+		return // §5.2: no validation service for non-member coordinators
+	}
 	ok := true
 	for i, addr := range req.Addrs {
 		rep := m.replicas[addr.Region]

@@ -92,6 +92,7 @@ func New(opts Options) *Cluster {
 	for _, m := range c.Machines {
 		m.lease.start()
 		m.startTruncSweep()
+		m.startTxStallSweep()
 	}
 	return c
 }
@@ -139,6 +140,65 @@ func (c *Cluster) Partition(groups map[int]int) {
 
 // Heal restores full connectivity.
 func (c *Cluster) Heal() { c.Net.HealPartition() }
+
+// Fault-control API over the fabric's nemesis layer (fabric/nemesis.go).
+// These are thin, traced wrappers: chaos schedules and tests drive faults
+// through the Cluster so every injection shows up in the recovery trace
+// alongside the milestones it provokes.
+
+// CutLink cuts the directed link a→b only; b→a keeps delivering. Verbs
+// whose request or completion leg crosses the cut time out.
+func (c *Cluster) CutLink(a, b int) {
+	c.Net.CutLink(fabric.MachineID(a), fabric.MachineID(b))
+	c.trace("cut-link", a, b)
+}
+
+// HealLink restores the directed link a→b.
+func (c *Cluster) HealLink(a, b int) {
+	c.Net.HealLink(fabric.MachineID(a), fabric.MachineID(b))
+	c.trace("heal-link", a, b)
+}
+
+// SetLinkFault installs an arbitrary fault (delay, drop, dup, cut) on the
+// directed link a→b.
+func (c *Cluster) SetLinkFault(a, b int, f fabric.LinkFault) {
+	c.Net.SetLinkFault(fabric.MachineID(a), fabric.MachineID(b), f)
+	c.trace("link-fault", a, b)
+}
+
+// IsolateInbound cuts every link INTO machine i: it can still send (its
+// suspicions and lease requests go out) but hears nothing back — the
+// asymmetric half-death lease-based membership must resolve by eviction.
+func (c *Cluster) IsolateInbound(i int) {
+	c.Net.SetMachineFault(fabric.MachineID(i), c.Net.MachineFaultOf(fabric.MachineID(i)).WithRxCut(true))
+	c.trace("cut-inbound", i, 0)
+}
+
+// IsolateOutbound cuts every link OUT of machine i: it hears the cluster
+// but nothing it says (lease requests included) gets through.
+func (c *Cluster) IsolateOutbound(i int) {
+	c.Net.SetMachineFault(fabric.MachineID(i), c.Net.MachineFaultOf(fabric.MachineID(i)).WithTxCut(true))
+	c.trace("cut-outbound", i, 0)
+}
+
+// DegradeMachine puts machine i's NIC into gray-failure mode.
+func (c *Cluster) DegradeMachine(i int, f fabric.MachineFault) {
+	c.Net.SetMachineFault(fabric.MachineID(i), f)
+	c.trace("degrade", i, 0)
+}
+
+// RestoreMachine clears machine i's NIC faults (direction cuts included).
+func (c *Cluster) RestoreMachine(i int) {
+	c.Net.ClearMachineFault(fabric.MachineID(i))
+	c.trace("restore", i, 0)
+}
+
+// ClearNetworkFaults removes every injected fault: link faults, machine
+// faults, and partitions.
+func (c *Cluster) ClearNetworkFaults() {
+	c.Net.ClearFaults()
+	c.trace("clear-faults", -1, 0)
+}
 
 // RunFor advances the simulation by d.
 func (c *Cluster) RunFor(d sim.Time) { c.Eng.RunFor(d) }

@@ -5,6 +5,7 @@ import (
 	"farm/internal/nvram"
 	"farm/internal/proto"
 	"farm/internal/regionmem"
+	"farm/internal/sim"
 )
 
 // maxPiggyIDs bounds how many truncation ids one record carries; the
@@ -56,6 +57,10 @@ type coordTx struct {
 	// as recovering (§5.3): normal-path acks and replies are ignored from
 	// then on and the outcome comes from vote/decide.
 	recovering bool
+	// lastProgress is when the commit last advanced (started, or received
+	// a lock/validate reply); the stall watchdog aborts lock/validate-phase
+	// transactions whose replies were lost to network faults.
+	lastProgress sim.Time
 	// truncRemaining tracks participants that have not yet had this
 	// transaction's truncation delivered.
 	truncRemaining map[int]bool
@@ -71,6 +76,17 @@ func (t *Tx) Commit(cb func(err error)) {
 	t.finished = true
 	m := t.m
 	if !m.alive {
+		return
+	}
+
+	if m.clientsBlocked {
+		// §5.2: commits block alongside reads while a reconfiguration is
+		// in sight. A fenced (possibly evicted) coordinator must not push
+		// LOCK records built on pre-eviction reads; if a new configuration
+		// arrives the retry locks at the observed versions and aborts on
+		// staleness.
+		t.finished = false
+		m.clientQueue = append(m.clientQueue, func() { t.Commit(cb) })
 		return
 	}
 
@@ -149,6 +165,7 @@ func (t *Tx) Commit(cb func(err error)) {
 	m.inflight[ct.id] = ct
 	m.c.Counters.Inc("tx_commit_started", 1)
 	ct.phase = phaseLock
+	ct.lastProgress = m.c.Eng.Now()
 	m.sendLocks(ct)
 }
 
@@ -362,6 +379,7 @@ func (m *Machine) onLockReply(reply *proto.LockReply) {
 	if !reply.OK {
 		ct.lockFailed = true
 	}
+	ct.lastProgress = m.c.Eng.Now()
 	ct.lockOutstanding--
 	if ct.lockOutstanding > 0 {
 		return
@@ -451,6 +469,7 @@ func (m *Machine) validate(ct *coordTx) {
 		}
 	}
 	done := func() {
+		ct.lastProgress = m.c.Eng.Now()
 		ct.valOutstanding--
 		if ct.valOutstanding == 0 && ct.phase == phaseValidate && !ct.recovering {
 			ct.phase = phaseCommitBackup
@@ -530,6 +549,7 @@ func (m *Machine) onValidateReply(reply *proto.ValidateReply) {
 		m.abortTx(ct, ErrConflict)
 		return
 	}
+	ct.lastProgress = m.c.Eng.Now()
 	ct.valOutstanding--
 	if ct.valOutstanding == 0 {
 		ct.phase = phaseCommitBackup
@@ -558,8 +578,17 @@ func (m *Machine) commitBackups(ct *coordTx) {
 				if !m.alive || ct.recovering || ct.phase != phaseCommitBackup {
 					return
 				}
+				if err != nil {
+					// The ring writer retried far longer than any transient
+					// fault episode: the backup is effectively unreachable.
+					// The transaction must wait for recovery (the backup may
+					// hold its COMMIT-BACKUP record), but the membership
+					// layer should know about the dead destination.
+					m.reportWriteFailure(bm)
+					return
+				}
 				// Precise membership: ignore acks from non-members (§5.2).
-				if err != nil || !m.isMember(bm) {
+				if !m.isMember(bm) {
 					return
 				}
 				ct.cbOutstanding--
@@ -588,7 +617,11 @@ func (m *Machine) commitPrimaries(ct *coordTx) {
 				if !m.alive || ct.recovering {
 					return
 				}
-				if err != nil || !m.isMember(pm) {
+				if err != nil {
+					m.reportWriteFailure(pm)
+					return
+				}
+				if !m.isMember(pm) {
 					return
 				}
 				if !ct.reported {

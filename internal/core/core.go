@@ -134,6 +134,13 @@ type Options struct {
 	// VoteTimeout is how long the recovery coordinator waits for votes
 	// before sending explicit REQUEST-VOTE messages (250 µs in §5.3).
 	VoteTimeout sim.Time
+	// TxStallTimeout bounds how long a committing transaction may sit in
+	// its lock or validate phase without progress before the coordinator
+	// aborts it. Lost LOCK-REPLY or VALIDATE-REPLY messages (drop faults,
+	// one-way cuts) otherwise leave the transaction holding locks forever.
+	// Aborting is safe only in those phases; from COMMIT-BACKUP on, the
+	// outcome belongs to recovery. Negative disables the watchdog.
+	TxStallTimeout sim.Time
 	// TruncateFlushInterval bounds how lazily truncations are delivered
 	// when no records are available to piggyback on.
 	TruncateFlushInterval sim.Time
@@ -190,6 +197,7 @@ func DefaultOptions() Options {
 		BackupCMs:             2,
 		ValidateRPCThreshold:  4,
 		VoteTimeout:           250 * sim.Microsecond,
+		TxStallTimeout:        30 * sim.Millisecond,
 		TruncateFlushInterval: 200 * sim.Microsecond,
 		DataRecBlock:          8 << 10,
 		DataRecInterval:       4 * sim.Millisecond,
@@ -234,6 +242,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.VoteTimeout == 0 {
 		o.VoteTimeout = d.VoteTimeout
+	}
+	if o.TxStallTimeout == 0 {
+		o.TxStallTimeout = d.TxStallTimeout
 	}
 	if o.TruncateFlushInterval == 0 {
 		o.TruncateFlushInterval = d.TruncateFlushInterval

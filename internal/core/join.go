@@ -43,6 +43,7 @@ func (c *Cluster) Join() *Machine {
 	}
 	m.lease = newLeaseManager(m)
 	m.startTruncSweep()
+	m.startTxStallSweep()
 
 	domain := id
 	if c.Opts.FailureDomains > 0 {

@@ -184,7 +184,39 @@ func (lm *leaseManager) tick() {
 			lm.expired(int(lm.m.config.CM))
 		}
 	}
+	lm.m.maybeWithdrawSuspicion()
 	lm.m.c.Eng.After(lm.renewInterval(), func() { lm.tick() })
+}
+
+// fresh reports whether every lease this machine watches — the ones whose
+// expiry triggers suspicion — is currently unexpired.
+func (lm *leaseManager) fresh() bool {
+	now := lm.m.c.Eng.Now()
+	if lm.hierarchical() {
+		_, track := lm.hierarchyPeers()
+		for _, id := range track {
+			if g, ok := lm.grants[id]; ok && now-g > lm.duration {
+				return false
+			}
+		}
+		if !lm.m.IsCM() && now-lm.lastFromCM > lm.duration {
+			return false
+		}
+		return true
+	}
+	if lm.m.IsCM() {
+		for _, mem := range lm.m.config.Machines {
+			id := int(mem)
+			if id == lm.m.ID {
+				continue
+			}
+			if g, ok := lm.grants[id]; ok && now-g > lm.duration {
+				return false
+			}
+		}
+		return true
+	}
+	return now-lm.lastFromCM <= lm.duration
 }
 
 // expired handles a lease expiry: count it, and unless the cluster runs
@@ -405,6 +437,7 @@ func (lm *leaseManager) hierTick() {
 			lm.hierExpired(renewWith[0])
 		}
 	}
+	lm.m.maybeWithdrawSuspicion()
 	lm.m.c.Eng.After(lm.renewInterval(), func() { lm.hierTick() })
 }
 

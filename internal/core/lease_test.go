@@ -197,3 +197,109 @@ func TestHierarchicalLeaderFailure(t *testing.T) {
 		t.Fatalf("config churn after leader failover: %d -> %d", cfg, c.Machine(0).ConfigID())
 	}
 }
+
+// Asymmetric-partition coverage (the nemesis layer's hardest lease cases).
+
+// TestRxCutMachineIsEvicted: machine 3 can send (its lease requests reach
+// the CM, so the CM keeps granting) but receives nothing — every grant is
+// lost. Its own CM lease expires, it complains to the CM's successors, and
+// the ensuing reconfiguration must evict it (probes into it fail), leaving
+// the survivors agreeing on a configuration without it.
+func TestRxCutMachineIsEvicted(t *testing.T) {
+	c := New(Options{NumMachines: 6, Seed: 37, LeaseDuration: 3 * sim.Millisecond})
+	c.RunFor(10 * sim.Millisecond)
+	c.IsolateInbound(3)
+	c.RunFor(400 * sim.Millisecond)
+	c.RestoreMachine(3)
+	c.RunFor(100 * sim.Millisecond)
+
+	var cfg uint64
+	for _, m := range c.Machines {
+		if !m.alive || m.ID == 3 {
+			continue
+		}
+		if !m.config.Member(uint16(m.ID)) {
+			continue // itself evicted in the shuffle; judged by survivors
+		}
+		if m.config.Member(3) {
+			t.Fatalf("machine %d still counts the deaf machine 3 as a member (config %d)", m.ID, m.config.ID)
+		}
+		if cfg == 0 {
+			cfg = m.config.ID
+		} else if m.config.ID != cfg {
+			t.Fatalf("surviving members disagree: %d vs %d", m.config.ID, cfg)
+		}
+	}
+	if cfg <= 1 {
+		t.Fatalf("no reconfiguration happened (config %d)", cfg)
+	}
+}
+
+// TestTxCutMachineIsEvicted: machine 2 hears everything but nothing it
+// sends gets out — its lease requests never reach the CM, so the CM expires
+// it and evicts it. NEW-CONFIG goes only to the new configuration's
+// members, so the evicted machine never hears of its eviction; safety rests
+// on it fencing itself: its own CM lease expires, its takeover probes fail
+// (it is in the minority), and clients stay blocked from suspicion on.
+func TestTxCutMachineIsEvicted(t *testing.T) {
+	c := New(Options{NumMachines: 6, Seed: 41, LeaseDuration: 3 * sim.Millisecond})
+	c.RunFor(10 * sim.Millisecond)
+	c.IsolateOutbound(2)
+	c.RunFor(300 * sim.Millisecond)
+
+	cm := c.Machine(0)
+	if cm.config.Member(2) {
+		t.Fatalf("CM still counts the mute machine 2 as a member (config %d)", cm.config.ID)
+	}
+	mute := c.Machine(2)
+	if mute.config.ID >= cm.config.ID {
+		t.Fatalf("mute machine advanced to config %d despite sending nothing", mute.config.ID)
+	}
+	if !mute.clientsBlocked {
+		t.Fatal("evicted machine that never learned the new config must fence clients")
+	}
+	for _, m := range c.Machines {
+		if m.alive && m.config.Member(uint16(m.ID)) && m.ID != 2 && m.config.ID != cm.config.ID {
+			t.Fatalf("member %d at config %d, CM at %d", m.ID, m.config.ID, cm.config.ID)
+		}
+	}
+}
+
+// TestReconfigSurvivesLostNewConfigAck: a member whose inbound links die
+// right as reconfiguration starts can never receive NEW-CONFIG; the ack
+// timeout must evict it instead of wedging the protocol with every client
+// blocked forever.
+func TestReconfigSurvivesLostNewConfigAck(t *testing.T) {
+	c := New(Options{NumMachines: 6, Seed: 43, LeaseDuration: 3 * sim.Millisecond})
+	c.RunFor(10 * sim.Millisecond)
+	// Kill 5 to force a reconfiguration, and simultaneously deafen 4 so it
+	// cannot ack the resulting NEW-CONFIG.
+	c.Kill(5)
+	c.IsolateInbound(4)
+	c.RunFor(500 * sim.Millisecond)
+	c.RestoreMachine(4)
+	c.RunFor(100 * sim.Millisecond)
+
+	cm := -1
+	for _, m := range c.Machines {
+		if m.alive && m.IsCM() && m.config.Member(uint16(m.ID)) {
+			cm = m.ID
+			break
+		}
+	}
+	if cm == -1 {
+		t.Fatal("no live CM after reconfiguration under a deaf member")
+	}
+	cfg := c.Machine(cm).config
+	if cfg.Member(5) || cfg.Member(4) {
+		t.Fatalf("config %d retains dead (5) or deaf (4) member: %v", cfg.ID, cfg.Machines)
+	}
+	// The commit must have gone through: members of the final config run
+	// with leases armed (clients unblocked), not stuck awaiting COMMIT.
+	for _, mem := range cfg.Machines {
+		m := c.Machine(int(mem))
+		if !m.configCommitted {
+			t.Fatalf("member %d never saw NEW-CONFIG-COMMIT for config %d", m.ID, cfg.ID)
+		}
+	}
+}

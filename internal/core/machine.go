@@ -161,9 +161,21 @@ type Machine struct {
 	// this machine; cmAwaitAcks tracks outstanding NEW-CONFIG-ACKs.
 	reconfiguring bool
 	cmAwaitAcks   map[int]bool
+	// cmAckRound versions cmAwaitAcks so ack-collection timeout timers from
+	// a superseded NEW-CONFIG push cannot act on a newer one.
+	cmAckRound int
+	// configCommitted is false between adopting a NEW-CONFIG and receiving
+	// its COMMIT; while false the member periodically re-acks so a lost ack
+	// or lost COMMIT cannot wedge the protocol (clients stay blocked until
+	// COMMIT arrives).
+	configCommitted bool
 	// configShrank records whether the latest NEW-CONFIG removed any
 	// machine (then every region runs the recovery handshake).
 	configShrank bool
+	// truncSweepOn/stallSweepOn guard the periodic sweeps against duplicate
+	// arming across power cycles.
+	truncSweepOn bool
+	stallSweepOn bool
 
 	// RPC plumbing for slot allocation and mapping fetches.
 	nextRPC    uint64

@@ -55,6 +55,8 @@ func (c *Cluster) RestorePower() {
 		m.nic.SetPowered(true)
 		m.lease = newLeaseManager(m)
 		m.lease.start()
+		m.startTruncSweep()
+		m.startTxStallSweep()
 		m.reconfiguring = false
 		// Every in-flight transaction's completions were lost with the
 		// outage: mark them recovering now so stray replies produced while
@@ -131,6 +133,11 @@ func (c *Cluster) reestablishRings() {
 			}
 			m.logR[src] = &logReader{src: src, rd: ring.NewReader(mem), frames: make(map[mtl][]uint64)}
 			sender := c.Machines[src]
+			// Close the replaced writer so any retransmissions it still has
+			// scheduled die with it instead of landing in the fresh ring.
+			if old := sender.logW[m.ID]; old != nil {
+				old.Close()
+			}
 			sender.logW[m.ID] = ring.NewWriter(sender.nic, fabric.MachineID(m.ID),
 				toNVRAM(logRegionID(src)), c.Opts.LogCapacity)
 			// Restore the pooled truncate-record reservations the sender

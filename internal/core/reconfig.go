@@ -95,6 +95,31 @@ func (m *Machine) suspectFull(failed int, bumpAll bool) {
 	}
 }
 
+// maybeWithdrawSuspicion undoes the §5.2 client block when the failure
+// detector withdraws the suspicion behind it: the configuration is
+// unchanged and committed, no reconfiguration is in flight, and every
+// lease this machine watches is fresh again. The block runs "from the
+// moment a suspicion occurs until the machine learns the outcome" — if
+// the attempt was abandoned (probe minority, lost CAS) and the leases
+// later recover with the configuration intact, the outcome IS the current
+// configuration. Without this, a transient partition that makes
+// reconfiguration impossible — both members of a two-machine
+// configuration suspecting each other and abandoning as probe
+// minorities — leaves every member blocked forever after the network
+// heals. An evicted zombie never takes this path: the CM drops its
+// stale-configuration lease requests, so its CM lease stays expired.
+func (m *Machine) maybeWithdrawSuspicion() {
+	if !m.clientsBlocked || m.reconfiguring || !m.configCommitted || !m.isMember(m.ID) {
+		return
+	}
+	if !m.lease.fresh() {
+		return
+	}
+	m.c.Counters.Inc("reconfig_suspicion_withdrawn", 1)
+	m.c.trace("suspicion-withdrawn", m.ID, 0)
+	m.unblockClients()
+}
+
 // suspectCM reacts to an expired CM lease: ask the k backup CMs (the CM's
 // consistent-hashing successors) to reconfigure, then try ourselves if the
 // configuration is unchanged after a timeout.
@@ -217,10 +242,12 @@ func (m *Machine) becomeCM(cfg *proto.Config, suspects map[int]bool, bumpAll boo
 		}
 		m.c.trace("remap-done", m.ID, 0)
 		m.cmAwaitAcks = make(map[int]bool)
+		m.cmAckRound++
 		for _, mem := range cfg.Machines {
 			m.cmAwaitAcks[int(mem)] = true
 			m.send(int(mem), nc)
 		}
+		m.armAckTimeout(m.cmAckRound, nc, 0)
 	}
 	if cmChanged && m.cm == nil {
 		// A new CM must first build the data structures only the CM
@@ -396,6 +423,24 @@ func (m *Machine) onNewConfig(src int, nc *proto.NewConfig) {
 		m.lease.resetFor(&m.config)
 	}
 	m.send(src, &proto.NewConfigAck{ConfigID: m.config.ID})
+	// Repair for lost acks / lost commits: until NEW-CONFIG-COMMIT arrives
+	// re-ack periodically. The interval is well inside the CM's ack-timeout
+	// eviction window, so a member whose single ack was dropped recovers
+	// instead of being evicted for it.
+	m.configCommitted = false
+	m.armCommitReack(m.config.ID)
+}
+
+// armCommitReack re-sends NEW-CONFIG-ACK while the commit is outstanding.
+func (m *Machine) armCommitReack(cfgID uint64) {
+	m.c.Eng.After(m.c.Opts.LeaseDuration+m.c.Opts.LeaseDuration/2, func() {
+		if !m.alive || m.configCommitted || m.config.ID != cfgID || !m.isMember(m.ID) {
+			return
+		}
+		m.c.Counters.Inc("reconfig_ack_resend", 1)
+		m.send(int(m.config.CM), &proto.NewConfigAck{ConfigID: cfgID})
+		m.armCommitReack(cfgID)
+	})
 }
 
 // coordTxRecovering evaluates the recovering predicate with the
@@ -420,10 +465,51 @@ func (m *Machine) coordTxRecovering(ct *coordTx) bool {
 	return false
 }
 
+// armAckTimeout guards the CM's NEW-CONFIG-ACK collection against members
+// that cannot receive (one-way cuts) or whose acks are lost. The original
+// protocol waits for ALL acks with no timeout, so a single half-dead member
+// wedges reconfiguration forever while every client sits blocked. Repair:
+// re-push NEW-CONFIG to the silent members twice, then suspect them — a
+// member that cannot complete the handshake within ~6 lease durations is
+// treated exactly like one that failed its lease.
+func (m *Machine) armAckTimeout(round int, nc *proto.NewConfig, resends int) {
+	m.c.Eng.After(2*m.c.Opts.LeaseDuration, func() {
+		if !m.alive || m.cmAckRound != round || m.cmAwaitAcks == nil ||
+			len(m.cmAwaitAcks) == 0 || m.config.ID != nc.Config.ID || !m.IsCM() {
+			return
+		}
+		if resends < 2 {
+			m.c.Counters.Inc("reconfig_newconfig_resend", 1)
+			for _, id := range intKeys(m.cmAwaitAcks) {
+				m.send(id, nc)
+			}
+			m.armAckTimeout(round, nc, resends+1)
+			return
+		}
+		// Deaf member: evict the lowest-id non-acker; a follow-up round
+		// removes any others.
+		silent := intKeys(m.cmAwaitAcks)[0]
+		m.cmAwaitAcks = nil
+		m.c.Counters.Inc("reconfig_ack_timeout", 1)
+		m.c.trace("ack-timeout", m.ID, silent)
+		m.suspect(silent)
+	})
+}
+
 // onNewConfigAck is step 7 at the CM: once every member acked, wait out
 // leases granted in previous configurations, then commit.
 func (m *Machine) onNewConfigAck(src int, ack *proto.NewConfigAck) {
-	if ack.ConfigID != m.config.ID || m.cmAwaitAcks == nil {
+	if ack.ConfigID != m.config.ID {
+		return
+	}
+	if m.cmAwaitAcks == nil {
+		// Ack collection already finished: this is a member re-acking
+		// because it never saw NEW-CONFIG-COMMIT (the commit was dropped, or
+		// its original ack was a duplicate). The commit wait already ran, so
+		// answer directly.
+		if m.IsCM() && m.configCommitted {
+			m.send(src, &proto.NewConfigCommit{ConfigID: m.config.ID})
+		}
 		return
 	}
 	delete(m.cmAwaitAcks, src)
@@ -447,6 +533,10 @@ func (m *Machine) onNewConfigCommit(cc *proto.NewConfigCommit) {
 	if cc.ConfigID != m.config.ID {
 		return
 	}
+	if m.configCommitted {
+		return // duplicate commit (re-ack answered after the original landed)
+	}
+	m.configCommitted = true
 	m.lease.start()
 	// Step 7: "All members now unblock previously blocked external client
 	// requests."

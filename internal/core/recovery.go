@@ -457,11 +457,6 @@ func (m *Machine) recoverLocks(rep *replica, rt *recTx) {
 	if rt.lock == nil || rt.saw&(proto.SawAbort|proto.SawAbortRecovery) != 0 {
 		return
 	}
-	if rt.saw&proto.SawCommitPrimary != 0 {
-		// Already applied (or about to be via normal processing): the
-		// transaction committed; no locks needed.
-		return
-	}
 	for _, w := range rt.lock.Writes {
 		if w.Addr.Region != rep.id {
 			continue
@@ -475,6 +470,16 @@ func (m *Machine) recoverLocks(rep *replica, rt *recTx) {
 			// checks at decision time keep this safe
 		}
 		word := regionmem.ReadHeader(rep.mem, off)
+		if regionmem.Version(word) > w.Version {
+			// This replica already applied the write (it was primary in the
+			// old configuration, or a backup that truncated): nothing left
+			// to protect. A backup promoted to primary has NOT applied yet
+			// even when the transaction reached COMMIT-PRIMARY elsewhere,
+			// so the per-object version — not the per-transaction saw set —
+			// decides; the lock held here keeps readers off the stale value
+			// until the recovery decision applies it.
+			continue
+		}
 		if !regionmem.Locked(word) {
 			regionmem.WriteHeader(rep.mem, off, word|1<<63)
 		}
@@ -947,7 +952,12 @@ func (m *Machine) onRecoveryDecision(src int, id proto.TxID, commit bool) {
 	if commit {
 		rt.saw |= proto.SawCommitRecovery
 		// Apply at primary regions now; backup regions apply at
-		// TRUNCATE-RECOVERY, like the normal protocol.
+		// TRUNCATE-RECOVERY, like the normal protocol. A machine that
+		// already applied as primary of one written region may since have
+		// been promoted to primary of another (region remap): clear the
+		// one-shot flag so the newly owned region's writes apply too —
+		// per-object version gating keeps the pass idempotent.
+		rt.applied = false
 		m.applyCommitPrimary(rt)
 	} else {
 		rt.saw |= proto.SawAbortRecovery

@@ -188,7 +188,13 @@ func (t *transport) registerHandlers() {
 			}
 		})
 	proto.Register(r, "RELEASE-SLOT", nil,
-		func(_ int, v *releaseSlotReq) {
+		func(src int, v *releaseSlotReq) {
+			// §5.2: only current members may return slots; a zombie's
+			// release could double-free a slot allocator recovery already
+			// reclaimed and handed out again.
+			if !m.isMember(src) {
+				return
+			}
 			if rep := m.replicas[v.Region]; rep != nil && rep.primary && !rep.allocRecovering {
 				rep.alloc.Free(int(v.Off))
 			}

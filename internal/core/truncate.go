@@ -219,8 +219,19 @@ func (m *Machine) flushTruncations(dst int) {
 // Redelivery is idempotent at the receiver (§4 step 5's laziness cuts both
 // ways: delivery may happen more than once).
 func (m *Machine) startTruncSweep() {
+	if m.truncSweepOn {
+		return
+	}
+	m.truncSweepOn = true
+	m.armTruncSweep()
+}
+
+func (m *Machine) armTruncSweep() {
 	m.c.Eng.After(20*sim.Millisecond, func() {
 		if !m.alive {
+			// Dies with the machine; RestorePower re-arms via
+			// startTruncSweep, whose guard prevents duplicate sweeps.
+			m.truncSweepOn = false
 			return
 		}
 		for _, dst := range intKeys(m.truncPending) {
@@ -244,7 +255,7 @@ func (m *Machine) startTruncSweep() {
 				m.armTruncFlush(dst)
 			}
 		}
-		m.startTruncSweep()
+		m.armTruncSweep()
 	})
 }
 

@@ -184,6 +184,19 @@ func (t *Tx) Thread() int { return t.thread }
 // Coordinator returns the machine coordinating this transaction.
 func (t *Tx) Coordinator() *Machine { return t.m }
 
+// Abort abandons a transaction during the execute phase. Before Commit no
+// remote state exists — reads are one-sided and take no locks (§3) — so
+// aborting releases locally allocated slots and finishes the transaction.
+// Calling Abort after Commit (or twice) panics, like Commit.
+func (t *Tx) Abort() {
+	if t.finished {
+		panic(errTxDone)
+	}
+	t.finished = true
+	t.releaseAllocs()
+	t.m.c.Counters.Inc("tx_user_abort", 1)
+}
+
 // abortLocal cleans up execute-phase side effects (allocated slots) for a
 // transaction abandoned before or during commit.
 func (t *Tx) releaseAllocs() {
@@ -207,6 +220,17 @@ func (m *Machine) LockFreeRead(thread int, addr proto.Addr, size int, cb func(da
 // locks, stale mappings, blocked regions and transient failures.
 func (m *Machine) readObject(thread int, addr proto.Addr, size, lockRetries, mapRetries int, cb func(word uint64, data []byte, err error)) {
 	if !m.alive {
+		return
+	}
+	if m.clientsBlocked {
+		// §5.2: from the moment a machine suspects a reconfiguration it
+		// blocks requests until it learns the outcome. An evicted machine
+		// never learns one and stays fenced (until it rejoins), so a
+		// machine partitioned out of the configuration cannot serve reads
+		// of its own stale replicas to local transactions.
+		m.clientQueue = append(m.clientQueue, func() {
+			m.readObject(thread, addr, size, lockRetries, mapRetries, cb)
+		})
 		return
 	}
 	retryMapping := func() {

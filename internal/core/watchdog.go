@@ -1,0 +1,69 @@
+package core
+
+// Coordinator stall watchdog. FaRM's normal path assumes reliable sends:
+// LOCK-REPLY and VALIDATE-REPLY are messages, and a dropped reply (RC retry
+// exhaustion, one-way cut) leaves the coordinator waiting forever while the
+// primaries hold the transaction's locks — every later transaction touching
+// those objects aborts on conflict. No protocol message ever comes to break
+// the tie, because nothing failed in a way leases notice.
+//
+// The watchdog sweeps in-flight transactions and aborts those stuck in the
+// lock or validate phase past Options.TxStallTimeout. Aborting there is
+// safe: the ABORT record is ordered after the LOCK record in each primary's
+// ring, so it releases exactly the locks this transaction took, and no
+// backup has seen anything. From COMMIT-BACKUP on the watchdog must NOT
+// decide unilaterally — a backup may hold a COMMIT-BACKUP record, making
+// the transaction's outcome recovery's to settle (§5.3) — so those phases
+// rely on ring-writer retransmission plus the reportWriteFailure backstop.
+
+func (m *Machine) startTxStallSweep() {
+	if m.c.Opts.TxStallTimeout <= 0 || m.stallSweepOn {
+		return
+	}
+	m.stallSweepOn = true
+	m.armTxStallSweep()
+}
+
+func (m *Machine) armTxStallSweep() {
+	d := m.c.Opts.TxStallTimeout
+	m.c.Eng.After(d/2, func() {
+		if !m.alive {
+			m.stallSweepOn = false
+			return
+		}
+		now := m.c.Eng.Now()
+		// Sorted iteration: the sweep emits events (abort records) and maps
+		// iterate in random order.
+		for _, id := range txIDKeys(m.inflight) {
+			ct := m.inflight[id]
+			if ct == nil || ct.recovering {
+				continue
+			}
+			if ct.phase != phaseLock && ct.phase != phaseValidate {
+				continue
+			}
+			if now-ct.lastProgress < d {
+				continue
+			}
+			m.c.Counters.Inc("tx_stall_aborted", 1)
+			m.abortTx(ct, ErrAborted)
+		}
+		m.armTxStallSweep()
+	})
+}
+
+// reportWriteFailure tells the membership layer a log write's retries were
+// exhausted against a configuration member. The CM double-checks with its
+// own probe protocol before evicting anyone, so false positives cost a
+// probe round, not a machine.
+func (m *Machine) reportWriteFailure(dst int) {
+	if !m.isMember(dst) || dst == m.ID {
+		return
+	}
+	m.c.Counters.Inc("log_write_failed", 1)
+	if m.IsCM() {
+		m.suspect(dst)
+		return
+	}
+	m.send(int(m.config.CM), &suspectReport{Config: m.config.ID, Suspect: dst})
+}

@@ -111,16 +111,22 @@ type Network struct {
 	// partition maps a machine to a connectivity group; machines in
 	// different groups cannot communicate. Default group is 0.
 	partition map[MachineID]int
+	// linkFaults/machineFaults are the nemesis layer's fault tables
+	// (nemesis.go), consulted per directed leg on every verb and send.
+	linkFaults    map[linkKey]LinkFault
+	machineFaults map[MachineID]MachineFault
 }
 
 // NewNetwork creates an empty network on the given engine.
 func NewNetwork(eng *sim.Engine, opts Options) *Network {
 	return &Network{
-		Eng:       eng,
-		Opts:      opts.withDefaults(),
-		Counters:  stats.NewCounters(),
-		nics:      make(map[MachineID]*NIC),
-		partition: make(map[MachineID]int),
+		Eng:           eng,
+		Opts:          opts.withDefaults(),
+		Counters:      stats.NewCounters(),
+		nics:          make(map[MachineID]*NIC),
+		partition:     make(map[MachineID]int),
+		linkFaults:    make(map[linkKey]LinkFault),
+		machineFaults: make(map[MachineID]MachineFault),
 	}
 }
 
@@ -157,16 +163,8 @@ func (n *Network) SetPartition(groups map[MachineID]int) {
 // HealPartition restores full connectivity.
 func (n *Network) HealPartition() { n.partition = make(map[MachineID]int) }
 
-func (n *Network) reachable(a, b MachineID) bool {
-	return n.partition[a] == n.partition[b]
-}
-
 func (n *Network) hop() sim.Time {
 	return n.Opts.WireLatency + n.Eng.Rand().Duration(n.Opts.WireJitter+1)
-}
-
-func (n *Network) xfer(bytes int) sim.Time {
-	return sim.Time(float64(bytes) / n.Opts.BytesPerSecond * float64(sim.Second))
 }
 
 // NIC is one machine's network interface. One-sided verbs execute entirely
@@ -211,6 +209,11 @@ func (c *NIC) Powered() bool { return c.powered }
 
 // Mem exposes the memory store the NIC serves verbs against.
 func (c *NIC) Mem() *nvram.Store { return c.mem }
+
+// Engine exposes the simulation engine driving this NIC, for layers that
+// need to schedule retries (e.g. ring-writer retransmission) without holding
+// a Network reference.
+func (c *NIC) Engine() *sim.Engine { return c.net.Eng }
 
 // Read issues a one-sided RDMA read of length bytes at (region, off) on
 // dst. cb receives the data or an error. No remote CPU is involved; the
@@ -285,7 +288,11 @@ func (c *NIC) Probe(dst MachineID, cb func(err error)) {
 }
 
 // oneSided routes a verb through src tx NIC → wire → dst rx NIC (where
-// remote executes against memory) → wire → src rx NIC (completion).
+// remote executes against memory) → wire → src rx NIC (completion). Each
+// wire leg is checked and delayed independently (nemesis.go), so an
+// asymmetric cut can lose the completion of a verb whose remote effect
+// already landed — the initiator then sees ErrTimeout for an operation that
+// actually executed, the ambiguity FaRM's recovery protocols must absorb.
 func (c *NIC) oneSided(dst MachineID, bytes int, remote func(r *NIC) (interface{}, error), complete func(interface{}, error)) {
 	net := c.net
 	eng := net.Eng
@@ -310,26 +317,33 @@ func (c *NIC) oneSided(dst MachineID, bytes int, remote func(r *NIC) (interface{
 		})
 		return
 	}
-	c.tx.Do(net.Opts.NICOpTime+net.xfer(bytes), func() {
-		eng.After(net.hop(), func() {
+	c.tx.Do(net.nicOpTime(c.ID)+net.xferTime(c.ID, bytes), func() {
+		eng.After(net.hop()+net.legDelay(c.ID, dst), func() {
 			r := net.nics[dst]
-			if r == nil || !r.powered || !net.reachable(c.ID, dst) {
+			if r == nil || !r.powered || !net.legUp(c.ID, dst) {
 				fail()
 				return
 			}
-			r.rx.Do(net.Opts.NICOpTime, func() {
+			r.rx.Do(net.nicOpTime(dst), func() {
 				// Execute against remote memory in NIC context. The remote
 				// machine may have died between scheduling and service.
-				if !r.powered || !net.reachable(c.ID, dst) {
+				if !r.powered || !net.legUp(c.ID, dst) {
 					fail()
 					return
 				}
 				v, err := remote(r)
-				eng.After(net.hop()+net.xfer(bytes), func() {
+				// The remote effect is durable from here on; only the
+				// completion can still be lost.
+				if !net.legUp(dst, c.ID) {
+					net.Counters.Inc("completion_lost", 1)
+					fail()
+					return
+				}
+				eng.After(net.hop()+net.legDelay(dst, c.ID)+net.xferTime(dst, bytes), func() {
 					if !c.powered {
 						return
 					}
-					c.rx.Do(net.Opts.NICOpTime, func() {
+					c.rx.Do(net.nicOpTime(c.ID), func() {
 						if c.powered {
 							complete(v, err)
 						}
@@ -382,12 +396,13 @@ func (c *NIC) transmit(dst MachineID, msg interface{}, ud bool, bytes int) {
 	if !c.powered {
 		return
 	}
-	if ud && net.Eng.Rand().Bool(net.Opts.UDLossProb) {
+	if ud && net.Eng.Rand().Bool(net.udLossProb(c.ID, dst)) {
 		net.Counters.Inc("ud_dropped", 1)
 		return
 	}
 	if dst == c.ID {
-		// Loopback: skip the NIC and wire.
+		// Loopback: skip the NIC and wire (link faults model the fabric, so
+		// they never apply to a machine talking to itself).
 		net.Eng.After(net.Opts.LocalOpTime, func() {
 			if !c.powered {
 				return
@@ -402,14 +417,29 @@ func (c *NIC) transmit(dst MachineID, msg interface{}, ud bool, bytes int) {
 		})
 		return
 	}
-	c.tx.Do(net.Opts.NICOpTime+net.xfer(bytes), func() {
-		net.Eng.After(net.hop(), func() {
+	// Reliable-send drop/dup faults model RC retry exhaustion and ack-loss
+	// retransmission at the message layer. They deliberately do NOT apply
+	// to one-sided verbs: RC ordering cannot lose one write and deliver the
+	// next, so partial verb loss is modelled as a Cut episode instead.
+	copies := 1
+	if !ud {
+		if net.dropSend(c.ID, dst) {
+			net.Counters.Inc("fault_send_dropped", 1)
+			return
+		}
+		if net.dupSend(c.ID, dst) {
+			net.Counters.Inc("fault_send_dup", 1)
+			copies = 2
+		}
+	}
+	deliver := func() {
+		net.Eng.After(net.hop()+net.legDelay(c.ID, dst), func() {
 			r := net.nics[dst]
-			if r == nil || !r.powered || !net.reachable(c.ID, dst) {
+			if r == nil || !r.powered || !net.legUp(c.ID, dst) {
 				net.Counters.Inc("msg_lost", 1)
 				return
 			}
-			r.rx.Do(net.Opts.NICOpTime, func() {
+			r.rx.Do(net.nicOpTime(dst), func() {
 				if !r.powered {
 					return
 				}
@@ -422,5 +452,10 @@ func (c *NIC) transmit(dst MachineID, msg interface{}, ud bool, bytes int) {
 				}
 			})
 		})
+	}
+	c.tx.Do(net.nicOpTime(c.ID)+net.xferTime(c.ID, bytes), func() {
+		for i := 0; i < copies; i++ {
+			deliver()
+		}
 	})
 }

@@ -1,0 +1,240 @@
+// Nemesis layer: a per-link and per-machine fault table consulted on every
+// verb and send. The clean faults the simulator always supported — kills
+// (SetPowered) and symmetric partitions (SetPartition) — model crash-stop
+// behaviour; real fabrics also fail *asymmetrically* and *partially*:
+// one-way reachability (A→B cut while B→A delivers), inflated latency and
+// jitter on one path, silent loss of reliable sends after RC retry
+// exhaustion, duplicate delivery, and gray failures where one machine's NIC
+// is merely slow. Precise membership (§5.2) is designed for exactly this
+// regime — NICs keep acking one-sided operations no matter what the
+// software layer believes — so the fault table lives here, below every
+// protocol.
+//
+// Determinism: fault state is plain data consulted synchronously on the
+// engine goroutine, and every stochastic choice (jitter samples, drop and
+// duplicate coin flips) draws from the engine's seeded generator. Identical
+// seed and identical fault-installation schedule therefore reproduce the
+// run bit-for-bit, including the injected faults.
+package fabric
+
+import "farm/internal/sim"
+
+// LinkFault describes the fault state of one DIRECTED link src→dst.
+// Faults are directional by design: cutting A→B says nothing about B→A.
+type LinkFault struct {
+	// Cut drops everything traversing the link (verb legs and sends).
+	// One-sided operations whose request or completion leg crosses a cut
+	// link report ErrTimeout at the initiator after FailTimeout, exactly
+	// like a dead destination — the initiator cannot tell the difference.
+	Cut bool
+	// Delay is extra one-way latency added to every traversal.
+	Delay sim.DelayDist
+	// DropProb silently drops reliable sends (Send/SendBatch) with this
+	// probability, modelling RC retry exhaustion at the message layer.
+	// One-sided verbs are NOT dropped by this knob: RC write ordering
+	// means a connection cannot lose one write and deliver the next, so
+	// partial verb loss is modelled as a Cut episode instead.
+	DropProb float64
+	// DupProb delivers reliable sends twice with this probability
+	// (retransmission after a lost ack).
+	DupProb float64
+	// UDLossProb adds to the base unreliable-datagram loss on this link.
+	UDLossProb float64
+}
+
+// faulted reports whether the fault does anything at all.
+func (f LinkFault) faulted() bool {
+	return f.Cut || !f.Delay.Zero() || f.DropProb > 0 || f.DupProb > 0 || f.UDLossProb > 0
+}
+
+// MachineFault is a gray failure of one machine's NIC: the machine is
+// alive, its leases renew, its memory serves verbs — everything is just
+// slower, and optionally one direction is gone entirely.
+type MachineFault struct {
+	// OpTimeFactor multiplies NICOpTime for this machine's tx and rx
+	// processing (0 or 1 = healthy).
+	OpTimeFactor float64
+	// BandwidthFactor multiplies BytesPerSecond (0 or 1 = healthy; 0.1 =
+	// a link renegotiated down to a tenth of its rate).
+	BandwidthFactor float64
+	// ExtraDelay is added once per wire traversal that starts or ends at
+	// this machine (a sick NIC inflates both its sends and receives).
+	ExtraDelay sim.DelayDist
+	// TxCut cuts everything this machine emits (it can receive but not
+	// send); RxCut cuts everything addressed to it (it can send but not
+	// receive). Together they are a full isolation.
+	TxCut, RxCut bool
+}
+
+// WithTxCut/WithRxCut return a copy with one direction cut, preserving the
+// rest of the fault (so a gray-slow machine can additionally lose a
+// direction without resetting its degradation).
+func (f MachineFault) WithTxCut(on bool) MachineFault { f.TxCut = on; return f }
+func (f MachineFault) WithRxCut(on bool) MachineFault { f.RxCut = on; return f }
+
+func (f MachineFault) faulted() bool {
+	return f.TxCut || f.RxCut || !f.ExtraDelay.Zero() ||
+		(f.OpTimeFactor != 0 && f.OpTimeFactor != 1) ||
+		(f.BandwidthFactor != 0 && f.BandwidthFactor != 1)
+}
+
+type linkKey struct{ src, dst MachineID }
+
+// SetLinkFault installs (or replaces) the fault state of the directed link
+// src→dst. A zero LinkFault clears it.
+func (n *Network) SetLinkFault(src, dst MachineID, f LinkFault) {
+	k := linkKey{src, dst}
+	if !f.faulted() {
+		delete(n.linkFaults, k)
+		return
+	}
+	n.linkFaults[k] = f
+}
+
+// CutLink cuts the directed link src→dst (sugar over SetLinkFault).
+func (n *Network) CutLink(src, dst MachineID) {
+	f := n.linkFaults[linkKey{src, dst}]
+	f.Cut = true
+	n.SetLinkFault(src, dst, f)
+}
+
+// HealLink clears any fault on the directed link src→dst.
+func (n *Network) HealLink(src, dst MachineID) {
+	delete(n.linkFaults, linkKey{src, dst})
+}
+
+// LinkFaultOf returns the current fault on src→dst (zero if healthy).
+func (n *Network) LinkFaultOf(src, dst MachineID) LinkFault {
+	return n.linkFaults[linkKey{src, dst}]
+}
+
+// SetMachineFault installs (or replaces) a machine's gray-failure state. A
+// zero MachineFault clears it.
+func (n *Network) SetMachineFault(id MachineID, f MachineFault) {
+	if !f.faulted() {
+		delete(n.machineFaults, id)
+		return
+	}
+	n.machineFaults[id] = f
+}
+
+// ClearMachineFault restores a machine's NIC to health.
+func (n *Network) ClearMachineFault(id MachineID) { delete(n.machineFaults, id) }
+
+// MachineFaultOf returns a machine's current gray-failure state.
+func (n *Network) MachineFaultOf(id MachineID) MachineFault { return n.machineFaults[id] }
+
+// ClearFaults removes every link and machine fault (partitions included).
+// Chaos campaigns call it before their quiesce window so audits measure the
+// protocols, not a still-broken fabric.
+func (n *Network) ClearFaults() {
+	n.linkFaults = make(map[linkKey]LinkFault)
+	n.machineFaults = make(map[MachineID]MachineFault)
+	n.HealPartition()
+}
+
+// FaultCount returns how many link and machine faults are installed
+// (observability for tests and campaign audits).
+func (n *Network) FaultCount() int { return len(n.linkFaults) + len(n.machineFaults) }
+
+// legUp reports whether a wire traversal from→to delivers: same partition
+// group, no directional cut, no Tx/Rx machine cut on the endpoints.
+func (n *Network) legUp(from, to MachineID) bool {
+	if n.partition[from] != n.partition[to] {
+		return false
+	}
+	if len(n.linkFaults) > 0 && n.linkFaults[linkKey{from, to}].Cut {
+		return false
+	}
+	if len(n.machineFaults) > 0 {
+		if n.machineFaults[from].TxCut || n.machineFaults[to].RxCut {
+			return false
+		}
+	}
+	return true
+}
+
+// legDelay samples the extra latency of one wire traversal from→to: the
+// directed link's delay plus both endpoints' gray-failure delays. It draws
+// from the engine generator only when a fault is installed, so healthy runs
+// consume the random stream exactly as before the nemesis layer existed.
+func (n *Network) legDelay(from, to MachineID) sim.Time {
+	var d sim.Time
+	if len(n.linkFaults) > 0 {
+		if f, ok := n.linkFaults[linkKey{from, to}]; ok && !f.Delay.Zero() {
+			d += f.Delay.Sample(n.Eng.Rand())
+		}
+	}
+	if len(n.machineFaults) > 0 {
+		if f, ok := n.machineFaults[from]; ok && !f.ExtraDelay.Zero() {
+			d += f.ExtraDelay.Sample(n.Eng.Rand())
+		}
+		if f, ok := n.machineFaults[to]; ok && !f.ExtraDelay.Zero() {
+			d += f.ExtraDelay.Sample(n.Eng.Rand())
+		}
+	}
+	return d
+}
+
+// dropSend flips the reliable-send drop coin for the link from→to.
+func (n *Network) dropSend(from, to MachineID) bool {
+	if len(n.linkFaults) == 0 {
+		return false
+	}
+	f, ok := n.linkFaults[linkKey{from, to}]
+	if !ok || f.DropProb <= 0 {
+		return false
+	}
+	return n.Eng.Rand().Bool(f.DropProb)
+}
+
+// dupSend flips the duplicate-delivery coin for the link from→to.
+func (n *Network) dupSend(from, to MachineID) bool {
+	if len(n.linkFaults) == 0 {
+		return false
+	}
+	f, ok := n.linkFaults[linkKey{from, to}]
+	if !ok || f.DupProb <= 0 {
+		return false
+	}
+	return n.Eng.Rand().Bool(f.DupProb)
+}
+
+// udLossProb returns the datagram loss probability on from→to (base rate
+// plus any injected link loss).
+func (n *Network) udLossProb(from, to MachineID) float64 {
+	p := n.Opts.UDLossProb
+	if len(n.linkFaults) > 0 {
+		p += n.linkFaults[linkKey{from, to}].UDLossProb
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// nicOpTime returns one machine's (possibly degraded) per-verb NIC time.
+func (n *Network) nicOpTime(id MachineID) sim.Time {
+	t := n.Opts.NICOpTime
+	if len(n.machineFaults) > 0 {
+		if f, ok := n.machineFaults[id]; ok && f.OpTimeFactor > 0 && f.OpTimeFactor != 1 {
+			t = sim.Time(float64(t) * f.OpTimeFactor)
+		}
+	}
+	return t
+}
+
+// xferTime returns the wire occupancy of `bytes` at one machine's
+// (possibly degraded) bandwidth.
+func (n *Network) xferTime(id MachineID, bytes int) sim.Time {
+	if bytes == 0 {
+		return 0
+	}
+	bps := n.Opts.BytesPerSecond
+	if len(n.machineFaults) > 0 {
+		if f, ok := n.machineFaults[id]; ok && f.BandwidthFactor > 0 && f.BandwidthFactor != 1 {
+			bps *= f.BandwidthFactor
+		}
+	}
+	return sim.Time(float64(bytes) / bps * float64(sim.Second))
+}

@@ -1,0 +1,264 @@
+package fabric
+
+import (
+	"errors"
+	"testing"
+
+	"farm/internal/nvram"
+	"farm/internal/sim"
+)
+
+// TestAsymmetricCutLosesOneDirection: with 0→1 cut, nothing crosses that
+// leg — 0's verbs to 1 time out, and even 1's verbs to 0 time out because
+// their completion must cross the cut leg — yet sends 1→0 still deliver.
+// A machine on the receiving side of a one-way cut can talk but gets no
+// answers.
+func TestAsymmetricCutLosesOneDirection(t *testing.T) {
+	eng, net, n0, n1, m0, m1 := newPair(t)
+	m0.Allocate(1, 64)
+	m1.Allocate(1, 64)
+	net.CutLink(0, 1)
+
+	var err01, err10 error
+	got01, got10 := false, false
+	heard := false
+	n0.SetMessageHandler(func(MachineID, interface{}) { heard = true })
+	n0.Read(1, 1, 0, 8, func(_ []byte, err error) { err01, got01 = err, true })
+	n1.Read(0, 1, 0, 8, func(_ []byte, err error) { err10, got10 = err, true })
+	n1.Send(0, "hello")
+	eng.Run()
+	if !got01 || !errors.Is(err01, ErrTimeout) {
+		t.Fatalf("cut direction: got=%v err=%v, want ErrTimeout", got01, err01)
+	}
+	if !got10 || !errors.Is(err10, ErrTimeout) {
+		t.Fatalf("reverse verb (completion crosses cut leg): got=%v err=%v, want ErrTimeout", got10, err10)
+	}
+	if !heard {
+		t.Fatal("send on the healthy 1→0 leg must deliver")
+	}
+
+	net.HealLink(0, 1)
+	got01 = false
+	n0.Read(1, 1, 0, 8, func(_ []byte, err error) { err01, got01 = err, true })
+	eng.Run()
+	if !got01 || err01 != nil {
+		t.Fatalf("after heal: got=%v err=%v, want success", got01, err01)
+	}
+}
+
+// TestCompletionLegCutWriteLandsButTimesOut: cutting only the return path
+// 1→0 makes 0's write execute at 1 (the bytes land) while 0 sees
+// ErrTimeout — the landed-but-unacked ambiguity recovery must absorb.
+func TestCompletionLegCutWriteLandsButTimesOut(t *testing.T) {
+	eng, net, n0, _, _, m1 := newPair(t)
+	m1.Allocate(7, 64)
+	net.CutLink(1, 0)
+
+	var err error
+	done := false
+	n0.Write(1, 7, 0, []byte("ghost"), func(e error) { err, done = e, true })
+	eng.Run()
+	if !done || !errors.Is(err, ErrTimeout) {
+		t.Fatalf("initiator: done=%v err=%v, want ErrTimeout", done, err)
+	}
+	if string(m1.Region(7)[:5]) != "ghost" {
+		t.Fatal("write should have landed at the destination despite the lost completion")
+	}
+	if net.Counters.Get("completion_lost") == 0 {
+		t.Fatal("completion_lost counter not incremented")
+	}
+}
+
+// TestRxCutIsolatesInbound: RxCut on machine 1 blocks traffic TO it but
+// not FROM it — the send-but-not-receive gray failure.
+func TestRxCutIsolatesInbound(t *testing.T) {
+	eng, net, n0, n1, m0, m1 := newPair(t)
+	m0.Allocate(1, 64)
+	m1.Allocate(1, 64)
+	net.SetMachineFault(1, MachineFault{RxCut: true})
+
+	var errIn, errOut error
+	n0.Read(1, 1, 0, 8, func(_ []byte, err error) { errIn = err })
+	n1.Read(0, 1, 0, 8, func(_ []byte, err error) { errOut = err })
+	eng.Run()
+	if !errors.Is(errIn, ErrTimeout) {
+		t.Fatalf("inbound verb: %v, want ErrTimeout", errIn)
+	}
+	// 1's outbound request reaches 0, but the completion back into 1 hits
+	// its own RxCut — a machine that cannot receive learns nothing.
+	if !errors.Is(errOut, ErrTimeout) {
+		t.Fatalf("outbound verb completion: %v, want ErrTimeout", errOut)
+	}
+
+	// Sends FROM 1 must still deliver.
+	heard := false
+	n0.SetMessageHandler(func(src MachineID, msg interface{}) { heard = true })
+	n1.Send(0, "still alive")
+	eng.Run()
+	if !heard {
+		t.Fatal("RxCut must not block the machine's outbound sends")
+	}
+}
+
+// TestLinkDelayInflatesLatency: a fixed per-link delay shows up in verb
+// completion time, in one direction only.
+func TestLinkDelayInflatesLatency(t *testing.T) {
+	eng, net, n0, n1, m0, m1 := newPair(t)
+	m0.Allocate(1, 64)
+	m1.Allocate(1, 64)
+
+	measure := func(c *NIC, dst MachineID) sim.Time {
+		start := eng.Now()
+		var end sim.Time
+		c.Read(dst, 1, 0, 8, func(_ []byte, err error) {
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			end = eng.Now()
+		})
+		eng.Run()
+		return end - start
+	}
+	base01 := measure(n0, 1)
+	const extra = 100 * sim.Microsecond
+	if base01 >= extra {
+		t.Fatalf("baseline %v already exceeds the injected delay", base01)
+	}
+	net.SetLinkFault(0, 1, LinkFault{Delay: sim.Fixed(extra)})
+	slow01 := measure(n0, 1)
+	slow10 := measure(n1, 0) // completion leg 0→1 is the faulted one
+	if slow01 < extra {
+		t.Fatalf("0→1 with delay: %v, want ≥ %v", slow01, extra)
+	}
+	if slow10 < extra {
+		t.Fatalf("1→0 (completion crosses faulted leg): %v, want ≥ %v", slow10, extra)
+	}
+}
+
+// TestDropAndDupApplyToSendsOnly: DropProb=1 kills every reliable send on
+// the link but must leave one-sided verbs untouched.
+func TestDropAndDupApplyToSendsOnly(t *testing.T) {
+	eng, net, n0, _, _, m1 := newPair(t)
+	m1.Allocate(1, 64)
+	net.SetLinkFault(0, 1, LinkFault{DropProb: 1})
+
+	heard := 0
+	nic1 := net.NIC(1)
+	nic1.SetMessageHandler(func(MachineID, interface{}) { heard++ })
+	for i := 0; i < 5; i++ {
+		n0.Send(1, i)
+	}
+	var verbErr error
+	n0.Read(1, 1, 0, 8, func(_ []byte, err error) { verbErr = err })
+	eng.Run()
+	if heard != 0 {
+		t.Fatalf("heard %d sends through DropProb=1 link", heard)
+	}
+	if verbErr != nil {
+		t.Fatalf("one-sided verb must not be dropped by DropProb: %v", verbErr)
+	}
+	if net.Counters.Get("fault_send_dropped") != 5 {
+		t.Fatalf("fault_send_dropped = %d, want 5", net.Counters.Get("fault_send_dropped"))
+	}
+
+	net.SetLinkFault(0, 1, LinkFault{DupProb: 1})
+	for i := 0; i < 3; i++ {
+		n0.Send(1, i)
+	}
+	eng.Run()
+	if heard != 6 {
+		t.Fatalf("heard %d sends through DupProb=1 link, want 6", heard)
+	}
+}
+
+// TestDegradedNICSlowsVerbs: gray failure — a big OpTimeFactor and tiny
+// BandwidthFactor on machine 1 visibly inflate verb latency without any
+// failure being reported.
+func TestDegradedNICSlowsVerbs(t *testing.T) {
+	eng, net, n0, _, _, m1 := newPair(t)
+	m1.Allocate(1, 4096)
+
+	measure := func() sim.Time {
+		start := eng.Now()
+		var end sim.Time
+		n0.Read(1, 1, 0, 4096, func(_ []byte, err error) {
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			end = eng.Now()
+		})
+		eng.Run()
+		return end - start
+	}
+	base := measure()
+	net.SetMachineFault(1, MachineFault{
+		OpTimeFactor:    1000,
+		BandwidthFactor: 0.01,
+		ExtraDelay:      sim.Fixed(50 * sim.Microsecond),
+	})
+	slow := measure()
+	if slow < 2*base {
+		t.Fatalf("degraded NIC: %v vs healthy %v, want clearly slower", slow, base)
+	}
+	net.ClearMachineFault(1)
+	if again := measure(); again > 2*base {
+		t.Fatalf("after ClearMachineFault still slow: %v vs %v", again, base)
+	}
+}
+
+// TestClearFaultsRestoresEverything: ClearFaults drops link faults, machine
+// faults and partitions in one call.
+func TestClearFaultsRestoresEverything(t *testing.T) {
+	eng, net, n0, _, _, m1 := newPair(t)
+	m1.Allocate(1, 64)
+	net.CutLink(0, 1)
+	net.SetMachineFault(1, MachineFault{RxCut: true})
+	net.SetPartition(map[MachineID]int{0: 1})
+	if net.FaultCount() != 2 {
+		t.Fatalf("FaultCount = %d, want 2", net.FaultCount())
+	}
+	net.ClearFaults()
+	if net.FaultCount() != 0 {
+		t.Fatalf("FaultCount after clear = %d", net.FaultCount())
+	}
+	var err error
+	done := false
+	n0.Read(1, 1, 0, 8, func(_ []byte, e error) { err, done = e, true })
+	eng.Run()
+	if !done || err != nil {
+		t.Fatalf("after ClearFaults: done=%v err=%v", done, err)
+	}
+}
+
+// TestFaultsAreDeterministic: two networks driven identically with the same
+// seed and probabilistic faults produce identical counters.
+func TestFaultsAreDeterministic(t *testing.T) {
+	run := func() map[string]uint64 {
+		eng := sim.NewEngine(7)
+		net := NewNetwork(eng, Options{})
+		s0, s1 := nvram.NewStore(), nvram.NewStore()
+		s1.Allocate(1, 64)
+		n0 := net.AddMachine(0, s0)
+		net.AddMachine(1, s1)
+		net.SetLinkFault(0, 1, LinkFault{
+			DropProb: 0.3,
+			DupProb:  0.3,
+			Delay:    sim.Uniform(0, 20*sim.Microsecond),
+		})
+		for i := 0; i < 50; i++ {
+			n0.Send(1, i)
+		}
+		eng.Run()
+		return map[string]uint64{
+			"dropped": net.Counters.Get("fault_send_dropped"),
+			"dup":     net.Counters.Get("fault_send_dup"),
+		}
+	}
+	a, b := run(), run()
+	if a["dropped"] != b["dropped"] || a["dup"] != b["dup"] {
+		t.Fatalf("same seed, different fault decisions: %v vs %v", a, b)
+	}
+	if a["dropped"] == 0 || a["dup"] == 0 {
+		t.Fatalf("probabilistic faults never fired: %v", a)
+	}
+}

@@ -1,0 +1,98 @@
+package ring
+
+import (
+	"bytes"
+	"testing"
+
+	"farm/internal/fabric"
+	"farm/internal/nvram"
+	"farm/internal/sim"
+)
+
+// retryRig is like rig but keeps the network so tests can cut links.
+type retryRig struct {
+	eng *sim.Engine
+	net *fabric.Network
+	w   *Writer
+	r   *Reader
+	mem []byte
+}
+
+func newRetryRig(t *testing.T) *retryRig {
+	t.Helper()
+	eng := sim.NewEngine(5)
+	net := fabric.NewNetwork(eng, fabric.Options{})
+	m0, m1 := nvram.NewStore(), nvram.NewStore()
+	n0 := net.AddMachine(0, m0)
+	net.AddMachine(1, m1)
+	mem, err := m1.Allocate(100, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &retryRig{eng: eng, net: net, w: NewWriter(n0, 1, 100, 4096), r: NewReader(mem), mem: mem}
+}
+
+// TestAppendRetransmitsThroughTransientCut: frames appended during a
+// one-way cut leave a hole the reader stalls at; retransmission fills it
+// once the link heals and the reader proceeds in append order.
+func TestAppendRetransmitsThroughTransientCut(t *testing.T) {
+	g := newRetryRig(t)
+	if !g.w.Append([]byte("before"), -1, nil) {
+		t.Fatal("append failed")
+	}
+	g.eng.Run()
+
+	g.net.CutLink(0, 1)
+	var errB, errC error
+	ackB, ackC := false, false
+	g.w.Append([]byte("during-1"), -1, func(err error) { errB, ackB = err, true })
+	g.w.Append([]byte("during-2"), -1, func(err error) { errC, ackC = err, true })
+	g.eng.After(5*sim.Millisecond, func() { g.net.HealLink(0, 1) })
+	g.eng.Run()
+
+	if !ackB || errB != nil || !ackC || errC != nil {
+		t.Fatalf("retransmitted frames must eventually ack: B=%v/%v C=%v/%v", ackB, errB, ackC, errC)
+	}
+	frames := g.r.Poll()
+	want := [][]byte{[]byte("before"), []byte("during-1"), []byte("during-2")}
+	if len(frames) != len(want) {
+		t.Fatalf("polled %d frames, want %d", len(frames), len(want))
+	}
+	for i, f := range frames {
+		if !bytes.Equal(f.Payload, want[i]) {
+			t.Fatalf("frame %d = %q, want %q", i, f.Payload, want[i])
+		}
+	}
+}
+
+// TestRetriesExhaustAgainstDeadLink: if the cut outlives the whole retry
+// span the final error surfaces to the append callback.
+func TestRetriesExhaustAgainstDeadLink(t *testing.T) {
+	g := newRetryRig(t)
+	g.net.CutLink(0, 1)
+	var got error
+	done := false
+	g.w.Append([]byte("doomed"), -1, func(err error) { got, done = err, true })
+	g.eng.Run()
+	if !done || got == nil {
+		t.Fatalf("want surfaced error after retry exhaustion, got done=%v err=%v", done, got)
+	}
+}
+
+// TestClosedWriterStopsRetrying: Close during the retry window must stop
+// the retransmission so a stale writer cannot touch a re-created ring.
+func TestClosedWriterStopsRetrying(t *testing.T) {
+	g := newRetryRig(t)
+	g.net.CutLink(0, 1)
+	g.w.Append([]byte("stale"), -1, nil)
+	g.eng.After(2*sim.Millisecond, func() {
+		g.w.Close()
+		g.net.HealLink(0, 1)
+	})
+	g.eng.Run()
+	for i, b := range g.mem {
+		if b != 0 {
+			t.Fatalf("closed writer still wrote ring byte %d", i)
+		}
+	}
+}

@@ -9,35 +9,45 @@
 // guaranteed to fit, because the receiver's CPU is not involved and cannot
 // push back.
 //
-// Frame format (all sizes multiples of 8):
+// Frame format (all sizes multiples of 16):
 //
-//	[u32 payload length][u32 magic][payload][padding to 8]
+//	[u32 payload length][u32 magic][u64 psn][payload][padding to 16]
 //
 // A frame lands atomically (one RDMA write), so a valid magic implies a
 // complete frame. A wrap marker (magic wrapMagic) tells the reader to skip
 // to offset 0. Truncated frames are zeroed so the reader never misparses
 // stale bytes after the buffer wraps.
+//
+// The psn (packet sequence number) plays the role of RC transport
+// sequencing: the writer stamps frames with a per-ring counter and the
+// reader accepts a frame only when its psn is the next expected, exactly
+// like an RDMA NIC dropping duplicate PSNs. This makes sender-side
+// retransmission safe — a retry of a frame whose first landing was already
+// processed (only the completion was lost) parses as a stale duplicate and
+// is zeroed instead of being applied twice.
 package ring
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"farm/internal/fabric"
 	"farm/internal/nvram"
+	"farm/internal/sim"
 )
 
 const (
 	frameMagic  = 0xFA12FA12
 	wrapMagic   = 0xFA12FFFF
-	headerBytes = 8
+	headerBytes = 16
 )
 
-func pad8(n int) int { return (n + 7) &^ 7 }
+func pad16(n int) int { return (n + 15) &^ 15 }
 
 // FrameBytes returns the ring space consumed by a payload of n bytes —
 // what a reservation for that payload must cover.
-func FrameBytes(n int) int { return headerBytes + pad8(n) }
+func FrameBytes(n int) int { return headerBytes + pad16(n) }
 
 // Writer is the sender half of a ring. It tracks the tail and free space
 // locally; the receiver's consumption is learned asynchronously through
@@ -52,13 +62,33 @@ type Writer struct {
 	appended uint64 // total bytes ever appended (frames + wrap padding)
 	consumed uint64 // total bytes the receiver reported truncated
 	reserved int    // bytes promised to reservations not yet written
+	psn      uint64 // next frame's packet sequence number
+	closed   bool   // Close() called: no further writes or retries
 }
+
+// Retransmission of timed-out frame writes. An RC connection delivers
+// writes in order or not at all, so a frame that timed out during a
+// transient fault (one-way cut, flap) left a hole the reader's parse()
+// stalls at — everything behind it is invisible until the hole is filled.
+// Two guards make re-writing the same frame at the same offset safe:
+// the reader's psn check discards a retry whose first landing was already
+// processed (only the completion leg was lost), and a retry is cancelled —
+// counted as delivered — once the receiver's truncation watermark passes
+// the frame, since truncation implies processing and the slot may by then
+// hold a newer frame the retry must not clobber. The retry span (~130 ms
+// with these constants) comfortably outlives nemesis fault episodes; a
+// destination that is genuinely dead fails every attempt and the final
+// error surfaces to cb as before.
+const (
+	writeRetries    = 7
+	writeRetryDelay = sim.Millisecond // doubles per attempt: ~127 ms total span
+)
 
 // NewWriter creates the sender side of the ring stored in (dst, region)
 // with the given byte capacity. Capacity must be a multiple of 8 and large
 // enough for at least one maximal frame.
 func NewWriter(nic *fabric.NIC, dst fabric.MachineID, region nvram.RegionID, capacity int) *Writer {
-	if capacity%8 != 0 || capacity < 64 {
+	if capacity%16 != 0 || capacity < 64 {
 		panic(fmt.Sprintf("ring: bad capacity %d", capacity))
 	}
 	return &Writer{nic: nic, dst: dst, region: region, capacity: capacity}
@@ -119,21 +149,61 @@ func (w *Writer) Append(payload []byte, reservedSize int, cb func(error)) bool {
 	frame := make([]byte, need)
 	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
 	binary.LittleEndian.PutUint32(frame[4:], frameMagic)
+	binary.LittleEndian.PutUint64(frame[8:], w.psn)
+	w.psn++
 	copy(frame[headerBytes:], payload)
 	off := w.tail
 	w.tail = (w.tail + need) % w.capacity
 	w.appended += uint64(need)
-	w.nic.Write(w.dst, w.region, off, frame, cb)
+	w.writeFrame(off, frame, w.appended, 0, cb)
 	return true
 }
+
+// writeFrame issues the frame's RDMA write and retries timeouts in place
+// with doubling backoff. end is the writer's cumulative appended counter
+// after this frame: once the receiver's truncation watermark reaches it the
+// frame was provably processed, so a pending retry reports success instead
+// of firing (the slot may already hold a newer frame). Other errors (bad
+// address = the ring is gone) and exhausted retries surface to cb.
+func (w *Writer) writeFrame(off int, frame []byte, end uint64, attempt int, cb func(error)) {
+	if w.closed {
+		return
+	}
+	if w.consumed >= end {
+		if cb != nil {
+			cb(nil)
+		}
+		return
+	}
+	w.nic.Write(w.dst, w.region, off, frame, func(err error) {
+		if err == nil || !errors.Is(err, fabric.ErrTimeout) || attempt >= writeRetries || w.closed {
+			if cb != nil {
+				cb(err)
+			}
+			return
+		}
+		backoff := writeRetryDelay << attempt
+		w.nic.Engine().After(backoff, func() {
+			w.writeFrame(off, frame, end, attempt+1, cb)
+		})
+	})
+}
+
+// Close permanently disables the writer: pending retries stop and further
+// appends are dropped. Hosts close a writer when they replace it (ring
+// re-establishment after a power cycle), so a stale writer's retries can
+// never corrupt the re-created ring.
+func (w *Writer) Close() { w.closed = true }
 
 func (w *Writer) writeWrapMarker() {
 	skip := w.capacity - w.tail
 	marker := make([]byte, headerBytes)
 	binary.LittleEndian.PutUint32(marker, uint32(skip))
 	binary.LittleEndian.PutUint32(marker[4:], wrapMagic)
-	w.nic.Write(w.dst, w.region, w.tail, marker, nil)
+	binary.LittleEndian.PutUint64(marker[8:], w.psn)
+	w.psn++
 	w.appended += uint64(skip)
+	w.writeFrame(w.tail, marker, w.appended, 0, nil)
 	w.tail = 0
 }
 
@@ -180,6 +250,7 @@ type Reader struct {
 	head     int // truncation head: first byte of first retained frame
 	scan     int // parse head: next byte to parse
 	nextSeq  uint64
+	nextPSN  uint64   // next expected writer psn (duplicate drop)
 	frames   []*Frame // retained (parsed, not yet reclaimed), in order
 	polled   int      // how many of frames were returned by Poll already
 	consumed uint64   // cumulative truncated bytes (reported to writer)
@@ -193,7 +264,10 @@ func NewReader(mem []byte) *Reader {
 	return &Reader{mem: mem}
 }
 
-// parse advances over newly landed frames.
+// parse advances over newly landed frames. A frame whose psn is not the
+// next expected is a stale retransmission resurrected in a reclaimed slot
+// (its first landing was processed and truncated); it is zeroed — the RC
+// duplicate drop — and the parser waits for the live frame to land there.
 func (r *Reader) parse() {
 	for {
 		if r.scan+headerBytes > len(r.mem) {
@@ -202,28 +276,50 @@ func (r *Reader) parse() {
 		}
 		length := binary.LittleEndian.Uint32(r.mem[r.scan:])
 		magic := binary.LittleEndian.Uint32(r.mem[r.scan+4:])
+		psn := binary.LittleEndian.Uint64(r.mem[r.scan+8:])
 		switch magic {
 		case wrapMagic:
+			if psn != r.nextPSN {
+				r.zero(r.scan, headerBytes)
+				return
+			}
 			// Wrap marker: account its span and restart at 0. It is
 			// reclaimed like a frame, in order.
 			f := &Frame{Seq: r.nextSeq, off: r.scan, size: int(length), gone: true}
 			r.nextSeq++
+			r.nextPSN++
 			r.frames = append(r.frames, f)
 			r.scan = 0
 		case frameMagic:
-			size := headerBytes + pad8(int(length))
+			size := headerBytes + pad16(int(length))
 			if r.scan+size > len(r.mem) {
 				return // torn/garbage; wait
+			}
+			if psn != r.nextPSN {
+				r.zero(r.scan, size)
+				return
 			}
 			payload := make([]byte, length)
 			copy(payload, r.mem[r.scan+headerBytes:])
 			f := &Frame{Seq: r.nextSeq, Payload: payload, off: r.scan, size: size}
 			r.nextSeq++
+			r.nextPSN++
 			r.frames = append(r.frames, f)
 			r.scan += size
 		default:
 			return // nothing (or not yet) here
 		}
+	}
+}
+
+// zero clears a stale frame's span so its bytes cannot re-parse.
+func (r *Reader) zero(off, size int) {
+	end := off + size
+	if end > len(r.mem) {
+		end = len(r.mem)
+	}
+	for i := off; i < end; i++ {
+		r.mem[i] = 0
 	}
 }
 

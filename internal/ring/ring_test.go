@@ -276,7 +276,7 @@ func TestRingFIFOQuick(t *testing.T) {
 }
 
 func TestFrameBytes(t *testing.T) {
-	cases := map[int]int{0: 8, 1: 16, 8: 16, 9: 24, 40: 48}
+	cases := map[int]int{0: 16, 1: 32, 8: 32, 9: 32, 40: 64}
 	for n, want := range cases {
 		if got := FrameBytes(n); got != want {
 			t.Errorf("FrameBytes(%d) = %d, want %d", n, got, want)

@@ -1,0 +1,68 @@
+package sim
+
+// DistKind selects the shape of a DelayDist.
+type DistKind int
+
+const (
+	// DistNone is the zero value: Sample always returns 0.
+	DistNone DistKind = iota
+	// DistFixed returns exactly Base.
+	DistFixed
+	// DistUniform returns Base plus a uniform draw in [0, Spread).
+	DistUniform
+	// DistExp returns Base plus an exponential draw with mean Spread,
+	// capped at Base + 8*Spread so one unlucky sample cannot stall the
+	// simulation for an unbounded stretch.
+	DistExp
+)
+
+// DelayDist is a parameterized delay distribution. The nemesis layer uses
+// it for per-link extra latency and degraded-NIC slowdowns; anything else
+// that needs a seeded, replayable delay model can share it. The zero value
+// means "no delay".
+type DelayDist struct {
+	Kind   DistKind
+	Base   Time
+	Spread Time
+}
+
+// Fixed returns a distribution that always yields d.
+func Fixed(d Time) DelayDist { return DelayDist{Kind: DistFixed, Base: d} }
+
+// Uniform returns a distribution over [lo, hi).
+func Uniform(lo, hi Time) DelayDist {
+	if hi < lo {
+		hi = lo
+	}
+	return DelayDist{Kind: DistUniform, Base: lo, Spread: hi - lo}
+}
+
+// Exp returns a distribution of base plus an exponential tail with the
+// given mean.
+func Exp(base, mean Time) DelayDist { return DelayDist{Kind: DistExp, Base: base, Spread: mean} }
+
+// Zero reports whether the distribution never yields a positive delay.
+func (d DelayDist) Zero() bool {
+	return d.Kind == DistNone || (d.Base <= 0 && (d.Kind == DistFixed || d.Spread <= 0))
+}
+
+// Sample draws one delay. It never returns a negative Time.
+func (d DelayDist) Sample(r *Rand) Time {
+	var out Time
+	switch d.Kind {
+	case DistFixed:
+		out = d.Base
+	case DistUniform:
+		out = d.Base + r.Duration(d.Spread)
+	case DistExp:
+		tail := Time(float64(d.Spread) * r.ExpFloat64())
+		if cap := 8 * d.Spread; tail > cap {
+			tail = cap
+		}
+		out = d.Base + tail
+	}
+	if out < 0 {
+		out = 0
+	}
+	return out
+}
