@@ -1,10 +1,11 @@
 # Convenience targets; everything is stdlib-only `go` commands.
 
-.PHONY: check test bench figures chaos examples vet race
+.PHONY: check test bench figures chaos examples vet race trace
 
-# Default CI gate: static checks, the full suite, the race detector, then
-# a multi-seed nemesis campaign with every fault kind enabled.
-check: vet test race chaos
+# Default CI gate: static checks, the full suite, the race detector, a
+# multi-seed nemesis campaign with every fault kind enabled, then traced
+# smoke runs whose exports are schema-validated.
+check: vet test race chaos trace
 
 test:
 	go test ./...
@@ -25,6 +26,14 @@ chaos:
 	go run ./cmd/farm-chaos -runs 20
 	go run ./cmd/farm-chaos -replay 1
 	go test -race -run TestRunIsDeterministic ./internal/chaos
+
+# Traced smoke runs: a fault-free bank run and a Figure 9 recovery run,
+# each exported as Chrome trace_event JSON and schema-validated by the
+# tool itself (-check, on by default) — the recovery run must contain
+# every commit phase and every §5 recovery step.
+trace:
+	go run ./cmd/farm-trace -seed 1 -workload bank -sample 8 -out /tmp/farm-trace-bank.json
+	go run ./cmd/farm-trace -seed 1 -workload recovery -out /tmp/farm-trace-recovery.json
 
 examples:
 	go run ./examples/quickstart

@@ -1,7 +1,8 @@
 // Recovery: reproduce the Figure 9 experiment interactively — run TATP,
-// kill a machine, and watch the throughput timeline and recovery
+// kill a machine, and watch the throughput timeline, the recovery
 // milestones (suspect → probe → Zookeeper → config-commit → all-active →
-// paced data recovery).
+// paced data recovery), and the traced causality timeline assembled from
+// every machine's span buffer.
 package main
 
 import (
@@ -10,6 +11,7 @@ import (
 
 	"farm/internal/exper"
 	"farm/internal/sim"
+	"farm/internal/trace"
 )
 
 func main() {
@@ -22,6 +24,7 @@ func main() {
 	spec.Lease = 10 * sim.Millisecond // the paper's configuration (§6.1)
 	spec.WarmFor = 50 * sim.Millisecond
 	spec.RunFor = 600 * sim.Millisecond
+	spec.Trace = trace.Options{Enabled: true}
 
 	fmt.Printf("running TATP on %d machines, killing the most-loaded non-CM machine after %v of load...\n\n",
 		sc.Machines, spec.WarmFor)
@@ -51,4 +54,10 @@ func main() {
 	for _, r := range run.RegionsRecovered {
 		fmt.Printf("  +%8v  %d regions\n", r.After, r.Count)
 	}
+
+	// The traced view of the same run: per-phase span durations and the
+	// cross-machine recovery timeline (use cmd/farm-trace to dump the full
+	// Chrome trace_event JSON for chrome://tracing).
+	fmt.Println("\ntraced recovery timeline:")
+	fmt.Print(run.TraceReport)
 }

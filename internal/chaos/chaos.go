@@ -24,6 +24,7 @@ import (
 	"farm/internal/loadgen"
 	"farm/internal/proto"
 	"farm/internal/sim"
+	"farm/internal/trace"
 )
 
 // Config parameterizes a chaos campaign.
@@ -54,6 +55,9 @@ type Config struct {
 	MaxKills int
 	Lease    sim.Time
 	Seed     uint64
+	// Trace enables causality tracing for the run; the merged Chrome
+	// trace_event JSON lands in Result.TraceJSON.
+	Trace trace.Options
 }
 
 // DefaultConfig returns a campaign tuned to finish one run in a few wall
@@ -95,6 +99,10 @@ type Result struct {
 	Timeline []string
 	// Violations lists invariant failures (empty = clean run).
 	Violations []string
+	// TraceJSON is the exported causality trace (nil unless Config.Trace
+	// enabled it). Included in the determinism contract: the same seed
+	// must reproduce it byte for byte.
+	TraceJSON []byte
 }
 
 // Faults is the total number of injected fault episodes.
@@ -349,7 +357,7 @@ func schedule(n *nemesisCtx) []Nemesis {
 // Run executes one chaos run.
 func Run(cfg Config) Result {
 	res := Result{Seed: cfg.Seed}
-	opts := core.Options{NumMachines: cfg.Machines, Seed: cfg.Seed, LeaseDuration: cfg.Lease}
+	opts := core.Options{NumMachines: cfg.Machines, Seed: cfg.Seed, LeaseDuration: cfg.Lease, Trace: cfg.Trace}
 	c := core.New(opts)
 	if _, err := c.CreateRegions(0, 3, 0); err != nil {
 		res.Violations = append(res.Violations, "setup: "+err.Error())
@@ -477,6 +485,9 @@ func Run(cfg Config) Result {
 	c.ClearNetworkFaults()
 	c.RunFor(500 * sim.Millisecond)
 	res.Commits, res.Aborts = commits, aborts
+	if c.Tracer != nil {
+		res.TraceJSON = c.Tracer.Export()
+	}
 
 	// --- Audits ---
 	if len(c.LostRegions) > 0 {

@@ -1,10 +1,12 @@
 package chaos
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 
 	"farm/internal/sim"
+	"farm/internal/trace"
 )
 
 // TestRunIsDeterministic replays one faulted run twice in the same process
@@ -22,6 +24,30 @@ func TestRunIsDeterministic(t *testing.T) {
 	}
 	if a.Faults() == 0 {
 		t.Fatalf("determinism check exercised no faults: %v", a)
+	}
+
+	// The traced variant is held to the same standard, one notch stricter:
+	// the exported Chrome JSON must replay byte for byte, and enabling
+	// tracing must not perturb the protocol (identical commit/abort counts
+	// and fault timeline as the untraced run of the same seed).
+	cfg.Trace = trace.Options{Enabled: true}
+	ta := Run(cfg)
+	tb := Run(cfg)
+	if !bytes.Equal(ta.TraceJSON, tb.TraceJSON) {
+		t.Fatalf("same seed, different trace JSON (%d vs %d bytes)", len(ta.TraceJSON), len(tb.TraceJSON))
+	}
+	if len(ta.TraceJSON) == 0 {
+		t.Fatalf("traced run exported no JSON")
+	}
+	if err := trace.Validate(ta.TraceJSON, nil); err != nil {
+		t.Fatalf("trace JSON invalid: %v", err)
+	}
+	if ta.Commits != a.Commits || ta.Aborts != a.Aborts {
+		t.Fatalf("tracing changed protocol outcomes: commits %d→%d aborts %d→%d",
+			a.Commits, ta.Commits, a.Aborts, ta.Aborts)
+	}
+	if !reflect.DeepEqual(ta.Timeline, a.Timeline) {
+		t.Fatalf("tracing changed the fault timeline:\n  %v\n  %v", a.Timeline, ta.Timeline)
 	}
 }
 

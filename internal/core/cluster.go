@@ -7,6 +7,7 @@ import (
 	"farm/internal/proto"
 	"farm/internal/sim"
 	"farm/internal/stats"
+	"farm/internal/trace"
 	"farm/internal/zk"
 )
 
@@ -46,6 +47,12 @@ type Cluster struct {
 	Trace             []TraceEvent
 	RegionRecoveredAt map[uint32]sim.Time
 
+	// Tracer is the causality-tracing buffer set (nil unless
+	// Opts.Trace.Enabled). Cluster-level milestones and fault injections
+	// are mirrored into its cluster buffer so they annotate the same
+	// timeline as the protocol spans.
+	Tracer *trace.Set
+
 	// LostRegions lists regions that lost all replicas (a fatal condition
 	// the CM signals, §5.2 step 4).
 	LostRegions []uint32
@@ -68,6 +75,10 @@ func New(opts Options) *Cluster {
 		RegionRecoveredAt: make(map[uint32]sim.Time),
 	}
 
+	if opts.Trace.Enabled {
+		c.Tracer = trace.NewSet(opts.Trace, opts.NumMachines)
+	}
+
 	cfg := proto.Config{ID: 1, CM: 0, Domains: make(map[uint16]int)}
 	for i := 0; i < opts.NumMachines; i++ {
 		cfg.Machines = append(cfg.Machines, uint16(i))
@@ -82,6 +93,7 @@ func New(opts Options) *Cluster {
 	for i := 0; i < opts.NumMachines; i++ {
 		m := c.newMachine(i)
 		m.config = cfg
+		m.trb = c.Tracer.Machine(i)
 		c.Machines = append(c.Machines, m)
 	}
 	for _, m := range c.Machines {
@@ -239,10 +251,18 @@ func (c *Cluster) CreateRegions(from, n int, hint uint32) ([]uint32, error) {
 	return out, nil
 }
 
-// trace appends a recovery milestone.
+// trace appends a recovery milestone, mirrored as a fault/milestone
+// annotation onto the causality timeline when tracing is enabled.
 func (c *Cluster) trace(event string, machine, arg int) {
 	if len(c.Trace) < 100000 {
 		c.Trace = append(c.Trace, TraceEvent{At: c.Eng.Now(), Event: event, Machine: machine, Arg: arg})
+	}
+	if c.Tracer != nil {
+		b := c.Tracer.Machine(machine)
+		if b == nil {
+			b = c.Tracer.Cluster()
+		}
+		b.Event("fault", event, c.Eng.Now(), 0, 0, int64(arg))
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"farm/internal/proto"
 	"farm/internal/regionmem"
 	"farm/internal/sim"
+	"farm/internal/trace"
 )
 
 // maxPiggyIDs bounds how many truncation ids one record carries; the
@@ -64,6 +65,36 @@ type coordTx struct {
 	// truncRemaining tracks participants that have not yet had this
 	// transaction's truncation delivered.
 	truncRemaining map[int]bool
+
+	// traceCtx is a copy of the transaction's root span context (it
+	// survives the root span closing at the commit report, because the
+	// TRUNCATE phase outlives it); phaseCtx is the currently open commit-
+	// phase child span; truncCtx covers queueing → delivery of truncation.
+	traceCtx trace.Ctx
+	phaseCtx trace.Ctx
+	truncCtx trace.Ctx
+}
+
+// beginPhase opens the named commit-phase child span, closing whichever
+// phase span was open (phases are strictly sequential, §4). No-ops for
+// untraced transactions.
+func (m *Machine) beginPhase(ct *coordTx, name string) {
+	if !ct.traceCtx.Valid() {
+		return
+	}
+	now := m.c.Eng.Now()
+	if ct.phaseCtx.Valid() {
+		m.trb.End(ct.phaseCtx, now, 0)
+	}
+	ct.phaseCtx = m.trb.Begin("tx", name, now, ct.traceCtx.Trace, ct.traceCtx.Span, 0)
+}
+
+// endPhase closes the open commit-phase span, if any.
+func (m *Machine) endPhase(ct *coordTx) {
+	if ct.phaseCtx.Valid() {
+		m.trb.End(ct.phaseCtx, m.c.Eng.Now(), 0)
+		ct.phaseCtx = trace.Ctx{}
+	}
 }
 
 // Commit runs the four-phase commit protocol of §4 / Figure 4 and reports
@@ -88,6 +119,12 @@ func (t *Tx) Commit(cb func(err error)) {
 		t.finished = false
 		m.clientQueue = append(m.clientQueue, func() { t.Commit(cb) })
 		return
+	}
+
+	if t.ctx.Valid() {
+		// Close the root trace span on whatever path reports the outcome.
+		inner := cb
+		cb = func(err error) { t.endTxSpan(err); inner(err) }
 	}
 
 	if len(t.writes) == 0 {
@@ -166,6 +203,8 @@ func (t *Tx) Commit(cb func(err error)) {
 	m.c.Counters.Inc("tx_commit_started", 1)
 	ct.phase = phaseLock
 	ct.lastProgress = m.c.Eng.Now()
+	ct.traceCtx = t.ctx
+	m.beginPhase(ct, "LOCK")
 	m.sendLocks(ct)
 }
 
@@ -396,6 +435,7 @@ func (m *Machine) onLockReply(reply *proto.LockReply) {
 // unused reservations, and reports the conflict (§4 step 1).
 func (m *Machine) abortTx(ct *coordTx, err error) {
 	ct.phase = phaseDone
+	m.endPhase(ct)
 	delete(m.inflight, ct.id)
 	ct.tx.releaseAllocs()
 	acks := len(ct.primWrites)
@@ -444,6 +484,7 @@ func (ct *coordTx) primariesOnly() []int {
 // version words of all read-but-not-written objects, switching to RPC for
 // primaries holding more than tr of them.
 func (m *Machine) validate(ct *coordTx) {
+	m.beginPhase(ct, "VALIDATE")
 	t := ct.tx
 	byPrimary := make(map[int][]*readEntry)
 	for _, addr := range addrKeys(t.reads) {
@@ -503,13 +544,15 @@ func (m *Machine) validate(ct *coordTx) {
 				})
 			}
 		case len(entries) > m.c.Opts.ValidateRPCThreshold:
-			// Validation over RPC (Table 2 VALIDATE).
+			// Validation over RPC (Table 2 VALIDATE). The phase span's
+			// context rides along, so the primary's work and its reply are
+			// parented on this validation.
 			req := &proto.ValidateReq{Tx: ct.id}
 			for _, r := range entries {
 				req.Addrs = append(req.Addrs, r.addr)
 				req.Versions = append(req.Versions, r.version)
 			}
-			m.sendFromThread(t.thread, pm, req)
+			m.sendFromThreadCtx(t.thread, pm, req, ct.phaseCtx)
 		default:
 			for _, r := range entries {
 				r := r
@@ -561,6 +604,7 @@ func (m *Machine) onValidateReply(reply *proto.ValidateReply) {
 // non-volatile log and waits for all hardware acks, without interrupting
 // any backup CPU (§4 step 3).
 func (m *Machine) commitBackups(ct *coordTx) {
+	m.beginPhase(ct, "COMMIT-BACKUP")
 	if len(ct.backupWrites) == 0 {
 		ct.phase = phaseCommitPrimary
 		m.commitPrimaries(ct)
@@ -605,6 +649,7 @@ func (m *Machine) commitBackups(ct *coordTx) {
 // the application on the first hardware ack (§4 step 4). Truncation is
 // queued once all primaries acked (§4 step 5).
 func (m *Machine) commitPrimaries(ct *coordTx) {
+	m.beginPhase(ct, "COMMIT-PRIMARY")
 	ct.cpOutstanding = len(ct.primWrites)
 	for _, pm := range intKeys(ct.primWrites) {
 		pm := pm
@@ -631,6 +676,7 @@ func (m *Machine) commitPrimaries(ct *coordTx) {
 				ct.cpOutstanding--
 				if ct.cpOutstanding == 0 {
 					ct.phase = phaseDone
+					m.endPhase(ct)
 					delete(m.inflight, ct.id)
 					m.queueTruncation(ct, ct.participants)
 				}
@@ -719,7 +765,7 @@ func (t *Tx) validateReadOnly(cb func(error)) {
 			m.rpcWaiters[id] = func(resp interface{}) {
 				finish(resp.(*proto.ValidateReply).OK)
 			}
-			m.sendFromThread(t.thread, pm, &rpcEnvelope{ID: id, From: m.ID, Body: req})
+			m.sendFromThread(t.thread, pm, &rpcEnvelope{ID: id, From: m.ID, Body: req, Ctx: t.ctx})
 		default:
 			for _, r := range entries {
 				r := r

@@ -29,6 +29,7 @@ import (
 	"farm/internal/fabric"
 	"farm/internal/regionmem"
 	"farm/internal/sim"
+	"farm/internal/trace"
 )
 
 // Transaction outcome errors.
@@ -178,6 +179,12 @@ type Options struct {
 	// PollDelay models the gap between a log write landing and the
 	// receiver's event loop noticing it.
 	PollDelay sim.Time
+
+	// Trace configures the deterministic causality tracer
+	// (internal/trace): spans per transaction and commit phase, recovery
+	// timelines, fault annotations. Disabled by default; when disabled no
+	// buffers are allocated and the hot paths pay one nil check.
+	Trace trace.Options
 
 	// Seed drives all randomness.
 	Seed uint64

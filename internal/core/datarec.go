@@ -4,6 +4,7 @@ import (
 	"farm/internal/fabric"
 	"farm/internal/regionmem"
 	"farm/internal/sim"
+	"farm/internal/trace"
 )
 
 // This file implements bulk data recovery (§5.4) and allocator state
@@ -28,6 +29,10 @@ func (m *Machine) startDataRecovery(rep *replica) {
 		return
 	}
 	primary := int(rm.Replicas[0])
+	if m.trb != nil {
+		rep.recCtx = m.trb.Begin("recovery", "re-replication", m.c.Eng.Now(),
+			trace.RecoveryTraceBit|m.config.ID, 0, int64(rep.id))
+	}
 	unit := m.c.Opts.DataRecBlock
 	if unit%m.c.Opts.Layout.BlockSize != 0 {
 		unit += m.c.Opts.Layout.BlockSize - unit%m.c.Opts.Layout.BlockSize
@@ -143,9 +148,13 @@ func (m *Machine) finishDataRecovery(rep *replica) {
 		return
 	}
 	rep.needsDataRecovery = false
+	if rep.recCtx.Valid() {
+		m.trb.End(rep.recCtx, m.c.Eng.Now(), int64(rep.size))
+		rep.recCtx = trace.Ctx{}
+	}
 	m.c.Counters.Inc("regions_rereplicated", 1)
 	m.c.noteRegionRecovered(rep.id)
-	m.send(int(m.config.CM), &dataRecoveryDone{ConfigID: m.config.ID, Region: rep.id})
+	m.sendCtx(int(m.config.CM), &dataRecoveryDone{ConfigID: m.config.ID, Region: rep.id}, m.recoveryTraceCtx())
 }
 
 // onDataRecoveryDone is CM bookkeeping.
@@ -160,6 +169,11 @@ func (m *Machine) startAllocRecovery(rep *replica) {
 	batches := (total + m.c.Opts.AllocScanBatch - 1) / m.c.Opts.AllocScanBatch
 	duration := sim.Time(batches) * m.c.Opts.AllocScanInterval
 	cfgAtStart := m.config.ID
+	var actx trace.Ctx
+	if m.trb != nil {
+		actx = m.trb.Begin("recovery", "alloc-recovery", m.c.Eng.Now(),
+			trace.RecoveryTraceBit|cfgAtStart, 0, int64(rep.id))
+	}
 	m.c.Eng.After(duration, func() {
 		if !m.alive || m.config.ID != cfgAtStart || rep.alloc != nil {
 			return
@@ -175,6 +189,9 @@ func (m *Machine) startAllocRecovery(rep *replica) {
 			rep.alloc.Free(off)
 		}
 		rep.freeQ = nil
+		if actx.Valid() {
+			m.trb.End(actx, m.c.Eng.Now(), 0)
+		}
 		m.c.Counters.Inc("alloc_recovered", 1)
 	})
 }

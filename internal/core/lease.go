@@ -223,6 +223,9 @@ func (lm *leaseManager) fresh() bool {
 // with recovery disabled (the Figure 16 methodology), start recovery.
 func (lm *leaseManager) expired(machine int) {
 	lm.m.c.Counters.Inc("lease_expiry", 1)
+	if lm.m.trb != nil {
+		lm.m.trb.Event("fault", "lease-expiry", lm.m.c.Eng.Now(), 0, 0, int64(machine))
+	}
 	if lm.m.c.DisableRecovery {
 		// Reset so each expiry is counted once, as in §6.5.
 		now := lm.m.c.Eng.Now()
@@ -251,7 +254,9 @@ func (lm *leaseManager) transmit(dst int, msg interface{}) {
 		m.c.Eng.After(lm.stallDelay()+m.c.Eng.Rand().Duration(200*sim.Microsecond), func() {
 			m.pool.Dispatch(m.c.Opts.CPUMsg, func() {
 				if m.alive {
-					m.nic.Send(fabric.MachineID(dst), msg)
+					// Lease RPCs share the reliable queue pairs, so they
+					// occupy wire bandwidth like any other reliable send.
+					m.nic.SendSized(fabric.MachineID(dst), msg, proto.DefaultMsgSize)
 				}
 			})
 		})
@@ -446,6 +451,9 @@ func (lm *leaseManager) hierTick() {
 func (lm *leaseManager) hierExpired(id int) {
 	m := lm.m
 	m.c.Counters.Inc("lease_expiry", 1)
+	if m.trb != nil {
+		m.trb.Event("fault", "lease-expiry", m.c.Eng.Now(), 0, 0, int64(id))
+	}
 	if m.c.DisableRecovery {
 		now := m.c.Eng.Now()
 		lm.grants[id] = now

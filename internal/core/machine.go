@@ -9,6 +9,7 @@ import (
 	"farm/internal/regionmem"
 	"farm/internal/ring"
 	"farm/internal/sim"
+	"farm/internal/trace"
 )
 
 // replica is one hosted copy of a region.
@@ -36,6 +37,9 @@ type replica struct {
 	// promotedAt is the configuration in which this replica was promoted
 	// to primary (0 if it started as primary).
 	promotedAt uint64
+	// recCtx is the open "re-replication" span while bulk data recovery
+	// (§5.4) runs for this replica.
+	recCtx trace.Ctx
 
 	// lockOwner tracks which transaction holds each object lock, for
 	// correct unlocking on aborts and recovery decisions.
@@ -193,6 +197,16 @@ type Machine struct {
 	// NEW-CONFIG and NEW-CONFIG-COMMIT.
 	clientsBlocked bool
 	clientQueue    []func()
+
+	// trb is this machine's trace ring (nil when tracing is disabled —
+	// every instrumentation site guards on that nil, so the disabled hot
+	// path costs one pointer compare and zero allocations). curCtx is the
+	// causal context of the message handler currently running, inherited
+	// by any sends the handler issues; reconfigCtx is the open
+	// reconfiguration span (this machine as initiator/CM).
+	trb         *trace.Buffer
+	curCtx      trace.Ctx
+	reconfigCtx trace.Ctx
 
 	// Stats.
 	Committed, Aborted uint64
@@ -436,18 +450,29 @@ func (m *Machine) onMessage(src fabric.MachineID, msg interface{}) {
 			if i < len(b.Stamps) {
 				stamp = b.Stamps[i]
 			}
-			m.dispatchMsg(s, inner, stamp)
+			var ctx trace.Ctx
+			if i < len(b.Ctxs) {
+				ctx = b.Ctxs[i]
+			}
+			m.dispatchMsg(s, inner, stamp, ctx)
 		}
 		return
 	}
-	m.dispatchMsg(s, msg, 0)
+	if tr, ok := msg.(*trace.Traced); ok {
+		m.dispatchMsg(s, tr.Msg, 0, tr.Ctx)
+		return
+	}
+	m.dispatchMsg(s, msg, 0, trace.Ctx{})
 }
 
 // dispatchMsg routes one received message through the handler registry:
 // count it, record its delivery latency, and run its handler on a worker
 // thread with the handling cost charged there. Unregistered types are
-// counted as drops instead of vanishing silently.
-func (m *Machine) dispatchMsg(src int, msg interface{}, stamp sim.Time) {
+// counted as drops instead of vanishing silently. ctx is the sender's
+// causal context: a traced arrival is recorded as a receive annotation and
+// the handler runs with curCtx set, so replies it sends inherit the
+// sender's span as parent.
+func (m *Machine) dispatchMsg(src int, msg interface{}, stamp sim.Time, ctx trace.Ctx) {
 	h := m.tp.reg.Lookup(msg)
 	if h == nil || h.Fn == nil {
 		m.c.Counters.Inc("msg unknown", 1)
@@ -457,20 +482,29 @@ func (m *Machine) dispatchMsg(src int, msg interface{}, stamp sim.Time) {
 	if stamp > 0 {
 		m.c.MsgLatency.Record(h.Name, m.c.Eng.Now()-stamp)
 	}
+	if m.trb != nil && ctx.Valid() {
+		// h.RecvCounter ("msg NAME") doubles as the precomputed event name.
+		m.trb.Event("msg", h.RecvCounter, m.c.Eng.Now(), ctx.Trace, ctx.Span, int64(src))
+	}
+	run := func() {
+		if !m.alive {
+			return
+		}
+		if m.trb != nil && ctx.Valid() {
+			prev := m.curCtx
+			m.curCtx = ctx
+			h.Fn(src, msg)
+			m.curCtx = prev
+			return
+		}
+		h.Fn(src, msg)
+	}
 	if v, ok := msg.(*proto.RecoveryVote); ok {
 		// Votes go to the peer thread of the coordinator thread (§5.3).
-		m.pool.ByIndex(int(v.Tx.Thread)).Do(m.c.Opts.CPUMsg, func() {
-			if m.alive {
-				h.Fn(src, msg)
-			}
-		})
+		m.pool.ByIndex(int(v.Tx.Thread)).Do(m.c.Opts.CPUMsg, run)
 		return
 	}
-	m.pool.Dispatch(m.c.Opts.CPUMsg, func() {
-		if m.alive {
-			h.Fn(src, msg)
-		}
-	})
+	m.pool.Dispatch(m.c.Opts.CPUMsg, run)
 }
 
 // onRemoteWrite reacts to one-sided writes landing in local memory; for
@@ -614,26 +648,41 @@ func (m *Machine) installAllocHook(r *replica) {
 
 // send transmits a reliable message through the transport, charging the
 // sender-side CPU cost. All control-plane sends funnel through here (and
-// sendFromThread); only the lease manager talks to the NIC directly.
+// sendFromThread); only the lease manager talks to the NIC directly. The
+// current handler context (if any) is captured synchronously, so the
+// message carries the causal parent even though the transport enqueue runs
+// later on a worker thread.
 func (m *Machine) send(dst int, msg interface{}) {
+	m.sendCtx(dst, msg, m.curCtx)
+}
+
+// sendCtx is send with an explicit causal context, for call sites inside
+// timer closures where the handler context is no longer live (NEW-CONFIG
+// pushes, recovery votes and decisions).
+func (m *Machine) sendCtx(dst int, msg interface{}, ctx trace.Ctx) {
 	if !m.alive {
 		return
 	}
 	m.pool.Dispatch(m.c.Opts.CPUMsg, func() {
 		if m.alive {
-			m.tp.enqueue(dst, msg)
+			m.tp.enqueue(dst, msg, ctx)
 		}
 	})
 }
 
 // sendFromThread is send with the CPU cost charged to a specific thread.
 func (m *Machine) sendFromThread(thread, dst int, msg interface{}) {
+	m.sendFromThreadCtx(thread, dst, msg, m.curCtx)
+}
+
+// sendFromThreadCtx is sendFromThread with an explicit causal context.
+func (m *Machine) sendFromThreadCtx(thread, dst int, msg interface{}, ctx trace.Ctx) {
 	if !m.alive {
 		return
 	}
 	m.pool.ByIndex(thread).Do(m.c.Opts.CPUMsg, func() {
 		if m.alive {
-			m.tp.enqueue(dst, msg)
+			m.tp.enqueue(dst, msg, ctx)
 		}
 	})
 }

@@ -4,6 +4,7 @@ import (
 	"farm/internal/fabric"
 	"farm/internal/proto"
 	"farm/internal/sim"
+	"farm/internal/trace"
 )
 
 // This file implements the reconfiguration protocol of §5.2 / Figure 5:
@@ -44,6 +45,14 @@ func (m *Machine) suspectFull(failed int, bumpAll bool) {
 	m.blockClients() // §5.2 step 1: block external clients at suspicion
 	m.c.trace("suspect", m.ID, failed)
 	m.c.Counters.Inc("reconfig_started", 1)
+	if m.trb != nil {
+		// All recovery spans for the configuration being formed share one
+		// trace id so every machine's records merge into a single timeline.
+		rid := trace.RecoveryTraceBit | (m.config.ID + 1)
+		now := m.c.Eng.Now()
+		m.trb.Event("recovery", "suspect", now, rid, 0, int64(failed))
+		m.reconfigCtx = m.trb.Begin("recovery", "probe", now, rid, 0, int64(failed))
+	}
 
 	// Step 2: probe every other member with an RDMA read; non-responders
 	// are also suspected. Proceed only with responses from a majority.
@@ -60,6 +69,10 @@ func (m *Machine) suspectFull(failed int, bumpAll bool) {
 			return
 		}
 		finished = true
+		if m.reconfigCtx.Valid() {
+			m.trb.End(m.reconfigCtx, m.c.Eng.Now(), int64(responses))
+			m.reconfigCtx = trace.Ctx{}
+		}
 		if responses*2 <= total {
 			// We are in the minority partition: do not reconfigure.
 			m.reconfiguring = false
@@ -203,6 +216,10 @@ func (m *Machine) updateConfiguration(suspects map[int]bool, bumpAll bool) {
 			return
 		}
 		m.c.trace("zookeeper", m.ID, int(newCfg.ID))
+		if m.trb != nil {
+			m.trb.Event("recovery", "zookeeper", m.c.Eng.Now(),
+				trace.RecoveryTraceBit|newCfg.ID, 0, int64(newCfg.ID))
+		}
 		m.becomeCM(&newCfg, suspects, bumpAll)
 	})
 }
@@ -241,11 +258,17 @@ func (m *Machine) becomeCM(cfg *proto.Config, suspects map[int]bool, bumpAll boo
 			nc.Regions = append(nc.Regions, *m.cm.regions[id])
 		}
 		m.c.trace("remap-done", m.ID, 0)
+		if m.trb != nil {
+			rid := trace.RecoveryTraceBit | cfg.ID
+			now := m.c.Eng.Now()
+			m.trb.Event("recovery", "remap-done", now, rid, 0, 0)
+			m.reconfigCtx = m.trb.Begin("recovery", "new-config", now, rid, 0, int64(len(cfg.Machines)))
+		}
 		m.cmAwaitAcks = make(map[int]bool)
 		m.cmAckRound++
 		for _, mem := range cfg.Machines {
 			m.cmAwaitAcks[int(mem)] = true
-			m.send(int(mem), nc)
+			m.sendCtx(int(mem), nc, m.reconfigCtx)
 		}
 		m.armAckTimeout(m.cmAckRound, nc, 0)
 	}
@@ -481,7 +504,7 @@ func (m *Machine) armAckTimeout(round int, nc *proto.NewConfig, resends int) {
 		if resends < 2 {
 			m.c.Counters.Inc("reconfig_newconfig_resend", 1)
 			for _, id := range intKeys(m.cmAwaitAcks) {
-				m.send(id, nc)
+				m.sendCtx(id, nc, m.reconfigCtx)
 			}
 			m.armAckTimeout(round, nc, resends+1)
 			return
@@ -522,8 +545,16 @@ func (m *Machine) onNewConfigAck(src int, ack *proto.NewConfigAck) {
 			return
 		}
 		m.c.trace("config-commit", m.ID, int(m.config.ID))
+		if m.reconfigCtx.Valid() {
+			m.trb.End(m.reconfigCtx, m.c.Eng.Now(), int64(m.config.ID))
+			m.reconfigCtx = trace.Ctx{}
+		}
+		if m.trb != nil {
+			m.trb.Event("recovery", "config-commit", m.c.Eng.Now(),
+				trace.RecoveryTraceBit|m.config.ID, 0, int64(m.config.ID))
+		}
 		for _, mem := range m.config.Machines {
-			m.send(int(mem), &proto.NewConfigCommit{ConfigID: m.config.ID})
+			m.sendCtx(int(mem), &proto.NewConfigCommit{ConfigID: m.config.ID}, m.recoveryTraceCtx())
 		}
 	})
 }

@@ -6,6 +6,7 @@ import (
 	"farm/internal/proto"
 	"farm/internal/regionmem"
 	"farm/internal/sim"
+	"farm/internal/trace"
 )
 
 // This file implements transaction state recovery (§5.3 / Figure 6):
@@ -42,6 +43,18 @@ type recoveryState struct {
 	votes map[proto.TxID]*voteCollector
 	// regionsActiveSent guards the REGIONS-ACTIVE report.
 	regionsActiveSent bool
+	// ctx is the open "drain" span (§5.3 step 2) when tracing is on.
+	ctx trace.Ctx
+}
+
+// recoveryTraceCtx tags a send with the current configuration's recovery
+// timeline. It is for sends made from timer or thread-pool closures, where
+// the dispatch-scoped curCtx of the message that caused them is gone.
+func (m *Machine) recoveryTraceCtx() trace.Ctx {
+	if m.trb == nil {
+		return trace.Ctx{}
+	}
+	return trace.Ctx{Trace: trace.RecoveryTraceBit | m.config.ID}
 }
 
 // regionRecovery drives steps 3–6 for one region at its primary.
@@ -53,6 +66,8 @@ type regionRecovery struct {
 	// phase: 0 waiting (drain+NEED-RECOVERY), 1 fetching/locking,
 	// 2 active (locks recovered; replication/votes may still be running).
 	phase int
+	// ctx is the open "lock-recovery" span for this region.
+	ctx trace.Ctx
 	// pendingLock resumes lock acquisition once record fetches complete.
 	pendingLock func()
 }
@@ -78,6 +93,9 @@ type voteCollector struct {
 	commit          bool
 	acksOutstanding int
 	participants    map[int]bool
+	// ctx is the "vote-decide" span, open from the collector's creation to
+	// the decision; decision fan-out reuses it as the causal context.
+	ctx trace.Ctx
 }
 
 // startTxRecovery runs on NEW-CONFIG-COMMIT.
@@ -86,6 +104,10 @@ func (m *Machine) startTxRecovery(configID uint64) {
 		configID: configID,
 		regions:  make(map[uint32]*regionRecovery),
 		votes:    make(map[proto.TxID]*voteCollector),
+	}
+	if m.trb != nil {
+		m.recov.ctx = m.trb.Begin("recovery", "drain", m.c.Eng.Now(),
+			trace.RecoveryTraceBit|configID, 0, int64(len(m.logR)))
 	}
 	// Replay NEED-RECOVERY messages that raced ahead of our commit.
 	early := m.earlyNeedRec
@@ -110,6 +132,10 @@ func (m *Machine) startTxRecovery(configID uint64) {
 			return
 		}
 		m.recov.drained = true
+		if m.recov.ctx.Valid() {
+			m.trb.End(m.recov.ctx, m.c.Eng.Now(), 0)
+			m.recov.ctx = trace.Ctx{}
+		}
 		m.findRecoveringTxs()
 	}
 	for _, src := range intKeys(m.logR) {
@@ -242,7 +268,8 @@ func (m *Machine) findRecoveringTxs() {
 	for _, p := range intKeys(needByPrimary) {
 		byRegion := needByPrimary[p]
 		for _, region := range regionKeys(byRegion) {
-			m.send(p, &proto.NeedRecovery{Config: m.config.ID, Region: region, Txs: byRegion[region]})
+			m.sendCtx(p, &proto.NeedRecovery{Config: m.config.ID, Region: region, Txs: byRegion[region]},
+				m.recoveryTraceCtx())
 		}
 	}
 	m.c.Counters.Inc("recovering_tx_found", uint64(countRecovering(rs)))
@@ -365,6 +392,10 @@ func (m *Machine) maybeRecoverRegion(rr *regionRecovery) {
 		return
 	}
 	rr.phase = 1
+	if m.trb != nil {
+		rr.ctx = m.trb.Begin("recovery", "lock-recovery", m.c.Eng.Now(),
+			trace.RecoveryTraceBit|m.config.ID, 0, int64(rr.region))
+	}
 	rep := m.replicas[rr.region]
 	if rep == nil {
 		return
@@ -390,11 +421,13 @@ func (m *Machine) maybeRecoverRegion(rr *regionRecovery) {
 				return
 			}
 			rr.phase = 2
+			m.endLockRecSpan(rr)
 			m.activateRegion(rr.region)
 			m.replicateAndVote(rr)
 		}
 		if len(work) == 0 {
 			rr.phase = 2
+			m.endLockRecSpan(rr)
 			m.activateRegion(rr.region)
 			m.replicateAndVote(rr)
 			return
@@ -422,7 +455,7 @@ func (m *Machine) maybeRecoverRegion(rr *regionRecovery) {
 		for _, b := range intKeys(rt.sawBy) {
 			if saw := rt.sawBy[b]; b != m.ID && saw&(proto.SawLock|proto.SawCommitBackup) != 0 {
 				rt.fetchOutstanding++
-				m.send(b, &proto.FetchTxState{Config: m.config.ID, Region: rr.region, TxIDs: []proto.TxID{rt.id}})
+				m.sendCtx(b, &proto.FetchTxState{Config: m.config.ID, Region: rr.region, TxIDs: []proto.TxID{rt.id}}, rr.ctx)
 				break
 			}
 		}
@@ -487,6 +520,14 @@ func (m *Machine) recoverLocks(rep *replica, rt *recTx) {
 	}
 }
 
+// endLockRecSpan closes a region's "lock-recovery" span as it activates.
+func (m *Machine) endLockRecSpan(rr *regionRecovery) {
+	if rr.ctx.Valid() {
+		m.trb.End(rr.ctx, m.c.Eng.Now(), int64(len(rr.txs)))
+		rr.ctx = trace.Ctx{}
+	}
+}
+
 // activateRegion completes §5.3 step 4's fast path: the region accepts
 // reads and commits again, long before data recovery finishes.
 func (m *Machine) activateRegion(region uint32) {
@@ -497,7 +538,7 @@ func (m *Machine) activateRegion(region uint32) {
 	m.unblockRegion(region)
 	for _, mem := range m.config.Machines {
 		if int(mem) != m.ID {
-			m.send(int(mem), &regionActiveAnnounce{ConfigID: m.config.ID, Region: region})
+			m.sendCtx(int(mem), &regionActiveAnnounce{ConfigID: m.config.ID, Region: region}, m.recoveryTraceCtx())
 		}
 	}
 	m.c.trace("region-active", m.ID, int(region))
@@ -521,7 +562,7 @@ func (m *Machine) maybeAllPrimariesActive() {
 		}
 	}
 	m.recov.regionsActiveSent = true
-	m.send(int(m.config.CM), &proto.RegionsActive{ConfigID: m.config.ID})
+	m.sendCtx(int(m.config.CM), &proto.RegionsActive{ConfigID: m.config.ID}, m.recoveryTraceCtx())
 }
 
 // replicateAndVote is steps 5–6: push lock records to backups missing
@@ -544,9 +585,9 @@ func (m *Machine) replicateAndVote(rr *regionRecovery) {
 				}
 				if rt.sawBy[bid]&(proto.SawLock|proto.SawCommitBackup) == 0 {
 					rt.replOutstanding++
-					m.send(bid, &proto.ReplicateTxState{
+					m.sendCtx(bid, &proto.ReplicateTxState{
 						Config: m.config.ID, Region: rr.region, Tx: rt.id, Lock: rt.lock,
-					})
+					}, m.recoveryTraceCtx())
 				}
 			}
 		}
@@ -575,7 +616,7 @@ func (m *Machine) voteFor(rr *regionRecovery, rt *recTx) {
 		Regions: regions,
 		Vote:    vote,
 	}
-	m.sendFromThread(int(rt.id.Thread), coord, msg)
+	m.sendFromThreadCtx(int(rt.id.Thread), coord, msg, m.recoveryTraceCtx())
 }
 
 // voteFromSaw implements the vote precedence of §5.3 step 6.
@@ -727,6 +768,10 @@ func (m *Machine) armVoteCollector(id proto.TxID, knownRegions []uint32, partici
 			participants: make(map[int]bool),
 		}
 		m.recov.votes[id] = vc
+		if m.trb != nil {
+			vc.ctx = m.trb.Begin("recovery", "vote-decide", m.c.Eng.Now(),
+				trace.RecoveryTraceBit|m.config.ID, 0, int64(id.Local))
+		}
 		m.c.Eng.After(m.c.Opts.VoteTimeout, func() {
 			if m.alive {
 				m.requestMissingVotes(vc)
@@ -786,7 +831,7 @@ func (m *Machine) requestMissingVotes(vc *voteCollector) {
 		if rm == nil || len(rm.Replicas) == 0 {
 			continue
 		}
-		m.send(int(rm.Replicas[0]), &proto.RequestVote{Config: m.config.ID, Tx: vc.id, Region: region})
+		m.sendCtx(int(rm.Replicas[0]), &proto.RequestVote{Config: m.config.ID, Tx: vc.id, Region: region}, vc.ctx)
 	}
 	if missing {
 		m.c.Eng.After(m.c.Opts.VoteTimeout, func() {
@@ -880,6 +925,15 @@ func (m *Machine) decide(vc *voteCollector, commit bool) {
 	}
 	vc.decided = true
 	vc.commit = commit
+	if vc.ctx.Valid() {
+		arg := int64(0)
+		if commit {
+			arg = 1
+		}
+		// End the span but keep vc.ctx: the decision fan-out (and any late
+		// re-sends) stays causally linked to it.
+		m.trb.End(vc.ctx, m.c.Eng.Now(), arg)
+	}
 	m.c.Counters.Inc("recovery_decided", 1)
 	if commit {
 		m.c.Counters.Inc("recovery_committed", 1)
@@ -933,9 +987,9 @@ func (m *Machine) decide(vc *voteCollector, commit bool) {
 
 func (m *Machine) sendDecision(vc *voteCollector, dst int) {
 	if vc.commit {
-		m.send(dst, &proto.CommitRecovery{Config: m.config.ID, Tx: vc.id})
+		m.sendCtx(dst, &proto.CommitRecovery{Config: m.config.ID, Tx: vc.id}, vc.ctx)
 	} else {
-		m.send(dst, &proto.AbortRecovery{Config: m.config.ID, Tx: vc.id})
+		m.sendCtx(dst, &proto.AbortRecovery{Config: m.config.ID, Tx: vc.id}, vc.ctx)
 	}
 }
 
@@ -1006,7 +1060,7 @@ func (m *Machine) onRecoveryDecisionAck(a *proto.RecoveryDecisionAck) {
 func (m *Machine) sendTruncateRecovery(vc *voteCollector) {
 	for _, p := range intKeys(vc.participants) {
 		if m.isMember(p) {
-			m.send(p, &proto.TruncateRecovery{Config: m.config.ID, Tx: vc.id})
+			m.sendCtx(p, &proto.TruncateRecovery{Config: m.config.ID, Tx: vc.id}, vc.ctx)
 		}
 	}
 }

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"farm/internal/proto"
+	"farm/internal/sim"
+	"farm/internal/trace"
+)
+
+// TestTracingDisabledEnqueueAllocsNothing pins the zero-cost contract: with
+// tracing off (trb == nil) the transport's steady-state enqueue path — a
+// message joining an already-armed coalescing queue — performs no heap
+// allocations. The queue is pre-grown and re-wound each iteration so the
+// measurement sees the hot path, not slice growth or timer arming.
+func TestTracingDisabledEnqueueAllocsNothing(t *testing.T) {
+	c := New(Options{NumMachines: 2, Seed: 1})
+	m := c.Machine(0)
+	if m.trb != nil {
+		t.Fatal("tracing unexpectedly enabled")
+	}
+	q := &sendQueue{
+		msgs:   make([]interface{}, 0, 8),
+		stamps: make([]sim.Time, 0, 8),
+		armed:  true, // flush timer already pending: steady-state coalescing
+	}
+	m.tp.queues[1] = q
+	msg := &proto.LockReply{}
+	allocs := testing.AllocsPerRun(200, func() {
+		q.msgs = q.msgs[:0]
+		q.stamps = q.stamps[:0]
+		q.bytes = 0
+		m.tp.enqueue(1, msg, trace.Ctx{})
+	})
+	if allocs != 0 {
+		t.Fatalf("enqueue with tracing disabled allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestPriorityTypesNeverBatched covers both halves of the priority
+// contract: the failure-detection and recovery control classes are
+// registered priority, and priority enqueues go straight to the fabric —
+// they never enter a coalescing queue, so no batch can contain them.
+func TestPriorityTypesNeverBatched(t *testing.T) {
+	c := New(Options{NumMachines: 3, Seed: 2}) // default coalescing interval: on
+	m := c.Machine(0)
+
+	priority := []interface{}{
+		&suspectReport{},
+		&reconfigAsk{}, &proto.NewConfig{}, &proto.NewConfigAck{}, &proto.NewConfigCommit{},
+		&proto.RecoveryVote{}, &proto.RequestVote{},
+		&proto.CommitRecovery{}, &proto.AbortRecovery{}, &proto.RecoveryDecisionAck{},
+	}
+	for _, msg := range priority {
+		h := m.tp.reg.Lookup(msg)
+		if h == nil || !h.Priority {
+			t.Errorf("%T is not registered as a priority type", msg)
+		}
+	}
+	for _, msg := range []interface{}{&proto.LockReply{}, &proto.ValidateReq{}, &appMsg{}} {
+		if h := m.tp.reg.Lookup(msg); h == nil || h.Priority {
+			t.Errorf("%T should not be a priority type", msg)
+		}
+	}
+
+	c.RunFor(sim.Millisecond) // settle boot traffic
+	const n = 8
+	sendsBefore := c.Net.Counters.Get("msg_send")
+
+	// Priority sends transmit immediately — one fabric send each, no queue.
+	// Config 999 never matches, so the receiver's handler ignores them.
+	for i := 0; i < n; i++ {
+		m.tp.enqueue(1, &suspectReport{Config: 999, Suspect: 2}, trace.Ctx{})
+	}
+	if got := c.Net.Counters.Get("msg_send") - sendsBefore; got != n {
+		t.Fatalf("priority messages used %d fabric sends, want %d (one each, uncoalesced)", got, n)
+	}
+	if q := m.tp.queues[1]; q != nil && len(q.msgs) != 0 {
+		t.Fatalf("priority messages sat in a coalescing queue: %d queued", len(q.msgs))
+	}
+
+	// Non-priority sends queue up and flush as one batch.
+	coalescedBefore := c.Net.Counters.Get("msg_send_coalesced")
+	for i := 0; i < n; i++ {
+		m.tp.enqueue(1, &appMsg{}, trace.Ctx{})
+	}
+	q := m.tp.queues[1]
+	if q == nil || len(q.msgs) != n {
+		t.Fatalf("non-priority messages did not queue for coalescing")
+	}
+	for _, queued := range q.msgs {
+		if h := m.tp.reg.Lookup(queued); h != nil && h.Priority {
+			t.Fatalf("priority message %T found in a coalescing queue", queued)
+		}
+	}
+	c.RunFor(sim.Millisecond)
+	if got := c.Net.Counters.Get("msg_send_coalesced") - coalescedBefore; got != n {
+		t.Fatalf("flushed batch coalesced %d messages, want %d", got, n)
+	}
+}
+
+// TestTracedMessagesCarryChargedBytes asserts the enqueue path records the
+// registry wire-size model's charge as the span attribute of the send
+// event — the charged-bytes accounting rides on the trace.
+func TestTracedMessagesCarryChargedBytes(t *testing.T) {
+	c := New(Options{NumMachines: 2, Seed: 1, Trace: trace.Options{Enabled: true}})
+	m := c.Machine(0)
+	if m.trb == nil {
+		t.Fatal("tracing not wired to the machine")
+	}
+	ctx := m.trb.Begin("tx", "tx", c.Eng.Now(), 0, 0, 0)
+	// clientResp is send-only with a payload-dependent size model, so the
+	// receive side is inert and the charge is easy to predict.
+	m.tp.enqueue(1, &clientResp{Data: make([]byte, 10)}, ctx)
+	c.RunFor(sim.Millisecond)
+
+	want := int64(24 + 10) // CLIENT-RESP's registered size model
+	found := false
+	for _, r := range c.Tracer.Records() {
+		if r.Kind == trace.KindInstant && r.Name == "sent CLIENT-RESP" {
+			found = true
+			if r.Arg != want {
+				t.Fatalf("sent CLIENT-RESP charged %d bytes in trace, want %d", r.Arg, want)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no send event recorded for the traced message")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"farm/internal/fabric"
 	"farm/internal/proto"
 	"farm/internal/sim"
+	"farm/internal/trace"
 )
 
 // This file is the typed message transport: the single choke point between
@@ -32,10 +33,12 @@ import (
 const batchFrameOverhead = 16
 
 // sendQueue buffers outbound messages for one destination until the
-// armed flush timer fires.
+// armed flush timer fires. ctxs is parallel to msgs only while tracing is
+// enabled; untraced runs never append to it.
 type sendQueue struct {
 	msgs   []interface{}
 	stamps []sim.Time
+	ctxs   []trace.Ctx
 	bytes  int
 	armed  bool
 }
@@ -70,19 +73,25 @@ func newTransport(m *Machine) *transport {
 
 // enqueue accepts one outbound message. It runs on a worker thread with
 // the send CPU cost already charged (m.send / m.sendFromThread dispatch
-// here from inside their costed closures). With coalescing disabled the
-// message goes straight to the NIC, exactly the pre-transport behavior;
-// otherwise it joins the destination's queue and the first message arms
-// the flush timer.
-func (t *transport) enqueue(dst int, msg interface{}) {
+// here from inside their costed closures). Priority types (failure
+// detection and recovery control, proto.RegisterPriority) and transports
+// with coalescing disabled send directly — never batched; everything else
+// joins the destination's queue and the first message arms the flush
+// timer. ctx is the sender's causal context (zero when untraced).
+func (t *transport) enqueue(dst int, msg interface{}, ctx trace.Ctx) {
 	h := t.reg.Lookup(msg)
 	sz := h.SizeOf(msg)
 	if h != nil {
 		t.m.c.Counters.Inc(h.SentCounter, 1)
 		t.m.c.Counters.Inc(h.BytesCounter, uint64(sz))
 	}
-	if t.interval <= 0 {
-		t.m.nic.Send(fabric.MachineID(dst), msg)
+	if t.m.trb != nil && ctx.Valid() && h != nil {
+		// h.SentCounter ("sent NAME") doubles as the precomputed event
+		// name; the charged wire bytes ride along as the span attribute.
+		t.m.trb.Event("msg", h.SentCounter, t.m.c.Eng.Now(), ctx.Trace, ctx.Span, int64(sz))
+	}
+	if t.interval <= 0 || (h != nil && h.Priority) {
+		t.sendDirect(dst, msg, sz, ctx)
 		return
 	}
 	q := t.queues[dst]
@@ -92,11 +101,27 @@ func (t *transport) enqueue(dst int, msg interface{}) {
 	}
 	q.msgs = append(q.msgs, msg)
 	q.stamps = append(q.stamps, t.m.c.Eng.Now())
+	if t.m.trb != nil {
+		// Parallel to msgs, so zero contexts pad untraced messages.
+		q.ctxs = append(q.ctxs, ctx)
+	}
 	q.bytes += sz
 	if !q.armed {
 		q.armed = true
 		t.m.c.Eng.After(t.interval, func() { t.flush(dst) })
 	}
+}
+
+// sendDirect transmits one uncoalesced message, charging its modeled wire
+// size against the NIC (all reliable sends occupy the wire, not just
+// batches). A live causal context travels in a trace.Traced wrapper —
+// allocated only on traced sends, so untraced runs are byte-for-byte the
+// old direct path.
+func (t *transport) sendDirect(dst int, msg interface{}, sz int, ctx trace.Ctx) {
+	if t.m.trb != nil && ctx.Valid() {
+		msg = &trace.Traced{Ctx: ctx, Msg: msg}
+	}
+	t.m.nic.SendSized(fabric.MachineID(dst), msg, sz)
 }
 
 // flush drains one destination's queue into a single fabric frame. A
@@ -108,20 +133,29 @@ func (t *transport) flush(dst int) {
 		return
 	}
 	q.armed = false
-	msgs, stamps, bytes := q.msgs, q.stamps, q.bytes
-	q.msgs, q.stamps, q.bytes = nil, nil, 0
+	msgs, stamps, ctxs, bytes := q.msgs, q.stamps, q.ctxs, q.bytes
+	q.msgs, q.stamps, q.ctxs, q.bytes = nil, nil, nil, 0
 	if len(msgs) == 0 || !t.m.alive {
 		return
 	}
-	t.m.nic.SendBatch(fabric.MachineID(dst), &fabric.Batch{Msgs: msgs, Stamps: stamps},
+	t.m.nic.SendBatch(fabric.MachineID(dst), &fabric.Batch{Msgs: msgs, Stamps: stamps, Ctxs: ctxs},
 		bytes+batchFrameOverhead)
 }
 
 // dispatchRPC routes an rpcEnvelope body to its registered service method.
+// An envelope-piggybacked trace context parents the service work (and any
+// reply it sends) on the requester's span.
 func (t *transport) dispatchRPC(env *rpcEnvelope) {
 	h := t.rpc[reflect.TypeOf(env.Body)]
 	if h == nil {
 		t.m.c.Counters.Inc("rpc unknown", 1)
+		return
+	}
+	if t.m.trb != nil && env.Ctx.Valid() {
+		prev := t.m.curCtx
+		t.m.curCtx = env.Ctx
+		h.fn(env.From, env.ID, env.Body)
+		t.m.curCtx = prev
 		return
 	}
 	h.fn(env.From, env.ID, env.Body)
@@ -231,18 +265,21 @@ func (t *transport) registerHandlers() {
 			}
 		})
 
-	// Hierarchical lease suspicions (§5.1).
-	proto.Register(r, "SUSPECT-REPORT", nil,
+	// Hierarchical lease suspicions (§5.1). Priority: suspicion reports
+	// feed failure detection and must not sit in coalescing queues.
+	proto.RegisterPriority(r, "SUSPECT-REPORT", nil,
 		func(_ int, v *suspectReport) {
 			if v.Config == m.config.ID && m.IsCM() {
 				m.suspect(v.Suspect)
 			}
 		})
 
-	// Reconfiguration (§5.2).
-	proto.Register(r, "RECONFIG-ASK", nil,
+	// Reconfiguration (§5.2). The NEW-CONFIG class is priority: during
+	// reconfiguration the queues are at their fullest and these messages
+	// gate every other protocol's progress.
+	proto.RegisterPriority(r, "RECONFIG-ASK", nil,
 		func(_ int, v *reconfigAsk) { m.onReconfigAsk(v) })
-	proto.Register(r, "NEW-CONFIG",
+	proto.RegisterPriority(r, "NEW-CONFIG",
 		func(v *proto.NewConfig) int {
 			n := 32 + 2*len(v.Config.Machines)
 			for i := range v.Regions {
@@ -251,9 +288,9 @@ func (t *transport) registerHandlers() {
 			return n
 		},
 		func(src int, v *proto.NewConfig) { m.onNewConfig(src, v) })
-	proto.Register(r, "NEW-CONFIG-ACK", nil,
+	proto.RegisterPriority(r, "NEW-CONFIG-ACK", nil,
 		func(src int, v *proto.NewConfigAck) { m.onNewConfigAck(src, v) })
-	proto.Register(r, "NEW-CONFIG-COMMIT", nil,
+	proto.RegisterPriority(r, "NEW-CONFIG-COMMIT", nil,
 		func(_ int, v *proto.NewConfigCommit) { m.onNewConfigCommit(v) })
 	proto.Register(r, "REGIONS-ACTIVE", nil,
 		func(src int, v *proto.RegionsActive) { m.onRegionsActive(src, v) })
@@ -280,16 +317,18 @@ func (t *transport) registerHandlers() {
 		func(src int, v *proto.ReplicateTxState) { m.onReplicateTxState(src, v) })
 	proto.Register(r, "REPLICATE-TX-STATE-ACK", nil,
 		func(_ int, v *proto.ReplicateTxStateAck) { m.onReplicateTxStateAck(v) })
-	proto.Register(r, "RECOVERY-VOTE",
+	// Votes and decisions are priority: recovery latency is bounded by the
+	// slowest vote, so they bypass coalescing (never batched).
+	proto.RegisterPriority(r, "RECOVERY-VOTE",
 		func(v *proto.RecoveryVote) int { return 40 + 4*len(v.Regions) },
 		func(src int, v *proto.RecoveryVote) { m.onRecoveryVote(src, v) })
-	proto.Register(r, "REQUEST-VOTE", nil,
+	proto.RegisterPriority(r, "REQUEST-VOTE", nil,
 		func(src int, v *proto.RequestVote) { m.onRequestVote(src, v) })
-	proto.Register(r, "COMMIT-RECOVERY", nil,
+	proto.RegisterPriority(r, "COMMIT-RECOVERY", nil,
 		func(src int, v *proto.CommitRecovery) { m.onRecoveryDecision(src, v.Tx, true) })
-	proto.Register(r, "ABORT-RECOVERY", nil,
+	proto.RegisterPriority(r, "ABORT-RECOVERY", nil,
 		func(src int, v *proto.AbortRecovery) { m.onRecoveryDecision(src, v.Tx, false) })
-	proto.Register(r, "RECOVERY-DECISION-ACK", nil,
+	proto.RegisterPriority(r, "RECOVERY-DECISION-ACK", nil,
 		func(_ int, v *proto.RecoveryDecisionAck) { m.onRecoveryDecisionAck(v) })
 	proto.Register(r, "TRUNCATE-RECOVERY", nil,
 		func(_ int, v *proto.TruncateRecovery) { m.onTruncateRecovery(v) })

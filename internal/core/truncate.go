@@ -3,6 +3,7 @@ package core
 import (
 	"farm/internal/proto"
 	"farm/internal/sim"
+	"farm/internal/trace"
 )
 
 // This file implements the coordinator side of §4 step 5: lazy truncation.
@@ -83,9 +84,22 @@ func (m *Machine) truncPoolRelease(dst int) {
 	}
 }
 
+// endTruncSpan closes a transaction's TRUNCATE span once every participant
+// has had the truncation delivered (or left the configuration).
+func (m *Machine) endTruncSpan(ct *coordTx) {
+	if ct.truncCtx.Valid() {
+		m.trb.End(ct.truncCtx, m.c.Eng.Now(), 0)
+		ct.truncCtx = trace.Ctx{}
+	}
+}
+
 // queueTruncation enqueues a finished transaction's id for truncation at
 // each participant and arms the flush timer.
 func (m *Machine) queueTruncation(ct *coordTx, participants []int) {
+	if ct.traceCtx.Valid() {
+		ct.truncCtx = m.trb.Begin("tx", "TRUNCATE", m.c.Eng.Now(),
+			ct.traceCtx.Trace, ct.traceCtx.Span, int64(len(participants)))
+	}
 	packed := packTruncID(ct.id.Thread, ct.id.Local)
 	ct.truncRemaining = make(map[int]bool, len(participants))
 	for _, dst := range participants {
@@ -106,6 +120,7 @@ func (m *Machine) queueTruncation(ct *coordTx, participants []int) {
 	}
 	if len(ct.truncRemaining) == 0 {
 		m.threadTrunc(int(ct.id.Thread)).retire(ct.id.Local)
+		m.endTruncSpan(ct)
 	}
 }
 
@@ -157,6 +172,7 @@ func (m *Machine) truncDelivered(dst int, ids []uint64, slotsConsumed int) {
 		delete(ct.truncRemaining, dst)
 		if len(ct.truncRemaining) == 0 {
 			m.threadTrunc(int(ct.id.Thread)).retire(ct.id.Local)
+			m.endTruncSpan(ct)
 		}
 	}
 }
@@ -267,6 +283,7 @@ func (m *Machine) dropTruncStateFor(dst int) {
 		delete(ct.truncRemaining, dst)
 		if len(ct.truncRemaining) == 0 {
 			m.threadTrunc(int(ct.id.Thread)).retire(ct.id.Local)
+			m.endTruncSpan(ct)
 		}
 	}
 	delete(m.truncQ, dst)

@@ -8,6 +8,7 @@ import (
 	"farm/internal/proto"
 	"farm/internal/regionmem"
 	"farm/internal/sim"
+	"farm/internal/trace"
 )
 
 // mtl identifies a transaction without its configuration component:
@@ -52,17 +53,40 @@ type Tx struct {
 
 	started  sim.Time
 	finished bool
+
+	// ctx is the root trace span of a sampled transaction (zero when this
+	// transaction is untraced); reads and commit phases hang off it.
+	ctx trace.Ctx
 }
 
 // Begin starts a transaction coordinated by worker thread `thread` of m.
+// When tracing is enabled, the deterministic N-of-every-M sampler decides
+// here whether this transaction gets a root span.
 func (m *Machine) Begin(thread int) *Tx {
-	return &Tx{
+	t := &Tx{
 		m:       m,
 		thread:  thread % m.c.Opts.Threads,
 		reads:   make(map[proto.Addr]*readEntry),
 		writes:  make(map[proto.Addr]*writeEntry),
 		started: m.c.Eng.Now(),
 	}
+	if m.trb != nil && m.trb.SampleTx() {
+		t.ctx = m.trb.Begin("tx", "tx", t.started, 0, 0, int64(t.thread))
+	}
+	return t
+}
+
+// endTxSpan closes the transaction's root span (no-op when untraced).
+func (t *Tx) endTxSpan(err error) {
+	if !t.ctx.Valid() {
+		return
+	}
+	var arg int64
+	if err != nil {
+		arg = 1 // aborted
+	}
+	t.m.trb.End(t.ctx, t.m.c.Eng.Now(), arg)
+	t.ctx = trace.Ctx{}
 }
 
 // maxReadRetries bounds spinning on locked objects before reporting a
@@ -87,7 +111,14 @@ func (t *Tx) Read(addr proto.Addr, size int, cb func(data []byte, err error)) {
 		t.m.OnThread(t.thread, t.m.c.Opts.CPULocal, func() { cb(append([]byte(nil), r.data...), nil) })
 		return
 	}
+	rctx := trace.Ctx{}
+	if t.ctx.Valid() {
+		rctx = t.m.trb.Begin("tx", "read", t.m.c.Eng.Now(), t.ctx.Trace, t.ctx.Span, int64(addr.Region))
+	}
 	t.m.readObject(t.thread, addr, size, 0, 0, func(word uint64, data []byte, err error) {
+		if rctx.Valid() {
+			t.m.trb.End(rctx, t.m.c.Eng.Now(), 0)
+		}
 		if err != nil {
 			cb(nil, err)
 			return
@@ -194,6 +225,7 @@ func (t *Tx) Abort() {
 	}
 	t.finished = true
 	t.releaseAllocs()
+	t.endTxSpan(errTxDone)
 	t.m.c.Counters.Inc("tx_user_abort", 1)
 }
 
@@ -420,11 +452,15 @@ func (m *Machine) releaseSlot(addr proto.Addr) {
 	// (its allocation bit was never set).
 }
 
-// rpcEnvelope carries a request id so responses can be matched.
+// rpcEnvelope carries a request id so responses can be matched, and
+// piggybacks the sender's causal trace context so the service side can
+// parent its work (and its reply) on the requesting span even when the
+// envelope reaches it outside a traced batch.
 type rpcEnvelope struct {
 	ID   uint64
 	From int
 	Body interface{}
+	Ctx  trace.Ctx
 }
 
 // rpcReply pairs the response with the request id.

@@ -10,6 +10,7 @@ import (
 	"farm/internal/sim"
 	"farm/internal/tatp"
 	"farm/internal/tpcc"
+	"farm/internal/trace"
 )
 
 // This file reproduces the failure experiments: Figures 9–15. The
@@ -42,6 +43,9 @@ type RecoverySpec struct {
 	Aggressive bool
 	Threads    int
 	Conc       int
+	// Trace enables causality tracing; the exported Chrome JSON and the
+	// phase/timeline report land on the RecoveryRun.
+	Trace trace.Options
 }
 
 // DefaultRecoverySpec mirrors the Figure 9 setup, scaled.
@@ -81,6 +85,9 @@ type RecoveryRun struct {
 	DataRecoveryDone sim.Time
 	// RecoveringTxs is the number of transactions recovery examined.
 	RecoveringTxs uint64
+	// TraceJSON / TraceReport are set when the spec enabled tracing.
+	TraceJSON   []byte
+	TraceReport string
 }
 
 // TimelinePoint is one 1 ms bucket of survivor throughput.
@@ -100,6 +107,7 @@ func RunFailure(spec RecoverySpec) RecoveryRun {
 	sc := spec.Scale
 	opts := sc.options()
 	opts.LeaseDuration = spec.Lease
+	opts.Trace = spec.Trace
 	if spec.Kind == KillDomain {
 		opts.FailureDomains = 3
 	}
@@ -245,6 +253,10 @@ func RunFailure(spec RecoverySpec) RecoveryRun {
 		run.DataRecoveryDone = recTimes[n-1]
 	}
 	run.RecoveringTxs = c.Counters.Get("recovering_tx_found")
+	if c.Tracer != nil {
+		run.TraceJSON = c.Tracer.Export()
+		run.TraceReport = c.Tracer.Report()
+	}
 	return run
 }
 

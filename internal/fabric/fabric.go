@@ -27,6 +27,7 @@ import (
 	"farm/internal/nvram"
 	"farm/internal/sim"
 	"farm/internal/stats"
+	"farm/internal/trace"
 )
 
 // MachineID identifies a machine (and its NIC) in the fabric.
@@ -358,10 +359,12 @@ func (c *NIC) oneSided(dst MachineID, bytes int, remote func(r *NIC) (interface{
 // messages to the same destination. The receiver's message handler gets
 // the Batch itself and dispatches the contained messages individually.
 // Stamps carries each message's enqueue time (for queueing-latency stats);
-// it is either empty or parallel to Msgs.
+// Ctxs carries each message's causal trace context. Each is either empty
+// or parallel to Msgs, so untraced runs pay nothing for the extra field.
 type Batch struct {
 	Msgs   []interface{}
 	Stamps []sim.Time
+	Ctxs   []trace.Ctx
 }
 
 // Send delivers msg reliably to dst's message handler. Delivery is
@@ -371,6 +374,15 @@ type Batch struct {
 func (c *NIC) Send(dst MachineID, msg interface{}) {
 	c.net.Counters.Inc("msg_send", 1)
 	c.transmit(dst, msg, false, 0)
+}
+
+// SendSized is Send with the message's modeled wire size charged against
+// the NIC's bandwidth, so uncoalesced reliable sends occupy the wire like
+// everything else (the registry wire-size model supplies bytes).
+func (c *NIC) SendSized(dst MachineID, msg interface{}, bytes int) {
+	c.net.Counters.Inc("msg_send", 1)
+	c.net.Counters.Inc("msg_send_bytes", uint64(bytes))
+	c.transmit(dst, msg, false, bytes)
 }
 
 // SendBatch delivers a coalesced frame of len(b.Msgs) messages as a single

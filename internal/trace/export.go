@@ -1,0 +1,144 @@
+package trace
+
+// Chrome trace_event exporter. The JSON is marshaled by hand with a fixed
+// field order and integer-only timestamp arithmetic so that identical
+// record sets produce byte-identical output — the determinism tests
+// compare exports with bytes.Equal.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"farm/internal/sim"
+)
+
+// phase letters of the trace_event format: async begin/end and instant.
+func (k Kind) ph() string {
+	switch k {
+	case KindBegin:
+		return "b"
+	case KindEnd:
+		return "e"
+	default:
+		return "i"
+	}
+}
+
+// writeTS writes a sim.Time as trace_event microseconds with fixed
+// 3-decimal nanosecond precision using integer math only.
+func writeTS(w *bytes.Buffer, t sim.Time) {
+	fmt.Fprintf(w, "%d.%03d", int64(t)/1000, int64(t)%1000)
+}
+
+// Export merges every buffer and renders Chrome trace_event JSON. Spans
+// become async "b"/"e" pairs keyed by (cat, id); point events become
+// instants with process scope. pid is the machine (the cluster buffer uses
+// pid = number of machines); tid is always 0 — FaRM threads multiplex
+// protocol work, so per-machine lanes are the readable unit.
+func (s *Set) Export() []byte {
+	recs := s.merged()
+	var w bytes.Buffer
+	w.WriteString("{\"traceEvents\":[\n")
+	for i := range s.bufs {
+		fmt.Fprintf(&w, "{\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"machine %d\"}},\n", i, i)
+	}
+	fmt.Fprintf(&w, "{\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"cluster\"}}", len(s.bufs))
+	for i := range recs {
+		r := &recs[i]
+		w.WriteString(",\n")
+		fmt.Fprintf(&w, "{\"ph\":%q,\"cat\":%q,\"name\":%q,\"pid\":%d,\"tid\":0,\"ts\":",
+			r.Kind.ph(), r.Cat, r.Name, r.Machine)
+		writeTS(&w, r.At)
+		if r.Kind == KindInstant {
+			w.WriteString(",\"s\":\"p\"")
+		} else {
+			fmt.Fprintf(&w, ",\"id\":\"0x%x\"", uint64(r.Span))
+		}
+		fmt.Fprintf(&w, ",\"args\":{\"trace\":\"0x%x\"", r.Trace)
+		if r.Parent != 0 {
+			fmt.Fprintf(&w, ",\"parent\":\"0x%x\"", uint64(r.Parent))
+		}
+		if r.Arg != 0 {
+			fmt.Fprintf(&w, ",\"v\":%d", r.Arg)
+		}
+		w.WriteString("}}")
+	}
+	fmt.Fprintf(&w, "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":%d}}\n", s.Dropped())
+	return w.Bytes()
+}
+
+// exportedEvent is the subset of trace_event fields the schema check
+// verifies.
+type exportedEvent struct {
+	Ph   string   `json:"ph"`
+	Cat  string   `json:"cat"`
+	Name string   `json:"name"`
+	Pid  *int     `json:"pid"`
+	Ts   *float64 `json:"ts"`
+	ID   string   `json:"id"`
+}
+
+type exportedTrace struct {
+	TraceEvents []exportedEvent `json:"traceEvents"`
+	OtherData   struct {
+		Dropped uint64 `json:"dropped"`
+	} `json:"otherData"`
+}
+
+// Validate parses a Chrome trace_event export and checks structural
+// invariants: every event has ph/pid/name, non-metadata events have ts,
+// async begins and ends pair up by id, and every name in `required`
+// appears at least once. An end without a begin is tolerated when the
+// export reports dropped records — ring eviction removes the oldest
+// records first, so long runs shed begins whose ends survive (Chrome
+// ignores such orphans). It returns nil when the export is well-formed.
+func Validate(data []byte, required []string) error {
+	var t exportedTrace
+	if err := json.Unmarshal(data, &t); err != nil {
+		return fmt.Errorf("trace: export is not valid JSON: %w", err)
+	}
+	if len(t.TraceEvents) == 0 {
+		return fmt.Errorf("trace: export has no events")
+	}
+	open := make(map[string]int)
+	seen := make(map[string]bool)
+	for i, ev := range t.TraceEvents {
+		if ev.Ph == "" || ev.Pid == nil || ev.Name == "" {
+			return fmt.Errorf("trace: event %d missing ph/pid/name", i)
+		}
+		if ev.Ph == "M" {
+			continue
+		}
+		if ev.Ts == nil {
+			return fmt.Errorf("trace: event %d (%s) missing ts", i, ev.Name)
+		}
+		seen[ev.Name] = true
+		switch ev.Ph {
+		case "b":
+			if ev.ID == "" {
+				return fmt.Errorf("trace: async begin %d (%s) missing id", i, ev.Name)
+			}
+			open[ev.Cat+"/"+ev.ID]++
+		case "e":
+			k := ev.Cat + "/" + ev.ID
+			if open[k] == 0 {
+				if t.OtherData.Dropped == 0 {
+					return fmt.Errorf("trace: async end %d (%s) without begin", i, ev.Name)
+				}
+				continue
+			}
+			open[k]--
+		case "i":
+			// instants carry no id
+		default:
+			return fmt.Errorf("trace: event %d has unknown ph %q", i, ev.Ph)
+		}
+	}
+	for _, name := range required {
+		if !seen[name] {
+			return fmt.Errorf("trace: export missing required event %q", name)
+		}
+	}
+	return nil
+}

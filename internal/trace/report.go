@@ -1,0 +1,137 @@
+package trace
+
+// Text reports over a merged record set: a per-phase duration breakdown
+// (the currency for comparing protocol variants) and a Figure-9-style
+// recovery timeline assembled from the recovery-namespaced trace IDs.
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"farm/internal/sim"
+)
+
+// spanStat aggregates closed spans of one (cat, name).
+type spanStat struct {
+	cat, name string
+	count     int
+	total     sim.Time
+	max       sim.Time
+}
+
+// Report renders the phase breakdown and, when recovery records exist, the
+// recovery timeline. Output is deterministic: aggregation keys are sorted.
+func (s *Set) Report() string {
+	recs := s.merged()
+	var w bytes.Buffer
+
+	// Pair async begins with their ends by span ID.
+	begins := make(map[SpanID]Record)
+	stats := make(map[string]*spanStat)
+	for _, r := range recs {
+		switch r.Kind {
+		case KindBegin:
+			begins[r.Span] = r
+		case KindEnd:
+			b, ok := begins[r.Span]
+			if !ok {
+				continue
+			}
+			delete(begins, r.Span)
+			k := b.Cat + "/" + b.Name
+			st := stats[k]
+			if st == nil {
+				st = &spanStat{cat: b.Cat, name: b.Name}
+				stats[k] = st
+			}
+			st.count++
+			d := r.At - b.At
+			st.total += d
+			if d > st.max {
+				st.max = d
+			}
+		}
+	}
+
+	keys := make([]string, 0, len(stats))
+	for k := range stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.WriteString("phase breakdown (closed spans)\n")
+	fmt.Fprintf(&w, "  %-28s %8s %12s %12s %12s\n", "span", "count", "mean", "max", "total")
+	for _, k := range keys {
+		st := stats[k]
+		mean := st.total / sim.Time(st.count)
+		fmt.Fprintf(&w, "  %-28s %8d %12s %12s %12s\n",
+			st.cat+"/"+st.name, st.count, mean, st.max, st.total)
+	}
+	if n := len(begins); n > 0 {
+		fmt.Fprintf(&w, "  (%d spans still open at export)\n", n)
+	}
+
+	if tl := recoveryTimeline(recs); tl != "" {
+		w.WriteString("\n")
+		w.WriteString(tl)
+	}
+	return w.String()
+}
+
+// recoveryTimeline renders the latest recovery trace as a Figure-9-style
+// timeline: every milestone offset from the first record of that trace.
+func recoveryTimeline(recs []Record) string {
+	// Find the highest recovery trace ID (the latest configuration's
+	// recovery) and collect its records in merged order.
+	var latest uint64
+	for _, r := range recs {
+		if r.Trace&RecoveryTraceBit != 0 && r.Trace > latest {
+			latest = r.Trace
+		}
+	}
+	if latest == 0 {
+		return ""
+	}
+	var mine []Record
+	for _, r := range recs {
+		if r.Trace == latest {
+			mine = append(mine, r)
+		}
+	}
+	var w bytes.Buffer
+	fmt.Fprintf(&w, "recovery timeline (config %d, %d records)\n", latest&^RecoveryTraceBit, len(mine))
+	t0 := mine[0].At
+	line := func(r Record) {
+		var verb string
+		switch r.Kind {
+		case KindBegin:
+			verb = "begin"
+		case KindEnd:
+			verb = "end  "
+		default:
+			verb = "event"
+		}
+		fmt.Fprintf(&w, "  +%-12s m%-3d %s %s", r.At-t0, r.Machine, verb, r.Name)
+		if r.Arg != 0 {
+			fmt.Fprintf(&w, " (%d)", r.Arg)
+		}
+		w.WriteString("\n")
+	}
+	// Bound the rendering: a big recovery has thousands of per-transaction
+	// vote records; the head and tail carry the Figure 9 shape.
+	const headMax, tailMax = 48, 12
+	if len(mine) <= headMax+tailMax {
+		for _, r := range mine {
+			line(r)
+		}
+		return w.String()
+	}
+	for _, r := range mine[:headMax] {
+		line(r)
+	}
+	fmt.Fprintf(&w, "  … (%d records elided)\n", len(mine)-headMax-tailMax)
+	for _, r := range mine[len(mine)-tailMax:] {
+		line(r)
+	}
+	return w.String()
+}

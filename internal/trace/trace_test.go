@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"farm/internal/sim"
+)
+
+// TestSpanLifecycle exercises Begin/End/Event on one buffer and checks the
+// merged record stream: order, kinds, and cross-record linkage fields.
+func TestSpanLifecycle(t *testing.T) {
+	s := NewSet(Options{Enabled: true}, 2)
+	b := s.Machine(0)
+
+	ctx := b.Begin("tx", "tx", 100, 0, 0, 7)
+	if !ctx.Valid() {
+		t.Fatal("Begin returned an invalid context")
+	}
+	child := b.Begin("tx", "LOCK", 200, ctx.Trace, ctx.Span, 0)
+	if child.Trace != ctx.Trace {
+		t.Fatalf("child span joined trace %#x, want %#x", child.Trace, ctx.Trace)
+	}
+	b.Event("msg", "sent LOCK", 250, ctx.Trace, child.Span, 64)
+	b.End(child, 300, 0)
+	b.End(ctx, 400, 0)
+	// Ending the zero context must be a no-op, not a bogus record.
+	b.End(Ctx{}, 500, 0)
+
+	recs := s.merged()
+	if len(recs) != 5 {
+		t.Fatalf("got %d records, want 5", len(recs))
+	}
+	wantKinds := []Kind{KindBegin, KindBegin, KindInstant, KindEnd, KindEnd}
+	for i, r := range recs {
+		if r.Kind != wantKinds[i] {
+			t.Fatalf("record %d kind = %v, want %v", i, r.Kind, wantKinds[i])
+		}
+		if i > 0 && recs[i-1].At > r.At {
+			t.Fatalf("records out of time order at %d", i)
+		}
+	}
+	if recs[1].Parent != recs[0].Span {
+		t.Fatal("child begin does not reference parent span")
+	}
+	if recs[2].Arg != 64 {
+		t.Fatalf("instant arg = %d, want 64", recs[2].Arg)
+	}
+}
+
+// TestRingEvictionKeepsNewest overfills a small bulk ring and asserts the
+// oldest records are overwritten, drops are counted, and the survivors
+// come back oldest-first.
+func TestRingEvictionKeepsNewest(t *testing.T) {
+	s := NewSet(Options{Enabled: true, BufferCap: 8, RecoveryCap: 4}, 1)
+	b := s.Machine(0)
+	const n = 20
+	for i := 0; i < n; i++ {
+		b.Event("tx", "op", sim.Time(i), 1, 0, int64(i))
+	}
+	if got := s.Dropped(); got != n-8 {
+		t.Fatalf("Dropped() = %d, want %d", got, n-8)
+	}
+	recs := s.merged()
+	if len(recs) != 8 {
+		t.Fatalf("got %d records, want 8", len(recs))
+	}
+	for i, r := range recs {
+		if want := int64(n - 8 + i); r.Arg != want {
+			t.Fatalf("record %d arg = %d, want %d (oldest evicted first)", i, r.Arg, want)
+		}
+	}
+}
+
+// TestRecoveryRecordsShelteredFromTxFlood floods the bulk ring far past
+// capacity and asserts recovery and fault records survive untouched: they
+// live in their own ring, so the post-recovery transaction flood can never
+// evict the Figure 9 timeline.
+func TestRecoveryRecordsShelteredFromTxFlood(t *testing.T) {
+	s := NewSet(Options{Enabled: true, BufferCap: 8, RecoveryCap: 4}, 1)
+	b := s.Machine(0)
+	b.Event("recovery", "suspect", 1, RecoveryTraceBit|1, 0, 3)
+	b.Event("fault", "lease-expiry", 2, 0, 0, 3)
+	for i := 0; i < 1000; i++ {
+		b.Event("tx", "op", sim.Time(10+i), 1, 0, 0)
+	}
+	var gotSuspect, gotExpiry bool
+	for _, r := range s.merged() {
+		switch r.Name {
+		case "suspect":
+			gotSuspect = true
+		case "lease-expiry":
+			gotExpiry = true
+		}
+	}
+	if !gotSuspect || !gotExpiry {
+		t.Fatalf("recovery/fault records evicted by tx flood (suspect=%v expiry=%v)",
+			gotSuspect, gotExpiry)
+	}
+}
+
+// TestSampleTx checks the deterministic N-of-every-M transaction sampler.
+func TestSampleTx(t *testing.T) {
+	s := NewSet(Options{Enabled: true, SampleN: 1, SampleM: 4}, 1)
+	b := s.Machine(0)
+	want := []bool{true, false, false, false, true, false, false, false}
+	for i, w := range want {
+		if got := b.SampleTx(); got != w {
+			t.Fatalf("SampleTx() call %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+// buildSet deterministically populates a two-machine set the way the
+// instrumented protocol would.
+func buildSet() *Set {
+	s := NewSet(Options{Enabled: true}, 2)
+	m0, m1 := s.Machine(0), s.Machine(1)
+	tx := m0.Begin("tx", "tx", 1000, 0, 0, 0)
+	lock := m0.Begin("tx", "LOCK", 1100, tx.Trace, tx.Span, 0)
+	m0.Event("msg", "sent LOCK", 1150, lock.Trace, lock.Span, 96)
+	m1.Event("msg", "recv LOCK", 1400, lock.Trace, lock.Span, 0)
+	m0.End(lock, 1800, 0)
+	m0.End(tx, 2000, 0)
+	s.Cluster().Event("fault", "kill", 2100, 0, 0, 1)
+	rid := RecoveryTraceBit | 2
+	probe := m0.Begin("recovery", "probe", 2200, rid, 0, 1)
+	m0.End(probe, 2300, 1)
+	return s
+}
+
+// TestExportDeterministicAndValid asserts two identically-built sets
+// export byte-identical JSON that passes schema validation, including the
+// required-names check.
+func TestExportDeterministicAndValid(t *testing.T) {
+	a := buildSet().Export()
+	b := buildSet().Export()
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical record sets exported different JSON")
+	}
+	if err := Validate(a, []string{"tx", "LOCK", "probe", "kill"}); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if err := Validate(a, []string{"re-replication"}); err == nil {
+		t.Fatal("Validate accepted an export missing a required name")
+	}
+	if !bytes.Contains(a, []byte(`"displayTimeUnit":"ms"`)) {
+		t.Fatal("export missing trace_event trailer fields")
+	}
+}
+
+// TestValidateOrphanEnds checks the eviction contract: an async end whose
+// begin was dropped by the ring is tolerated only when the export reports
+// drops; with no drops it is a structural error.
+func TestValidateOrphanEnds(t *testing.T) {
+	// No drops: a hand-built end without a begin must fail validation.
+	s := NewSet(Options{Enabled: true}, 1)
+	s.Machine(0).End(Ctx{Trace: 1, Span: 99, Cat: "tx", Name: "LOCK"}, 100, 0)
+	if err := Validate(s.Export(), nil); err == nil {
+		t.Fatal("Validate accepted an orphan end with zero drops")
+	}
+
+	// With drops: overfill a cap-2 ring so the begin is evicted while its
+	// end survives; Chrome ignores such orphans and so must Validate.
+	s = NewSet(Options{Enabled: true, BufferCap: 2, RecoveryCap: 4}, 1)
+	b := s.Machine(0)
+	ctx := b.Begin("tx", "LOCK", 10, 0, 0, 0)
+	b.Event("msg", "noise", 20, 0, 0, 0)
+	b.Event("msg", "noise", 30, 0, 0, 0)
+	b.End(ctx, 40, 0)
+	if s.Dropped() == 0 {
+		t.Fatal("test setup: expected ring drops")
+	}
+	if err := Validate(s.Export(), nil); err != nil {
+		t.Fatalf("Validate rejected orphan end despite reported drops: %v", err)
+	}
+}
+
+// TestReport checks the phase breakdown aggregates closed spans and the
+// recovery timeline renders the recovery-namespaced trace.
+func TestReport(t *testing.T) {
+	out := buildSet().Report()
+	for _, want := range []string{
+		"phase breakdown", "tx/LOCK", "tx/tx", "recovery/probe",
+		"recovery timeline (config 2",
+		"begin probe",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
