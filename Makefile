@@ -19,11 +19,14 @@ bench:
 figures:
 	go run ./cmd/farm-bench -fig all
 
-# Nemesis campaign: 20 seeds of mixed faults plus a determinism replay.
-# Narrow with -faults (e.g. `go run ./cmd/farm-chaos -faults oneway,gray`)
-# and reproduce any reported seed with `-replay <seed>`.
+# Nemesis campaign: 20 seeds of mixed faults with state-integrity audits
+# after every heal, an injected-corruption run proving detect→localize→
+# repair, plus a determinism replay. Narrow with -faults (e.g.
+# `go run ./cmd/farm-chaos -faults oneway,gray`) and reproduce any
+# reported seed with `-replay <seed>`.
 chaos:
 	go run ./cmd/farm-chaos -runs 20
+	go run ./cmd/farm-chaos -runs 1 -corrupt
 	go run ./cmd/farm-chaos -replay 1
 	go test -race -run TestRunIsDeterministic ./internal/chaos
 

@@ -3,9 +3,16 @@
 // conservation, configuration agreement, durability and liveness. Failures
 // print the seed, which reproduces the run exactly.
 //
+// With -audit (on by default) every nemesis heal and every run end triggers
+// a cluster-wide state-integrity audit: replica digests are compared
+// primary-vs-backups per region and any divergence is localized to the exact
+// machine, block and object. -corrupt flips one byte in a backup mid-run to
+// prove the detect→localize→repair path end to end.
+//
 //	farm-chaos -runs 10
 //	farm-chaos -runs 5 -machines 9 -duration 2s -seed 42
 //	farm-chaos -faults oneway,gray -runs 8
+//	farm-chaos -corrupt -runs 1
 //	farm-chaos -replay 42
 package main
 
@@ -28,6 +35,8 @@ var (
 	seed     = flag.Uint64("seed", 1, "base seed")
 	faults   = flag.String("faults", "", "comma-separated fault kinds to enable (kill,cmkill,partition,oneway,flap,gray,power); empty = all")
 	replay   = flag.Uint64("replay", 0, "replay one seed twice, verify the runs are identical, and print its fault timeline")
+	audit    = flag.Bool("audit", true, "audit replica state-integrity after every nemesis heal and at end of run")
+	corrupt  = flag.Bool("corrupt", false, "flip one byte in a backup replica mid-run; audits must detect, localize and repair it")
 )
 
 func main() {
@@ -36,6 +45,12 @@ func main() {
 	cfg.Machines = *machines
 	cfg.Duration = sim.Time(duration.Nanoseconds())
 	cfg.Seed = *seed
+	cfg.Audit = *audit
+	cfg.InjectCorruption = *corrupt
+	if *corrupt && !*audit {
+		fmt.Fprintln(os.Stderr, "farm-chaos: -corrupt requires -audit (nothing else can detect it)")
+		os.Exit(2)
+	}
 
 	if *faults != "" {
 		if err := selectFaults(&cfg, *faults); err != nil {
@@ -51,9 +66,11 @@ func main() {
 
 	fmt.Printf("chaos campaign: %d runs × %v on %d machines (%s)\n\n",
 		*runs, *duration, *machines, enabledKinds(cfg))
-	bad := 0
+	bad, audits := 0, 0
 	for _, r := range chaos.Campaign(cfg, *runs) {
 		fmt.Println(r)
+		audits += r.Audits
+		printDivergences(r)
 		if len(r.Violations) > 0 {
 			bad++
 		}
@@ -62,7 +79,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "\n%d/%d runs violated invariants\n", bad, *runs)
 		os.Exit(1)
 	}
-	fmt.Printf("\nall %d runs clean: money conserved, one configuration, cluster live\n", *runs)
+	if *audit {
+		fmt.Printf("\nall %d runs clean: money conserved, one configuration, cluster live, %d audits passed\n", *runs, audits)
+	} else {
+		fmt.Printf("\nall %d runs clean: money conserved, one configuration, cluster live\n", *runs)
+	}
+}
+
+// printDivergences surfaces audit divergence localizations (corruption
+// injections too, so a -corrupt run reads as a cause→effect story) under a
+// run's summary line.
+func printDivergences(r chaos.Result) {
+	for _, e := range r.Timeline {
+		if strings.Contains(e, "audit-divergence") || strings.Contains(e, "corrupt") {
+			fmt.Printf("    %s\n", e)
+		}
+	}
 }
 
 // selectFaults zeroes every nemesis weight, then restores the default

@@ -1,0 +1,158 @@
+// Package audit implements replica state-integrity digests: an
+// order-independent, incrementally maintainable summary of a region
+// replica's committed state, plus the scan and drill-down helpers the
+// cluster-wide audit protocol uses to compare a primary against its
+// backups and localize the first divergent object.
+//
+// The digest algebra is a commutative composable hash: each slot of each
+// classed block contributes ObjectHash(offset, header word, payload), and
+// a replica's digest is the sum of all contributions modulo 2^64. Sums
+// commute, so primaries and backups converge to the same digest no matter
+// in which order they applied the same set of committed writes — the
+// property that makes an O(1)-per-mutation incremental update sound:
+// installing a write is Unfold(old slot state) followed by Fold(new slot
+// state), regardless of what else happened in between.
+//
+// The lock bit is masked out of the header word before hashing: locks are
+// transient coordination state that legitimately differs across replicas
+// (only primaries lock), while version, allocation bit and payload are
+// the replicated state §4/§5 promise to keep identical.
+//
+// Digest domain. A replica's digest covers every slot of every block
+// whose size class the replica knows (its block-header map), allocated or
+// free — free slots carry residual bytes that re-replication must also
+// reproduce. Blocks without a known class are outside the domain until
+// their header arrives; AddBlock folds their current contents in at that
+// moment. The domain therefore always equals "what a fresh scan over the
+// replica's own headers would hash", which is the invariant the per-replica
+// self-check (incremental value vs. fresh scan) enforces.
+package audit
+
+import "farm/internal/regionmem"
+
+// fnvOffset and fnvPrime are the FNV-1a 64-bit parameters; the digest is
+// not cryptographic — it defends against bugs and bit rot, not adversaries.
+const (
+	fnvOffset = uint64(14695981039346656037)
+	fnvPrime  = uint64(1099511628211)
+)
+
+// ObjectHash hashes one slot's state: its region offset, its header word
+// (callers pass the lock-masked word) and its payload bytes (the full slot
+// extent past the header). It allocates nothing.
+func ObjectHash(off int, word uint64, payload []byte) uint64 {
+	h := fnvOffset
+	h = (h ^ uint64(off)) * fnvPrime
+	for s := 0; s < 64; s += 8 {
+		h = (h ^ (word>>s)&0xff) * fnvPrime
+	}
+	for _, b := range payload {
+		h = (h ^ uint64(b)) * fnvPrime
+	}
+	// One more round so a zero payload still mixes the length in.
+	h = (h ^ uint64(len(payload))) * fnvPrime
+	return h
+}
+
+// Digest is the incrementally maintained commutative digest of one
+// replica. The zero value is the digest of an empty domain. Fold and
+// Unfold are exact inverses, so maintaining a Digest costs two hashes per
+// mutation and no allocation.
+type Digest struct {
+	sum uint64
+}
+
+// Fold adds one slot state's contribution. The word must already be
+// lock-masked (regionmem.MaskLock); payload is the slot's full payload
+// extent.
+func (d *Digest) Fold(off int, word uint64, payload []byte) {
+	d.sum += ObjectHash(off, word, payload)
+}
+
+// Unfold removes a contribution previously folded in.
+func (d *Digest) Unfold(off int, word uint64, payload []byte) {
+	d.sum -= ObjectHash(off, word, payload)
+}
+
+// Value returns the current digest.
+func (d *Digest) Value() uint64 { return d.sum }
+
+// Reseed overwrites the digest with a freshly scanned value (used after a
+// repair re-replication, whose force-copies replace bytes that were never
+// folded in because the corruption bypassed the write hooks).
+func (d *Digest) Reseed(v uint64) { d.sum = v }
+
+// ScanBlock hashes every slot of one block of size class `class` whose
+// bytes start at mem[base]. It is the ground truth the incremental digest
+// is audited against: it reads the memory as it is, so silent corruption
+// (which bypasses the incremental hooks) shows up here.
+func ScanBlock(mem []byte, base, blockSize, class int) uint64 {
+	var sum uint64
+	for off := base; off+class <= base+blockSize; off += class {
+		word := regionmem.MaskLock(regionmem.ReadHeader(mem, off))
+		sum += ObjectHash(off, word, mem[off+regionmem.HeaderSize:off+class])
+	}
+	return sum
+}
+
+// ScanRegion hashes a replica's full digest domain: every slot of every
+// classed block. Summation commutes, so the header map may be ranged
+// directly (per the determinism rule in internal/core/order.go).
+func ScanRegion(mem []byte, blockSize int, headers map[int]int) uint64 {
+	var sum uint64
+	for b, class := range headers {
+		sum += ScanBlock(mem, b*blockSize, blockSize, class)
+	}
+	return sum
+}
+
+// BlockDigests returns each classed block's scan digest, for the
+// region → block step of the drill-down diff.
+func BlockDigests(mem []byte, blockSize int, headers map[int]int) map[int]uint64 {
+	out := make(map[int]uint64, len(headers))
+	for b, class := range headers {
+		out[b] = ScanBlock(mem, b*blockSize, blockSize, class)
+	}
+	return out
+}
+
+// ObjectDigests returns the per-slot digests of one block in slot order,
+// for the block → object step of the drill-down diff.
+func ObjectDigests(mem []byte, base, blockSize, class int) []uint64 {
+	out := make([]uint64, 0, blockSize/class)
+	for off := base; off+class <= base+blockSize; off += class {
+		word := regionmem.MaskLock(regionmem.ReadHeader(mem, off))
+		out = append(out, ObjectHash(off, word, mem[off+regionmem.HeaderSize:off+class]))
+	}
+	return out
+}
+
+// FirstDivergentBlock compares two per-block digest maps over the blocks
+// `blocks` (callers pass sorted keys for determinism) and returns the
+// first block whose digests differ, or -1.
+func FirstDivergentBlock(blocks []int, a, b map[int]uint64) int {
+	for _, blk := range blocks {
+		if a[blk] != b[blk] {
+			return blk
+		}
+	}
+	return -1
+}
+
+// FirstDivergentObject compares two per-slot digest sequences and returns
+// the first differing slot index, or -1.
+func FirstDivergentObject(a, b []uint64) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	if len(a) != len(b) {
+		return n
+	}
+	return -1
+}

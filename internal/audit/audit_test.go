@@ -1,0 +1,181 @@
+package audit
+
+import (
+	"testing"
+
+	"farm/internal/regionmem"
+)
+
+// layout returns a small two-block geometry for digest tests.
+func layout() regionmem.Layout { return regionmem.Layout{RegionSize: 1 << 12, BlockSize: 1 << 10} }
+
+// write commits a payload at off, maintaining dig incrementally.
+func write(mem []byte, off int, ver uint64, alloc bool, payload []byte, class int, dig *Digest) {
+	regionmem.CommitWriteDigest(mem, off, ver, alloc, payload, class, dig)
+}
+
+// TestFoldUnfoldInverse asserts Unfold exactly cancels Fold, in any order.
+func TestFoldUnfoldInverse(t *testing.T) {
+	var d Digest
+	d.Fold(16, 42, []byte{1, 2, 3})
+	d.Fold(32, 7, []byte{9})
+	d.Unfold(16, 42, []byte{1, 2, 3})
+	d.Unfold(32, 7, []byte{9})
+	if d.Value() != 0 {
+		t.Fatalf("fold/unfold did not cancel: %#x", d.Value())
+	}
+}
+
+// TestOrderIndependence applies the same set of writes in two different
+// orders (with different intermediate states) and requires identical
+// digests — the property that lets primaries and backups converge despite
+// applying commits in different interleavings.
+func TestOrderIndependence(t *testing.T) {
+	const class = 16
+	lo := layout()
+	writes := []struct {
+		off int
+		ver uint64
+		val byte
+	}{
+		{0, 1, 0xAA}, {16, 1, 0xBB}, {32, 2, 0xCC}, {48, 3, 0xDD}, {64, 1, 0xEE},
+	}
+
+	run := func(order []int) (uint64, []byte) {
+		mem := make([]byte, lo.RegionSize)
+		var d Digest
+		// Fold the empty block in first (AddBlock semantics).
+		for off := 0; off+class <= lo.BlockSize; off += class {
+			d.Fold(off, regionmem.MaskLock(regionmem.ReadHeader(mem, off)), mem[off+regionmem.HeaderSize:off+class])
+		}
+		for _, i := range order {
+			w := writes[i]
+			write(mem, w.off, w.ver, true, []byte{w.val, 0, 0, 0, 0, 0, 0, 0}, class, &d)
+		}
+		return d.Value(), mem
+	}
+
+	a, memA := run([]int{0, 1, 2, 3, 4})
+	b, memB := run([]int{4, 2, 0, 3, 1})
+	if a != b {
+		t.Fatalf("digest depends on apply order: %#x vs %#x", a, b)
+	}
+	// And both equal the ground-truth scan.
+	headers := map[int]int{0: class}
+	if s := ScanRegion(memA, lo.BlockSize, headers); s != a {
+		t.Fatalf("incremental %#x != scan %#x", a, s)
+	}
+	if s := ScanRegion(memB, lo.BlockSize, headers); s != b {
+		t.Fatalf("incremental %#x != scan %#x (order B)", b, s)
+	}
+}
+
+// TestLockBitMasked asserts locking and unlocking an object leaves its
+// scan digest untouched (locks legitimately differ across replicas).
+func TestLockBitMasked(t *testing.T) {
+	lo := layout()
+	mem := make([]byte, lo.RegionSize)
+	headers := map[int]int{0: 16}
+	regionmem.CommitWrite(mem, 16, 3, true, []byte{5})
+	before := ScanRegion(mem, lo.BlockSize, headers)
+	if !regionmem.TryLock(mem, 16, 3) {
+		t.Fatal("TryLock failed")
+	}
+	if got := ScanRegion(mem, lo.BlockSize, headers); got != before {
+		t.Fatalf("lock bit changed digest: %#x vs %#x", got, before)
+	}
+	regionmem.Unlock(mem, 16)
+	if got := ScanRegion(mem, lo.BlockSize, headers); got != before {
+		t.Fatalf("unlock changed digest: %#x vs %#x", got, before)
+	}
+}
+
+// TestScanDetectsSilentCorruption flips one payload byte behind the
+// incremental digest's back and requires the scan (but not the incremental
+// value) to move — the reason cross-replica comparison and the self-check
+// both use scans.
+func TestScanDetectsSilentCorruption(t *testing.T) {
+	lo := layout()
+	mem := make([]byte, lo.RegionSize)
+	var d Digest
+	for off := 0; off+16 <= lo.BlockSize; off += 16 {
+		d.Fold(off, 0, mem[off+regionmem.HeaderSize:off+16])
+	}
+	write(mem, 32, 1, true, []byte{1, 2, 3, 4}, 16, &d)
+	headers := map[int]int{0: 16}
+	if s := ScanRegion(mem, lo.BlockSize, headers); s != d.Value() {
+		t.Fatalf("pre-corruption mismatch: inc %#x scan %#x", d.Value(), s)
+	}
+	mem[32+regionmem.HeaderSize] ^= 0xFF // silent corruption
+	if s := ScanRegion(mem, lo.BlockSize, headers); s == d.Value() {
+		t.Fatal("scan did not detect the corrupted byte")
+	}
+}
+
+// TestDrillDown asserts the block → object diff localizes exactly the
+// divergent slot.
+func TestDrillDown(t *testing.T) {
+	lo := layout()
+	const class = 32
+	a := make([]byte, lo.RegionSize)
+	b := make([]byte, lo.RegionSize)
+	headers := map[int]int{0: class, 2: class}
+	for _, mem := range [][]byte{a, b} {
+		regionmem.CommitWrite(mem, 0, 1, true, []byte{1})
+		regionmem.CommitWrite(mem, 2*lo.BlockSize+class, 4, true, []byte{7, 7})
+	}
+	// Diverge one object in block 2.
+	targetOff := 2*lo.BlockSize + 3*class
+	b[targetOff+regionmem.HeaderSize+5] = 0x5A
+
+	da := BlockDigests(a, lo.BlockSize, headers)
+	db := BlockDigests(b, lo.BlockSize, headers)
+	blk := FirstDivergentBlock([]int{0, 2}, da, db)
+	if blk != 2 {
+		t.Fatalf("divergent block = %d, want 2", blk)
+	}
+	oa := ObjectDigests(a, blk*lo.BlockSize, lo.BlockSize, class)
+	ob := ObjectDigests(b, blk*lo.BlockSize, lo.BlockSize, class)
+	slot := FirstDivergentObject(oa, ob)
+	if got := blk*lo.BlockSize + slot*class; got != targetOff {
+		t.Fatalf("localized offset %d, want %d", got, targetOff)
+	}
+	if FirstDivergentBlock([]int{0, 2}, da, da) != -1 {
+		t.Fatal("identical block maps reported divergent")
+	}
+	if FirstDivergentObject(oa, oa) != -1 {
+		t.Fatal("identical object digests reported divergent")
+	}
+}
+
+// TestReseed asserts Reseed replaces the incremental value (the repair
+// path: force-copied bytes were never folded in, so the digest is rebuilt
+// from a scan).
+func TestReseed(t *testing.T) {
+	var d Digest
+	d.Fold(0, 1, []byte{1})
+	d.Reseed(0xDEAD)
+	if d.Value() != 0xDEAD {
+		t.Fatalf("Reseed: got %#x", d.Value())
+	}
+}
+
+// TestCommitDigestUpdateZeroAlloc pins the per-commit digest update to 0
+// allocations, mirroring the trace layer's enqueue-path guard: the hook
+// runs on every commit apply at every replica, so an allocation here would
+// be a per-transaction regression. The *Digest → DigestSink conversion is
+// part of the measured path.
+func TestCommitDigestUpdateZeroAlloc(t *testing.T) {
+	lo := layout()
+	mem := make([]byte, lo.RegionSize)
+	var d Digest
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	ver := uint64(0)
+	avg := testing.AllocsPerRun(1000, func() {
+		ver++
+		regionmem.CommitWriteDigest(mem, 16, ver, true, payload, 16, &d)
+	})
+	if avg != 0 {
+		t.Fatalf("per-commit digest update allocates: %v allocs/op", avg)
+	}
+}

@@ -55,6 +55,17 @@ type Config struct {
 	MaxKills int
 	Lease    sim.Time
 	Seed     uint64
+	// Audit enables state-integrity auditing: replica digests are compared
+	// after every healed fault episode and once conclusively after the
+	// final quiesce. Any divergence (outside InjectCorruption runs) is a
+	// violation; self-healing repair is armed.
+	Audit bool
+	// InjectCorruption silently flips one byte of a backup replica mid-run
+	// (bypassing every write hook): the run then REQUIRES the audits to
+	// detect, localize and repair it. The victim slot is a free slot — in
+	// the digest domain, but never overwritten by the workload — so the
+	// corruption cannot be masked by an ordinary commit racing the audit.
+	InjectCorruption bool
 	// Trace enables causality tracing for the run; the merged Chrome
 	// trace_event JSON lands in Result.TraceJSON.
 	Trace trace.Options
@@ -79,6 +90,7 @@ func DefaultConfig() Config {
 		MaxKills:        2,
 		Lease:           5 * sim.Millisecond,
 		Seed:            1,
+		Audit:           true,
 	}
 }
 
@@ -94,8 +106,16 @@ type Result struct {
 	Flaps       int
 	Grays       int
 	PowerCycles int
+	// Audits counts conclusive region audits; AuditSkips counts audits
+	// that could not settle (never violations); AuditDivergences counts
+	// conclusive digest mismatches.
+	Audits, AuditSkips, AuditDivergences int
+	// CorruptionDetected/CorruptionRepaired report the fate of an
+	// InjectCorruption run's flipped byte.
+	CorruptionDetected, CorruptionRepaired bool
 	// Timeline records every fired fault episode as "<virtual-time> <kind>"
-	// in injection order; replaying the seed reproduces it byte for byte.
+	// in injection order (plus audit divergences with their localization);
+	// replaying the seed reproduces it byte for byte.
 	Timeline []string
 	// Violations lists invariant failures (empty = clean run).
 	Violations []string
@@ -116,8 +136,8 @@ func (r Result) String() string {
 	if len(r.Violations) > 0 {
 		status = fmt.Sprintf("VIOLATED %v", r.Violations)
 	}
-	return fmt.Sprintf("seed=%d commits=%d aborts=%d kills=%d cmkills=%d partitions=%d oneways=%d flaps=%d grays=%d powercycles=%d → %s",
-		r.Seed, r.Commits, r.Aborts, r.Kills, r.CMKills, r.Partitions, r.OneWays, r.Flaps, r.Grays, r.PowerCycles, status)
+	return fmt.Sprintf("seed=%d commits=%d aborts=%d kills=%d cmkills=%d partitions=%d oneways=%d flaps=%d grays=%d powercycles=%d audits=%d/%d skips → %s",
+		r.Seed, r.Commits, r.Aborts, r.Kills, r.CMKills, r.Partitions, r.OneWays, r.Flaps, r.Grays, r.PowerCycles, r.Audits, r.AuditSkips, status)
 }
 
 // Nemesis is one composable fault generator. Inject attempts to start an
@@ -142,6 +162,47 @@ type nemesisCtx struct {
 	// CM kill; the post-run audit requires the final configuration to have
 	// advanced past it (failover happened).
 	cmKillCfg uint64
+}
+
+// afterHeal ends a durational episode and, when auditing is enabled,
+// schedules a cluster-wide digest comparison once the heal's recovery has
+// had a moment to settle (audits that still catch recovery in flight
+// report inconclusive and count as skips, never violations).
+func (n *nemesisCtx) afterHeal() {
+	n.busy = false
+	n.scheduleAudit()
+}
+
+// scheduleAudit runs StartAudit shortly after a fault episode resolves.
+func (n *nemesisCtx) scheduleAudit() {
+	if !n.cfg.Audit {
+		return
+	}
+	n.c.Eng.After(15*sim.Millisecond, func() {
+		n.c.StartAudit(n.tally)
+	})
+}
+
+// tally folds one cluster audit's reports into the result. Divergences
+// are recorded on the timeline with their full localization so a -replay
+// of the seed reproduces the audit failure byte for byte.
+func (n *nemesisCtx) tally(reports []core.AuditReport) {
+	for _, r := range reports {
+		if !r.Conclusive {
+			n.res.AuditSkips++
+			continue
+		}
+		n.res.Audits++
+		if !r.Clean {
+			n.res.AuditDivergences++
+			n.res.CorruptionDetected = true
+			if r.Repaired {
+				n.res.CorruptionRepaired = true
+			}
+			n.res.Timeline = append(n.res.Timeline,
+				fmt.Sprintf("%v audit-divergence %s", n.c.Now(), r.String()))
+		}
+	}
 }
 
 // aliveMembers counts alive machines that are members of the latest
@@ -219,6 +280,7 @@ func schedule(n *nemesisCtx) []Nemesis {
 				n.res.Kills++
 			}
 			n.c.Kill(v)
+			n.scheduleAudit()
 			return true
 		}},
 		{Name: "cmkill", Weight: cfg.CMKillWeight, Inject: func() bool {
@@ -232,6 +294,7 @@ func schedule(n *nemesisCtx) []Nemesis {
 			n.cmKillCfg = maxU64(n.cmKillCfg, n.c.Machine(cm).ConfigID())
 			n.res.CMKills++
 			n.c.Kill(cm)
+			n.scheduleAudit()
 			return true
 		}},
 		{Name: "partition", Weight: cfg.PartitionWeight, Inject: func() bool {
@@ -245,7 +308,7 @@ func schedule(n *nemesisCtx) []Nemesis {
 			n.c.Partition(map[int]int{v: 1})
 			n.c.Eng.After(n.rng.Between(20*sim.Millisecond, 60*sim.Millisecond), func() {
 				n.c.Heal()
-				n.busy = false
+				n.afterHeal()
 			})
 			return true
 		}},
@@ -270,7 +333,7 @@ func schedule(n *nemesisCtx) []Nemesis {
 			}
 			n.c.Eng.After(n.rng.Between(20*sim.Millisecond, 50*sim.Millisecond), func() {
 				n.c.RestoreMachine(v)
-				n.busy = false
+				n.afterHeal()
 			})
 			return true
 		}},
@@ -295,7 +358,7 @@ func schedule(n *nemesisCtx) []Nemesis {
 			toggle = func() {
 				if n.c.Now() >= deadline {
 					n.c.HealLink(a, b)
-					n.busy = false
+					n.afterHeal()
 					return
 				}
 				if cut {
@@ -334,7 +397,7 @@ func schedule(n *nemesisCtx) []Nemesis {
 			n.c.DegradeMachine(v, f)
 			n.c.Eng.After(n.rng.Between(30*sim.Millisecond, 60*sim.Millisecond), func() {
 				n.c.RestoreMachine(v)
-				n.busy = false
+				n.afterHeal()
 			})
 			return true
 		}},
@@ -347,7 +410,7 @@ func schedule(n *nemesisCtx) []Nemesis {
 			n.c.PowerFailure()
 			n.c.Eng.After(n.rng.Between(20*sim.Millisecond, 80*sim.Millisecond), func() {
 				n.c.RestorePower()
-				n.busy = false
+				n.afterHeal()
 			})
 			return true
 		}},
@@ -357,9 +420,18 @@ func schedule(n *nemesisCtx) []Nemesis {
 // Run executes one chaos run.
 func Run(cfg Config) Result {
 	res := Result{Seed: cfg.Seed}
-	opts := core.Options{NumMachines: cfg.Machines, Seed: cfg.Seed, LeaseDuration: cfg.Lease, Trace: cfg.Trace}
+	opts := core.Options{
+		NumMachines:   cfg.Machines,
+		Seed:          cfg.Seed,
+		LeaseDuration: cfg.Lease,
+		Trace:         cfg.Trace,
+		// Audits self-heal: a localized divergent backup is fenced into
+		// force-copy re-replication and the repair is re-audited.
+		AuditRepair: cfg.Audit,
+	}
 	c := core.New(opts)
-	if _, err := c.CreateRegions(0, 3, 0); err != nil {
+	regions, err := c.CreateRegions(0, 3, 0)
+	if err != nil {
 		res.Violations = append(res.Violations, "setup: "+err.Error())
 		return res
 	}
@@ -457,6 +529,22 @@ func Run(cfg Config) Result {
 	for _, g := range gens {
 		weightSum += g.Weight
 	}
+
+	// Silent corruption mid-run: flip one byte on a backup, bypassing every
+	// write hook. The audits are then REQUIRED to find it. Track the victim:
+	// if a later kill takes the corrupted replica out of the placement, the
+	// corruption legitimately dies with it and detection becomes vacuous.
+	corruptMachine, corruptRegion := -1, uint32(0)
+	if cfg.Audit && cfg.InjectCorruption {
+		c.Eng.After(cfg.Duration/2, func() {
+			corruptRegion = regions[int(nctx.rng.Intn(len(regions)))]
+			if mach, off, ok := c.CorruptBackupObject(corruptRegion, false); ok {
+				corruptMachine = mach
+				res.Timeline = append(res.Timeline,
+					fmt.Sprintf("%v corrupt m%d region %d object @%d", c.Now(), mach, corruptRegion, off))
+			}
+		})
+	}
 	var inject func()
 	inject = func() {
 		// Stop injecting before the quiesce window so every durational
@@ -485,6 +573,43 @@ func Run(cfg Config) Result {
 	c.ClearNetworkFaults()
 	c.RunFor(500 * sim.Millisecond)
 	res.Commits, res.Aborts = commits, aborts
+
+	// Final state-integrity audit: after quiesce it must come back
+	// conclusive and clean. A divergence self-heals (repair + re-audit
+	// inside the run) so the retry loop converges unless something is
+	// genuinely broken; mid-run audits may skip, this one may not.
+	if cfg.Audit {
+		finalClean := false
+		for attempt := 0; attempt < 4 && !finalClean; attempt++ {
+			var reports []core.AuditReport
+			auditDone := false
+			c.StartAudit(func(rs []core.AuditReport) { reports, auditDone = rs, true })
+			c.RunFor(200 * sim.Millisecond)
+			if !auditDone {
+				res.Violations = append(res.Violations, "audit: final audit never completed")
+				break
+			}
+			nctx.tally(reports)
+			conclusive, diverged := true, false
+			for _, r := range reports {
+				if !r.Conclusive {
+					conclusive = false
+				} else if !r.Clean {
+					diverged = true
+				}
+			}
+			if conclusive && !diverged {
+				finalClean = true
+				break
+			}
+			// Inconclusive, or diverged-and-repaired: settle and re-audit.
+			c.RunFor(50 * sim.Millisecond)
+		}
+		if !finalClean {
+			res.Violations = append(res.Violations, "audit: final post-quiesce audit not conclusively clean")
+		}
+	}
+
 	if c.Tracer != nil {
 		res.TraceJSON = c.Tracer.Export()
 	}
@@ -536,6 +661,31 @@ func Run(cfg Config) Result {
 			res.Violations = append(res.Violations, "cm-failover: no alive CM after CM kill")
 		}
 	}
+	// State integrity: without injected corruption, any conclusive digest
+	// divergence is a false positive. With it, the flipped byte must have
+	// been detected AND repaired — unless the corrupted replica was killed
+	// or replaced, taking the corruption with it (vacuous, noted above).
+	if cfg.Audit {
+		if !cfg.InjectCorruption && res.AuditDivergences > 0 {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("audit: %d divergences without injected corruption (false positives)", res.AuditDivergences))
+		}
+		if cfg.InjectCorruption && corruptMachine >= 0 {
+			stillHosted := false
+			for i, id := range c.RegionReplicas(corruptRegion) {
+				if i > 0 && id == corruptMachine && c.Machine(id).Alive() {
+					stillHosted = true
+				}
+			}
+			if stillHosted && !res.CorruptionDetected {
+				res.Violations = append(res.Violations, "audit: injected corruption never detected")
+			}
+			if res.CorruptionDetected && !res.CorruptionRepaired {
+				res.Violations = append(res.Violations, "audit: injected corruption detected but not repaired")
+			}
+		}
+	}
+
 	// Conservation + liveness: audit reads must succeed and sum to total.
 	reader := member0
 	var sum uint64
@@ -559,7 +709,7 @@ func Run(cfg Config) Result {
 			fmt.Sprintf("conservation: Σ=%d want %d", sum, total))
 	}
 	// Liveness: a fresh transfer commits.
-	err := loadgen.RunSync(c, reader, 0, func(tx *core.Tx, done func(error)) {
+	err = loadgen.RunSync(c, reader, 0, func(tx *core.Tx, done func(error)) {
 		tx.Read(addrs[0], 8, func(data []byte, err error) {
 			if err != nil {
 				done(err)

@@ -134,6 +134,13 @@ func (m *Machine) processLock(rt *remoteTx, rec *proto.Record) {
 			ok = false
 			break
 		}
+		if rep.auditFence {
+			// A state-integrity audit holds the region at a quiescent
+			// point; the coordinator sees an ordinary conflict and retries.
+			m.c.Counters.Inc("audit_fence_conflict", 1)
+			ok = false
+			break
+		}
 		if !regionmem.TryLock(rep.mem, int(w.Addr.Off), w.Version) {
 			ok = false
 			break
@@ -171,7 +178,7 @@ func (m *Machine) applyCommitPrimary(rt *remoteTx) {
 		// Version-gated for recovery replays: never regress an object.
 		cur := regionmem.ReadHeader(rep.mem, int(w.Addr.Off))
 		if regionmem.Version(cur) <= w.Version {
-			regionmem.CommitWrite(rep.mem, int(w.Addr.Off), w.Version+1, w.Allocated, w.Value)
+			m.commitWrite(rep, int(w.Addr.Off), w.Version+1, w.Allocated, w.Value)
 			delete(rep.lockOwner, w.Addr.Off)
 			if !w.Allocated {
 				m.freeSlotAtPrimary(rep, int(w.Addr.Off))
@@ -246,7 +253,7 @@ func (m *Machine) applyAtBackup(rt *remoteTx) {
 		}
 		cur := regionmem.ReadHeader(rep.mem, int(w.Addr.Off))
 		if w.Version+1 > regionmem.Version(cur) {
-			regionmem.CommitWrite(rep.mem, int(w.Addr.Off), w.Version+1, w.Allocated, w.Value)
+			m.commitWrite(rep, int(w.Addr.Off), w.Version+1, w.Allocated, w.Value)
 		}
 	}
 }
@@ -306,6 +313,9 @@ func (m *Machine) rpcValidate(from int, id uint64, req *proto.ValidateReq) {
 // request id, so late responses still refresh the cache.
 func (m *Machine) rpcMapping(from int, _ uint64, req *proto.MappingReq) {
 	var resp proto.MappingResp
+	// Echo the region even on a miss so the requester's waiters wake (and
+	// retry with backoff) instead of hanging until some unrelated refresh.
+	resp.Map.Region = req.Region
 	if m.cm != nil {
 		if rm := m.cm.regions[req.Region]; rm != nil {
 			resp = proto.MappingResp{OK: true, Map: *rm}

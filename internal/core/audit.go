@@ -1,0 +1,680 @@
+package core
+
+// This file implements cluster-wide state-integrity auditing: every
+// replica maintains an incremental order-independent digest of its
+// committed state (internal/audit), and a region's primary can, on demand,
+// fence the region at a quiescent point, snapshot digests at itself and
+// every backup, and compare them. On divergence it drills down
+// (region → block → object) to the first divergent object and — when
+// Options.AuditRepair is set — fences the divergent backup into the §5.4
+// re-replication path in force-copy mode, then re-audits the repair.
+//
+// Two digests per replica are compared:
+//
+//   - Scan: recomputed from the raw bytes at snapshot time — the ground
+//     truth. Cross-replica comparison uses scans, so silent corruption
+//     (which bypasses the incremental hooks by definition) is caught.
+//   - Inc: the incrementally maintained value. A replica whose Inc
+//     disagrees with its own Scan has either corrupt memory or a missed
+//     write hook; this self-check runs on every snapshot.
+//
+// Fencing: the primary rejects new LOCK acquisitions on the audited
+// region (failures surface as ordinary conflict aborts that coordinators
+// retry), then waits for in-flight transactions to drain — no held locks,
+// no pending log records touching the region — before snapshotting.
+// Backups run the same settle wait so truncation lag cannot masquerade as
+// divergence. A snapshot that cannot settle reports inconclusive, which
+// is a skip, never a violation. Any configuration change aborts all
+// in-flight audits and drops every fence.
+
+import (
+	"fmt"
+
+	"farm/internal/audit"
+	"farm/internal/proto"
+	"farm/internal/regionmem"
+	"farm/internal/sim"
+	"farm/internal/trace"
+)
+
+const (
+	// auditSettlePoll is the interval between quiescence checks.
+	auditSettlePoll = 500 * sim.Microsecond
+	// auditSettleRounds is how many consecutive quiet polls count as
+	// settled (two, so records still in flight between NVRAM log and the
+	// poll loop get one full poll cycle to surface).
+	auditSettleRounds = 2
+	// auditSettleDeadline bounds one settle wait; exceeding it makes the
+	// snapshot inconclusive (chosen below TxStallTimeout: a stuck
+	// transaction makes the audit skip, not block).
+	auditSettleDeadline = 25 * sim.Millisecond
+	// auditDeadline bounds a whole audit including repair re-replication
+	// and the re-audit; a run that exceeds it reports inconclusive and
+	// drops its fence.
+	auditDeadline = 150 * sim.Millisecond
+)
+
+// AuditReport is the outcome of one region audit.
+type AuditReport struct {
+	ID     uint64
+	Region uint32
+	// Conclusive is false when the audit could not settle or complete
+	// (fence contention, recovery in flight, deadline) — a skip.
+	Conclusive bool
+	// Clean reports digest equality across all replicas (valid only when
+	// Conclusive).
+	Clean bool
+	// Backup/Block/Off localize the first divergence (-1 when unset):
+	// the diverged machine, block index, and exact object offset.
+	Backup int
+	Block  int
+	Off    int
+	// Repaired reports that the divergent backup was re-replicated and
+	// the re-audit came back clean.
+	Repaired bool
+	Note     string
+}
+
+// String renders the report for logs and replay files.
+func (r AuditReport) String() string {
+	switch {
+	case !r.Conclusive:
+		return fmt.Sprintf("audit %#x region %d: inconclusive (%s)", r.ID, r.Region, r.Note)
+	case r.Clean:
+		return fmt.Sprintf("audit %#x region %d: clean", r.ID, r.Region)
+	default:
+		s := fmt.Sprintf("audit %#x region %d: DIVERGED %s", r.ID, r.Region, r.Divergence())
+		if r.Repaired {
+			s += " (repaired, re-audit clean)"
+		} else if r.Note != "" {
+			s += " (" + r.Note + ")"
+		}
+		return s
+	}
+}
+
+// Divergence renders the localization: which replica diverged and where.
+func (r AuditReport) Divergence() string {
+	if r.Backup < 0 {
+		return ""
+	}
+	s := fmt.Sprintf("backup m%d", r.Backup)
+	if r.Block >= 0 {
+		s += fmt.Sprintf(" block %d", r.Block)
+	}
+	if r.Off >= 0 {
+		s += fmt.Sprintf(" object @%d", r.Off)
+	}
+	return s
+}
+
+// auditRun is the primary-side state of one in-flight region audit.
+type auditRun struct {
+	id     uint64
+	region uint32
+	cfg    uint64
+	rep    *replica
+	cb     func(AuditReport)
+	report AuditReport
+	span   trace.Ctx
+
+	primaryScan   uint64
+	primaryBlocks map[int]uint64
+	backups       []int
+	replies       map[int]*proto.AuditSnapReply
+	awaiting      int
+
+	// reauditing marks the verification pass after a repair.
+	reauditing bool
+	done       bool
+}
+
+// commitWrite installs a committed write at a replica through the
+// digest-aware path: the slot's old state is unfolded and its new state
+// folded into the replica's incremental digest (O(1), zero allocations).
+// Blocks whose class this replica does not know yet stay outside the
+// digest domain until their header arrives.
+func (m *Machine) commitWrite(rep *replica, off int, newVersion uint64, allocated bool, payload []byte) {
+	class := rep.headers[off/m.c.Opts.Layout.BlockSize]
+	regionmem.CommitWriteDigest(rep.mem, off, newVersion, allocated, payload, class, &rep.dig)
+}
+
+// foldBlock adds a newly classed block's current contents to the digest
+// domain (called when a block header is learned: allocation hook at the
+// primary, BLOCK-HEADER-SYNC or an audit snapshot's header map at backups).
+func (m *Machine) foldBlock(rep *replica, block, class int) {
+	base := block * m.c.Opts.Layout.BlockSize
+	for off := base; off+class <= base+m.c.Opts.Layout.BlockSize; off += class {
+		rep.dig.Fold(off, regionmem.MaskLock(regionmem.ReadHeader(rep.mem, off)),
+			rep.mem[off+regionmem.HeaderSize:off+class])
+	}
+}
+
+// StartRegionAudit audits one region this machine is primary for. cb
+// always fires exactly once — immediately with an inconclusive report if
+// the region is not auditable here, or when the audit completes or hits
+// its deadline.
+func (m *Machine) StartRegionAudit(region uint32, cb func(AuditReport)) {
+	report := AuditReport{Region: region, Backup: -1, Block: -1, Off: -1}
+	rep := m.replicas[region]
+	if !m.alive || rep == nil || !rep.primary || !rep.active ||
+		rep.auditFence || m.regionBlocked(region) || rep.allocRecovering {
+		report.Note = "primary not auditable"
+		m.c.Counters.Inc("audit_skipped", 1)
+		cb(report)
+		return
+	}
+	m.nextAudit++
+	id := uint64(m.ID+1)<<40 | m.nextAudit
+	report.ID = id
+	run := &auditRun{id: id, region: region, cfg: m.config.ID, rep: rep, cb: cb, report: report}
+	m.audits[id] = run
+	rep.auditFence = true
+	m.c.Counters.Inc("audit_started", 1)
+	if m.trb != nil {
+		run.span = m.trb.Begin("audit", "audit", m.c.Eng.Now(), id, 0, int64(region))
+	}
+	m.c.Eng.After(auditDeadline, func() {
+		if !run.done {
+			run.report.Note = "audit deadline"
+			m.finishAudit(run)
+		}
+	})
+	m.auditSettle(run)
+}
+
+// regionQuiet reports whether no transaction is in flight against the
+// region at this machine: no held object locks and no pending (non-
+// aborted, un-truncated) log records that write it. Aggregation only, so
+// ranging the maps directly is safe (see order.go).
+func (m *Machine) regionQuiet(region uint32, rep *replica) bool {
+	if len(rep.lockOwner) != 0 {
+		return false
+	}
+	for _, rt := range m.pend {
+		if rt.saw&(proto.SawAbort|proto.SawAbortRecovery) != 0 {
+			continue
+		}
+		if remoteTxTouches(rt, region) {
+			return false
+		}
+	}
+	return true
+}
+
+// remoteTxTouches reports whether a pending transaction writes the region.
+func remoteTxTouches(rt *remoteTx, region uint32) bool {
+	if rt.lock != nil {
+		for _, w := range rt.lock.Writes {
+			if w.Addr.Region == region {
+				return true
+			}
+		}
+		return false
+	}
+	for _, r := range rt.regionHint {
+		if r == region {
+			return true
+		}
+	}
+	return false
+}
+
+// auditSettle waits (behind the fence) for the region to quiesce at the
+// primary, then snapshots. Settle failure makes the audit inconclusive.
+func (m *Machine) auditSettle(run *auditRun) {
+	deadline := m.c.Eng.Now() + auditSettleDeadline
+	quiet := 0
+	var poll func()
+	poll = func() {
+		if run.done {
+			return
+		}
+		if !m.alive || m.config.ID != run.cfg {
+			run.report.Note = "configuration changed"
+			m.finishAudit(run)
+			return
+		}
+		if m.regionQuiet(run.region, run.rep) {
+			quiet++
+			if quiet >= auditSettleRounds {
+				m.auditSnapshot(run)
+				return
+			}
+		} else {
+			quiet = 0
+		}
+		if m.c.Eng.Now() >= deadline {
+			run.report.Note = "settle timeout at primary"
+			m.finishAudit(run)
+			return
+		}
+		m.c.Eng.After(auditSettlePoll, poll)
+	}
+	poll()
+}
+
+// auditSnapshot computes the primary's digests (running the incremental
+// vs. scan self-check) and queries every live backup.
+func (m *Machine) auditSnapshot(run *auditRun) {
+	rep, layout := run.rep, m.c.Opts.Layout
+	run.primaryScan = audit.ScanRegion(rep.mem, layout.BlockSize, rep.headers)
+	run.primaryBlocks = audit.BlockDigests(rep.mem, layout.BlockSize, rep.headers)
+	if inc := rep.dig.Value(); inc != run.primaryScan {
+		// The primary's own memory disagrees with its incremental digest:
+		// local corruption or a missed write hook. Re-replication flows
+		// from the primary, so this cannot be repaired from a backup —
+		// report it as a divergence at the primary itself.
+		run.report.Conclusive = true
+		run.report.Backup = m.ID
+		run.report.Note = "primary incremental/scan mismatch"
+		m.c.Counters.Inc("audit_self_mismatch", 1)
+		m.auditDiverged(run)
+		return
+	}
+
+	run.backups = run.backups[:0]
+	rm := m.mappings[run.region]
+	if rm != nil {
+		for _, b := range rm.Replicas[1:] {
+			if int(b) != m.ID && m.isMember(int(b)) {
+				run.backups = append(run.backups, int(b))
+			}
+		}
+	}
+	if len(run.backups) == 0 {
+		run.report.Conclusive = true
+		run.report.Clean = true
+		run.report.Note = "no backups"
+		m.finishAudit(run)
+		return
+	}
+	headers := make(map[int]int, len(rep.headers))
+	for b, s := range rep.headers {
+		headers[b] = s
+	}
+	run.replies = make(map[int]*proto.AuditSnapReply, len(run.backups))
+	run.awaiting = len(run.backups)
+	for _, b := range run.backups {
+		m.sendCtx(b, &proto.AuditSnap{
+			AuditID: run.id, Config: run.cfg, Region: run.region, Headers: headers,
+		}, run.span)
+	}
+}
+
+// onAuditSnap is the backup side: install any block headers we are
+// missing (folding the new blocks into the digest domain — the audit
+// doubles as allocator-metadata anti-entropy), settle locally, then reply
+// with incremental, scan and per-block digests. A backup that cannot
+// settle — pending transactions, data recovery in flight, configuration
+// mismatch — answers Settled=false and the audit is inconclusive.
+func (m *Machine) onAuditSnap(src int, v *proto.AuditSnap) {
+	reply := &proto.AuditSnapReply{AuditID: v.AuditID, Config: m.config.ID, Region: v.Region}
+	rep := m.replicas[v.Region]
+	if v.Config != m.config.ID || rep == nil || rep.primary ||
+		rep.needsDataRecovery || rep.repairing {
+		m.send(src, reply)
+		return
+	}
+	for _, b := range intKeys(v.Headers) {
+		if _, known := rep.headers[b]; !known {
+			rep.headers[b] = v.Headers[b]
+			m.foldBlock(rep, b, v.Headers[b])
+		}
+	}
+	layout := m.c.Opts.Layout
+	cfg := m.config.ID
+	deadline := m.c.Eng.Now() + auditSettleDeadline
+	quiet := 0
+	var poll func()
+	poll = func() {
+		if !m.alive || m.config.ID != cfg || m.replicas[v.Region] != rep ||
+			rep.needsDataRecovery || rep.primary {
+			return // audit aborted or superseded; primary's deadline handles it
+		}
+		if m.regionQuiet(v.Region, rep) {
+			quiet++
+			if quiet >= auditSettleRounds {
+				reply.Settled = true
+				reply.Inc = rep.dig.Value()
+				reply.Scan = audit.ScanRegion(rep.mem, layout.BlockSize, rep.headers)
+				reply.Blocks = audit.BlockDigests(rep.mem, layout.BlockSize, rep.headers)
+				m.send(src, reply)
+				return
+			}
+		} else {
+			quiet = 0
+		}
+		if m.c.Eng.Now() >= deadline {
+			m.send(src, reply) // Settled: false
+			return
+		}
+		m.c.Eng.After(auditSettlePoll, poll)
+	}
+	poll()
+}
+
+// onAuditSnapReply collects backup snapshots at the primary.
+func (m *Machine) onAuditSnapReply(src int, v *proto.AuditSnapReply) {
+	run := m.audits[v.AuditID]
+	if run == nil || run.done || run.replies == nil || run.replies[src] != nil {
+		return
+	}
+	run.replies[src] = v
+	run.awaiting--
+	if run.awaiting == 0 {
+		m.auditCompare(run)
+	}
+}
+
+// auditCompare judges the collected snapshots: all settled and all scans
+// equal (plus per-replica self-checks) is a pass; any unsettled reply is
+// inconclusive; otherwise the first divergent backup (lowest machine id)
+// is drilled into.
+func (m *Machine) auditCompare(run *auditRun) {
+	for _, b := range run.backups {
+		v := run.replies[b]
+		if v == nil || !v.Settled || v.Config != run.cfg {
+			run.report.Note = fmt.Sprintf("backup m%d not settled", b)
+			m.finishAudit(run)
+			return
+		}
+	}
+	for _, b := range run.backups {
+		v := run.replies[b]
+		if v.Scan == run.primaryScan && v.Inc == v.Scan {
+			continue
+		}
+		// Divergence. Localize: first divergent block, then first
+		// divergent object within it.
+		run.report.Conclusive = true
+		run.report.Backup = b
+		if v.Inc != v.Scan {
+			run.report.Note = "backup incremental/scan mismatch"
+		}
+		blk := audit.FirstDivergentBlock(intKeys(run.primaryBlocks), run.primaryBlocks, v.Blocks)
+		if blk < 0 {
+			// Scans agree per block yet something mismatched (stale
+			// incremental only): no object to localize, repair directly.
+			m.auditDiverged(run)
+			return
+		}
+		run.report.Block = blk
+		m.sendCtx(b, &proto.AuditObjectsReq{
+			AuditID: run.id, Config: run.cfg, Region: run.region, Block: blk,
+		}, run.span)
+		return
+	}
+	// All backups match the primary.
+	if run.reauditing {
+		run.report.Repaired = true
+		run.report.Clean = false
+	} else {
+		run.report.Clean = true
+	}
+	run.report.Conclusive = true
+	m.finishAudit(run)
+}
+
+// onAuditObjectsReq serves the drill-down at a diverged backup: the named
+// block's per-slot digests in slot order.
+func (m *Machine) onAuditObjectsReq(src int, v *proto.AuditObjectsReq) {
+	rep := m.replicas[v.Region]
+	if rep == nil || v.Config != m.config.ID {
+		return
+	}
+	class := rep.headers[v.Block]
+	if class == 0 {
+		return
+	}
+	m.send(src, &proto.AuditObjectsReply{
+		AuditID: v.AuditID, Region: v.Region, Block: v.Block,
+		Objects: audit.ObjectDigests(rep.mem, v.Block*m.c.Opts.Layout.BlockSize,
+			m.c.Opts.Layout.BlockSize, class),
+	})
+}
+
+// onAuditObjectsReply finishes localization at the primary: the first
+// divergent slot index becomes the exact object offset.
+func (m *Machine) onAuditObjectsReply(_ int, v *proto.AuditObjectsReply) {
+	run := m.audits[v.AuditID]
+	if run == nil || run.done || run.report.Block != v.Block {
+		return
+	}
+	layout := m.c.Opts.Layout
+	class := run.rep.headers[v.Block]
+	if class != 0 {
+		mine := audit.ObjectDigests(run.rep.mem, v.Block*layout.BlockSize, layout.BlockSize, class)
+		if slot := audit.FirstDivergentObject(mine, v.Objects); slot >= 0 {
+			run.report.Off = v.Block*layout.BlockSize + slot*class
+		}
+	}
+	m.auditDiverged(run)
+}
+
+// auditDiverged records a localized divergence and either hands the
+// backup to the repair path (Options.AuditRepair, first pass only) or
+// finishes with the failure.
+func (m *Machine) auditDiverged(run *auditRun) {
+	m.c.Counters.Inc("audit_divergence", 1)
+	m.c.trace("audit-divergence", run.report.Backup, int(run.region))
+	if m.trb != nil {
+		m.trb.Event("audit", "divergence", m.c.Eng.Now(), run.id, run.span.Span, int64(run.report.Off))
+	}
+	if !m.c.Opts.AuditRepair || run.reauditing || run.report.Backup == m.ID {
+		if run.reauditing {
+			run.report.Note = "repair did not converge"
+		}
+		m.finishAudit(run)
+		return
+	}
+	m.c.Counters.Inc("audit_repair_started", 1)
+	m.sendCtx(run.report.Backup, &proto.AuditRepair{
+		AuditID: run.id, Config: run.cfg, Region: run.region,
+	}, run.span)
+}
+
+// onAuditRepair fences this backup replica into force-copy
+// re-replication: the existing §5.4 data-recovery path refetches the
+// region from the primary, overwriting every differing slot (the audit
+// fence at the primary keeps the region quiescent meanwhile).
+func (m *Machine) onAuditRepair(src int, v *proto.AuditRepair) {
+	rep := m.replicas[v.Region]
+	if v.Config != m.config.ID || rep == nil || rep.primary ||
+		rep.needsDataRecovery || rep.repairing {
+		m.send(src, &proto.AuditRepairDone{AuditID: v.AuditID, Config: m.config.ID, Region: v.Region})
+		return
+	}
+	rep.repairing = true
+	rep.repairAuditID = v.AuditID
+	rep.needsDataRecovery = true
+	m.c.trace("audit-repair", m.ID, int(v.Region))
+	m.startDataRecovery(rep)
+}
+
+// onAuditRepairDone re-audits the repaired region (the snapshot/compare
+// machinery runs again; a second divergence is reported, not re-repaired).
+func (m *Machine) onAuditRepairDone(_ int, v *proto.AuditRepairDone) {
+	run := m.audits[v.AuditID]
+	if run == nil || run.done {
+		return
+	}
+	if !v.OK || v.Config != run.cfg {
+		run.report.Note = "repair failed"
+		m.finishAudit(run)
+		return
+	}
+	run.reauditing = true
+	run.replies = nil
+	m.auditSettle(run)
+}
+
+// finishAudit drops the fence, emits the trace/counter epilogue, and
+// delivers the report. Idempotent; runs even on a machine that died
+// mid-audit so cluster-level collectors always complete.
+func (m *Machine) finishAudit(run *auditRun) {
+	if run.done {
+		return
+	}
+	run.done = true
+	delete(m.audits, run.id)
+	run.rep.auditFence = false
+	switch {
+	case !run.report.Conclusive:
+		m.c.Counters.Inc("audit_inconclusive", 1)
+	case run.report.Clean || run.report.Repaired:
+		m.c.Counters.Inc("audit_clean", 1)
+	}
+	if run.span.Valid() {
+		var arg int64
+		if run.report.Conclusive && !run.report.Clean {
+			arg = 1
+		}
+		if !run.report.Conclusive {
+			arg = 2
+		}
+		m.trb.End(run.span, m.c.Eng.Now(), arg)
+	}
+	run.cb(run.report)
+}
+
+// abortAudits cancels every in-flight audit this machine coordinates and
+// clears all fences and repair marks — called on any configuration change
+// and on power restoration, so a fence can never leak past the epoch it
+// was taken in.
+func (m *Machine) abortAudits(reason string) {
+	for _, id := range u64Keys(m.audits) {
+		run := m.audits[id]
+		run.report.Note = reason
+		m.finishAudit(run)
+	}
+	for _, r := range m.replicas {
+		r.auditFence = false
+		r.repairing = false
+	}
+}
+
+// StartAudit audits every region of the cluster (each at its primary)
+// and delivers one report per region, sorted by region id, when all have
+// completed. Regions whose primary is unknown or dead report
+// inconclusive. done always fires within auditDeadline of the last
+// region's start.
+func (c *Cluster) StartAudit(done func([]AuditReport)) {
+	var src *Machine
+	for _, m := range c.Machines {
+		if m.alive && m.config.Member(uint16(m.ID)) && (src == nil || m.config.ID > src.config.ID) {
+			src = m
+		}
+	}
+	if src == nil {
+		done(nil)
+		return
+	}
+	regions := regionKeys(src.mappings)
+	if len(regions) == 0 {
+		done(nil)
+		return
+	}
+	reports := make([]AuditReport, len(regions))
+	remaining := len(regions)
+	for i, r := range regions {
+		i, r := i, r
+		collect := func(rep AuditReport) {
+			reports[i] = rep
+			remaining--
+			if remaining == 0 {
+				done(reports)
+			}
+		}
+		rm := src.mappings[r]
+		if rm == nil || len(rm.Replicas) == 0 {
+			collect(AuditReport{Region: r, Backup: -1, Block: -1, Off: -1, Note: "no mapping"})
+			continue
+		}
+		p := c.Machines[int(rm.Replicas[0])]
+		if !p.alive {
+			collect(AuditReport{Region: r, Backup: -1, Block: -1, Off: -1, Note: "primary dead"})
+			continue
+		}
+		p.StartRegionAudit(r, collect)
+	}
+}
+
+// RegionReplicas returns the region's replica machines (primary first)
+// according to the latest configuration any alive member holds — the
+// placement audits run against. Nil if no alive member knows the region.
+func (c *Cluster) RegionReplicas(region uint32) []int {
+	var src *Machine
+	for _, m := range c.Machines {
+		if m.alive && m.config.Member(uint16(m.ID)) && (src == nil || m.config.ID > src.config.ID) {
+			src = m
+		}
+	}
+	if src == nil || src.mappings[region] == nil {
+		return nil
+	}
+	out := make([]int, 0, len(src.mappings[region].Replicas))
+	for _, r := range src.mappings[region].Replicas {
+		out = append(out, int(r))
+	}
+	return out
+}
+
+// CorruptBackupObject flips one payload byte of a slot in a backup
+// replica of the region, bypassing every write hook — simulated silent
+// corruption for audit fault-injection tests. With allocated=true the
+// first live object is hit; with allocated=false the last free slot (a
+// target no workload will overwrite, for corruption that must persist
+// under concurrent traffic). Returns the victim machine and object
+// offset.
+func (c *Cluster) CorruptBackupObject(region uint32, allocated bool) (machine, off int, ok bool) {
+	var src *Machine
+	for _, m := range c.Machines {
+		if m.alive && m.config.Member(uint16(m.ID)) && (src == nil || m.config.ID > src.config.ID) {
+			src = m
+		}
+	}
+	if src == nil {
+		return -1, -1, false
+	}
+	rm := src.mappings[region]
+	if rm == nil || len(rm.Replicas) < 2 {
+		return -1, -1, false
+	}
+	layout := c.Opts.Layout
+	for _, b := range rm.Replicas[1:] {
+		bm := c.Machines[int(b)]
+		rep := bm.replicas[region]
+		if !bm.alive || rep == nil || rep.primary {
+			continue
+		}
+		blocks := intKeys(rep.headers)
+		if !allocated {
+			// Search from the top so the victim slot is the least likely
+			// to be claimed by the allocator later.
+			for i, j := 0, len(blocks)-1; i < j; i, j = i+1, j-1 {
+				blocks[i], blocks[j] = blocks[j], blocks[i]
+			}
+		}
+		for _, blk := range blocks {
+			class := rep.headers[blk]
+			base := blk * layout.BlockSize
+			slots := layout.BlockSize / class
+			for s := 0; s < slots; s++ {
+				slot := s
+				if !allocated {
+					slot = slots - 1 - s
+				}
+				o := base + slot*class
+				if regionmem.Allocated(regionmem.ReadHeader(rep.mem, o)) != allocated {
+					continue
+				}
+				rep.mem[o+regionmem.HeaderSize] ^= 0xA5
+				c.Counters.Inc("corruption_injected", 1)
+				c.trace("corrupt", bm.ID, o)
+				return bm.ID, o, true
+			}
+		}
+	}
+	return -1, -1, false
+}

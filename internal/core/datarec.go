@@ -1,7 +1,11 @@
 package core
 
 import (
+	"bytes"
+
+	"farm/internal/audit"
 	"farm/internal/fabric"
+	"farm/internal/proto"
 	"farm/internal/regionmem"
 	"farm/internal/sim"
 	"farm/internal/trace"
@@ -102,7 +106,16 @@ func (m *Machine) startDataRecovery(rep *replica) {
 // applyRecoveredBlock merges fetched bytes object by object: an object is
 // copied only if its recovered version is newer than the local one, using
 // a lock/update/unlock sequence so races with concurrent transaction
-// commits are safe (§5.4).
+// commits are safe (§5.4). Each copy keeps the replica's incremental
+// digest current (unfold old slot state, fold new) so a freshly recovered
+// backup is immediately auditable.
+//
+// In audit-repair mode (rep.repairing) the version gate widens to "any
+// difference": the primary's bytes win wherever the masked header word or
+// payload disagrees, which is what heals silent corruption that left the
+// version untouched. Repair skips the incremental updates — the corrupted
+// old bytes were never folded in, so unfolding them would skew the sum —
+// and the digest is reseeded from a fresh scan in finishDataRecovery.
 func (m *Machine) applyRecoveredBlock(rep *replica, base int, data []byte) {
 	layout := m.c.Opts.Layout
 	for rel := 0; rel < len(data); rel += layout.BlockSize {
@@ -120,16 +133,32 @@ func (m *Machine) applyRecoveredBlock(rep *replica, base int, data []byte) {
 		}
 		for so := rel; so+class <= blockEnd; so += class {
 			recovered := regionmem.ReadHeader(data, so)
-			local := regionmem.ReadHeader(rep.mem, base+so)
-			if regionmem.Version(recovered) > regionmem.Version(local) {
-				// Lock with CAS, update, unlock.
-				if regionmem.Locked(local) {
-					continue // being updated by a newer transaction
-				}
-				copy(rep.mem[base+so:base+so+class], data[so:so+class])
-				// Recovered state is stored unlocked.
-				regionmem.WriteHeader(rep.mem, base+so,
-					regionmem.Compose(regionmem.Version(recovered), false, regionmem.Allocated(recovered)))
+			off := base + so
+			local := regionmem.ReadHeader(rep.mem, off)
+			take := regionmem.Version(recovered) > regionmem.Version(local)
+			if !take && rep.repairing {
+				take = regionmem.MaskLock(recovered) != regionmem.MaskLock(local) ||
+					!bytes.Equal(rep.mem[off+regionmem.HeaderSize:off+class],
+						data[so+regionmem.HeaderSize:so+class])
+			}
+			if !take {
+				continue
+			}
+			// Lock with CAS, update, unlock.
+			if regionmem.Locked(local) {
+				continue // being updated by a newer transaction
+			}
+			if !rep.repairing {
+				rep.dig.Unfold(off, regionmem.MaskLock(local),
+					rep.mem[off+regionmem.HeaderSize:off+class])
+			}
+			copy(rep.mem[off:off+class], data[so:so+class])
+			// Recovered state is stored unlocked.
+			regionmem.WriteHeader(rep.mem, off,
+				regionmem.Compose(regionmem.Version(recovered), false, regionmem.Allocated(recovered)))
+			if !rep.repairing {
+				rep.dig.Fold(off, regionmem.MaskLock(regionmem.ReadHeader(rep.mem, off)),
+					rep.mem[off+regionmem.HeaderSize:off+class])
 			}
 		}
 	}
@@ -142,7 +171,10 @@ func min(a, b int) int {
 	return b
 }
 
-// finishDataRecovery marks the replica whole again.
+// finishDataRecovery marks the replica whole again. An audit repair ends
+// here too: the digest is reseeded from a ground-truth scan (force-copied
+// slots bypassed the incremental updates) and the auditing primary is told
+// to re-verify, instead of the normal CM bookkeeping.
 func (m *Machine) finishDataRecovery(rep *replica) {
 	if !rep.needsDataRecovery {
 		return
@@ -151,6 +183,17 @@ func (m *Machine) finishDataRecovery(rep *replica) {
 	if rep.recCtx.Valid() {
 		m.trb.End(rep.recCtx, m.c.Eng.Now(), int64(rep.size))
 		rep.recCtx = trace.Ctx{}
+	}
+	if rep.repairing {
+		rep.repairing = false
+		rep.dig.Reseed(audit.ScanRegion(rep.mem, m.c.Opts.Layout.BlockSize, rep.headers))
+		m.c.Counters.Inc("audit_repairs_completed", 1)
+		if p := m.primaryOf(rep.id); p >= 0 && p != m.ID {
+			m.send(p, &proto.AuditRepairDone{
+				AuditID: rep.repairAuditID, Config: m.config.ID, Region: rep.id, OK: true,
+			})
+		}
+		return
 	}
 	m.c.Counters.Inc("regions_rereplicated", 1)
 	m.c.noteRegionRecovered(rep.id)
@@ -182,7 +225,11 @@ func (m *Machine) startAllocRecovery(rep *replica) {
 		for b, s := range rep.headers {
 			headers[b] = s
 		}
-		rep.alloc = regionmem.Rebuild(layout, rep.mem, headers)
+		// Rebuild doubles as a digest reseed point: the promoted primary's
+		// digest is recomputed from the same full scan of the bytes.
+		var dig audit.Digest
+		rep.alloc = regionmem.RebuildWithDigest(layout, rep.mem, headers, &dig)
+		rep.dig = dig
 		m.installAllocHook(rep)
 		rep.allocRecovering = false
 		for _, off := range rep.freeQ {

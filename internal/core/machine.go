@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"farm/internal/audit"
 	"farm/internal/fabric"
 	"farm/internal/nvram"
 	"farm/internal/proto"
@@ -44,6 +45,21 @@ type replica struct {
 	// lockOwner tracks which transaction holds each object lock, for
 	// correct unlocking on aborts and recovery decisions.
 	lockOwner map[uint32]proto.TxID
+
+	// dig is the incrementally maintained state-integrity digest over
+	// every slot of every classed block (internal/audit). Updated in O(1)
+	// at every commit apply, recovery replay, and re-replication write.
+	dig audit.Digest
+	// auditFence blocks new LOCK acquisitions on this region at its
+	// primary while an audit snapshot/repair is in flight (lock failures
+	// surface as ordinary conflict aborts). Cleared when the audit ends
+	// and whenever the configuration changes.
+	auditFence bool
+	// repairing marks a backup replica re-running data recovery in
+	// force-copy mode to heal an audit divergence; finishing reseeds dig
+	// from a fresh scan and reports to repairAuditID's primary.
+	repairing     bool
+	repairAuditID uint64
 }
 
 // remoteTx is participant-side state for a transaction whose records
@@ -193,6 +209,12 @@ type Machine struct {
 	// appHandler receives application messages (function shipping).
 	appHandler func(src int, msg interface{})
 
+	// audits tracks state-integrity audits this machine coordinates (as
+	// the audited region's primary), keyed by audit id; nextAudit feeds
+	// the deterministic id scheme (machine+1)<<40 | counter.
+	audits    map[uint64]*auditRun
+	nextAudit uint64
+
 	// External-client gating (§5.2): requests queue between suspicion/
 	// NEW-CONFIG and NEW-CONFIG-COMMIT.
 	clientsBlocked bool
@@ -303,6 +325,7 @@ func (c *Cluster) newMachine(id int) *Machine {
 		rpcWaiters:     make(map[uint64]func(interface{})),
 		blocked:        make(map[uint32][]func()),
 		mappingWaiters: make(map[uint32][]func()),
+		audits:         make(map[uint64]*auditRun),
 	}
 	m.nic = c.Net.AddMachine(fabric.MachineID(id), store)
 	m.tp = newTransport(m)
@@ -629,10 +652,12 @@ func (m *Machine) hostReplica(region uint32, size int, primary bool) *replica {
 }
 
 // installAllocHook replicates block headers to backups when the allocator
-// claims a new block (§5.5).
+// claims a new block (§5.5), and folds the freshly classed block into the
+// primary's digest domain.
 func (m *Machine) installAllocHook(r *replica) {
 	r.alloc.OnNewBlock(func(block, slot int) {
 		r.headers[block] = slot
+		m.foldBlock(r, block, slot)
 		for _, b := range m.backupsOf(r.id) {
 			if int(b) == m.ID {
 				continue

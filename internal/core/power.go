@@ -58,6 +58,9 @@ func (c *Cluster) RestorePower() {
 		m.startTruncSweep()
 		m.startTxStallSweep()
 		m.reconfiguring = false
+		// Audits in flight at the outage are void (their messages died with
+		// the network); drop them and every fence before traffic resumes.
+		m.abortAudits("power cycle")
 		// Every in-flight transaction's completions were lost with the
 		// outage: mark them recovering now so stray replies produced while
 		// reprocessing logs below cannot drive the normal path.

@@ -373,6 +373,10 @@ func (m *Machine) onNewConfig(src int, nc *proto.NewConfig) {
 			break
 		}
 	}
+	// A new epoch invalidates every in-flight audit (digest comparisons
+	// are only meaningful within one configuration) and must drop all
+	// audit fences so they cannot outlive the epoch they were taken in.
+	m.abortAudits("configuration changed")
 	m.config = nc.Config
 	m.reconfiguring = false
 	if !m.config.Member(uint16(m.ID)) {
@@ -595,14 +599,19 @@ func (m *Machine) syncBlockHeaders(rep *replica) {
 	}
 }
 
-// onBlockHeaderSync installs replicated allocator metadata at a backup.
+// onBlockHeaderSync installs replicated allocator metadata at a backup,
+// folding newly classed blocks into the digest domain (block classes are
+// immutable, so an already known header never changes the domain).
 func (m *Machine) onBlockHeaderSync(s *proto.BlockHeaderSync) {
 	rep := m.replicas[s.Region]
 	if rep == nil {
 		return
 	}
-	for b, sz := range s.Headers {
-		rep.headers[b] = sz
+	for _, b := range intKeys(s.Headers) {
+		if _, known := rep.headers[b]; !known {
+			rep.headers[b] = s.Headers[b]
+			m.foldBlock(rep, b, s.Headers[b])
+		}
 	}
 }
 

@@ -238,8 +238,11 @@ func (t *transport) registerHandlers() {
 			if v.OK {
 				cp := v.Map
 				m.mappings[cp.Region] = &cp
-				m.wakeMappingWaiters(cp.Region)
 			}
+			// Wake waiters on failure too (the CM echoes the region in a
+			// miss): they retry with backoff and eventually surface an
+			// error, instead of hanging on a region the CM cannot resolve.
+			m.wakeMappingWaiters(v.Map.Region)
 		})
 
 	// Region allocation (CM side + replica side, §3).
@@ -336,6 +339,25 @@ func (t *transport) registerHandlers() {
 	// Data recovery (§5.4).
 	proto.Register(r, "DATA-REC-DONE", nil,
 		func(_ int, v *dataRecoveryDone) { m.onDataRecoveryDone(v) })
+
+	// State-integrity auditing. Priority: audits run right after heals and
+	// recoveries (queues at their fullest) and hold a region fence while in
+	// flight, so they must not sit in coalescing queues.
+	proto.RegisterPriority(r, "AUDIT-SNAP",
+		func(v *proto.AuditSnap) int { return 24 + 16*len(v.Headers) },
+		func(src int, v *proto.AuditSnap) { m.onAuditSnap(src, v) })
+	proto.RegisterPriority(r, "AUDIT-SNAP-REPLY",
+		func(v *proto.AuditSnapReply) int { return 48 + 16*len(v.Blocks) },
+		func(src int, v *proto.AuditSnapReply) { m.onAuditSnapReply(src, v) })
+	proto.RegisterPriority(r, "AUDIT-OBJECTS-REQ", nil,
+		func(src int, v *proto.AuditObjectsReq) { m.onAuditObjectsReq(src, v) })
+	proto.RegisterPriority(r, "AUDIT-OBJECTS-REPLY",
+		func(v *proto.AuditObjectsReply) int { return 24 + 8*len(v.Objects) },
+		func(src int, v *proto.AuditObjectsReply) { m.onAuditObjectsReply(src, v) })
+	proto.RegisterPriority(r, "AUDIT-REPAIR", nil,
+		func(src int, v *proto.AuditRepair) { m.onAuditRepair(src, v) })
+	proto.RegisterPriority(r, "AUDIT-REPAIR-DONE", nil,
+		func(src int, v *proto.AuditRepairDone) { m.onAuditRepairDone(src, v) })
 
 	// Cluster growth (§3).
 	proto.Register(r, "JOIN-REQ", nil,

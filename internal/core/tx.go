@@ -93,9 +93,29 @@ func (t *Tx) endTxSpan(err error) {
 // conflict to the application.
 const maxReadRetries = 64
 
-// maxMappingRetries bounds retries against stale/missing region mappings
-// (each retry refetches the mapping, which reconfiguration refreshes).
-const maxMappingRetries = 200
+// Mapping retries use capped exponential backoff with a retry budget:
+// transient staleness (a reconfiguration in flight) resolves within a few
+// short retries, while a permanently unresolvable region burns through the
+// budget in bounded time and surfaces ErrUnavailable instead of spinning.
+const (
+	mappingBackoffBase = 100 * sim.Microsecond
+	mappingBackoffCap  = 2 * sim.Millisecond
+	maxMappingRetries  = 40
+)
+
+// mappingBackoff returns the delay before mapping retry number retry:
+// base doubled per attempt, capped (no jitter — the simulation needs
+// determinism, and retries are already desynchronized by fetch latency).
+func mappingBackoff(retry int) sim.Time {
+	d := mappingBackoffBase
+	for i := 0; i < retry && d < mappingBackoffCap; i++ {
+		d *= 2
+	}
+	if d > mappingBackoffCap {
+		d = mappingBackoffCap
+	}
+	return d
+}
 
 // Read reads size payload bytes of the object at addr. Individual reads
 // are atomic and see only committed data (§3); consistency across objects
@@ -270,7 +290,7 @@ func (m *Machine) readObject(thread int, addr proto.Addr, size, lockRetries, map
 			cb(0, nil, ErrUnavailable)
 			return
 		}
-		m.c.Eng.After(200*sim.Microsecond, func() {
+		m.c.Eng.After(mappingBackoff(mapRetries), func() {
 			m.fetchMapping(addr.Region, func() {
 				m.readObject(thread, addr, size, lockRetries, mapRetries+1, cb)
 			})

@@ -1,0 +1,72 @@
+package proto
+
+// This file defines the state-integrity audit protocol messages: a
+// primary snapshots its region digest at a fenced point, asks every
+// backup for theirs, and on divergence drills down block → object. All
+// audit messages are registered priority (they bypass send coalescing):
+// audits run right after heals and recoveries, exactly when queues are
+// fullest, and a fence is held while they are in flight.
+
+// AuditSnap asks a backup for its digest snapshot of one region. The
+// primary's block-header map rides along so a backup that missed a
+// BLOCK-HEADER-SYNC can install the metadata (and fold the blocks into
+// its digest domain) before scanning — digest domains must match for the
+// comparison to be meaningful.
+type AuditSnap struct {
+	AuditID uint64
+	Config  uint64
+	Region  uint32
+	Headers map[int]int
+}
+
+// AuditSnapReply carries one backup's snapshot. Settled is false when the
+// backup could not reach a quiescent point (pending transactions on the
+// region, data recovery in flight, configuration mismatch) — the audit is
+// then inconclusive, never a divergence. Inc is the incrementally
+// maintained digest, Scan the fresh ground-truth scan (their disagreement
+// is the backup's self-check), and Blocks the per-block scan digests for
+// the drill-down.
+type AuditSnapReply struct {
+	AuditID uint64
+	Config  uint64
+	Region  uint32
+	Settled bool
+	Inc     uint64
+	Scan    uint64
+	Blocks  map[int]uint64
+}
+
+// AuditObjectsReq asks a diverged backup for one block's per-slot digests.
+type AuditObjectsReq struct {
+	AuditID uint64
+	Config  uint64
+	Region  uint32
+	Block   int
+}
+
+// AuditObjectsReply answers with the block's slot digests in slot order.
+type AuditObjectsReply struct {
+	AuditID uint64
+	Region  uint32
+	Block   int
+	Objects []uint64
+}
+
+// AuditRepair fences a divergent backup into re-replication: the backup
+// re-runs §5.4 data recovery against the primary in force-copy mode
+// (every differing slot is overwritten, not just newer-versioned ones)
+// and reseeds its digest from a fresh scan when done.
+type AuditRepair struct {
+	AuditID uint64
+	Config  uint64
+	Region  uint32
+}
+
+// AuditRepairDone reports a repair re-replication finished; the primary
+// re-audits the region to verify the repair took.
+type AuditRepairDone struct {
+	AuditID uint64
+	Config  uint64
+	Region  uint32
+	OK      bool
+}

@@ -129,6 +129,9 @@ func WireMessages() []interface{} {
 		// Region allocation (§3).
 		&AllocRegionPrepare{}, &AllocRegionPrepared{}, &AllocRegionCommit{},
 		&MappingResp{},
+		// State-integrity auditing.
+		&AuditSnap{}, &AuditSnapReply{}, &AuditObjectsReq{},
+		&AuditObjectsReply{}, &AuditRepair{}, &AuditRepairDone{},
 	}
 }
 

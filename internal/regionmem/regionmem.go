@@ -50,6 +50,11 @@ func Allocated(word uint64) bool { return word&allocBit != 0 }
 // Version extracts the version number.
 func Version(word uint64) uint64 { return word & verMask }
 
+// MaskLock clears the lock bit of a header word. State-integrity digests
+// hash lock-masked words: the lock bit is transient coordination state
+// that legitimately differs between a primary and its backups.
+func MaskLock(word uint64) uint64 { return word &^ lockBit }
+
 // ReadHeader loads the header word of the object at off.
 func ReadHeader(b []byte, off int) uint64 {
 	return binary.LittleEndian.Uint64(b[off:])
@@ -84,6 +89,34 @@ func Unlock(b []byte, off int) {
 func CommitWrite(b []byte, off int, newVersion uint64, allocated bool, payload []byte) {
 	copy(b[off+HeaderSize:], payload)
 	WriteHeader(b, off, Compose(newVersion, false, allocated))
+}
+
+// DigestSink receives incremental state-digest updates from digest-aware
+// memory operations. It is structural (rather than a concrete type from
+// the audit package) so regionmem stays dependency-free; internal/audit's
+// Digest satisfies it. Both methods take the slot's offset, its
+// lock-masked header word, and its full payload extent.
+type DigestSink interface {
+	Fold(off int, word uint64, payload []byte)
+	Unfold(off int, word uint64, payload []byte)
+}
+
+// CommitWriteDigest is CommitWrite with an incremental digest update: the
+// slot's old state (lock-masked word + full payload extent of its size
+// class) is unfolded from the sink, the write installed, and the new state
+// folded in — O(1) per mutation, no allocation. class is the slot size of
+// the block containing off; a zero class (block not yet classed at this
+// replica) or nil sink degrades to a plain CommitWrite, leaving the slot
+// outside the digest domain until its block header arrives.
+func CommitWriteDigest(b []byte, off int, newVersion uint64, allocated bool, payload []byte, class int, sink DigestSink) {
+	if sink == nil || class == 0 {
+		CommitWrite(b, off, newVersion, allocated, payload)
+		return
+	}
+	ext := b[off+HeaderSize : off+class]
+	sink.Unfold(off, MaskLock(ReadHeader(b, off)), ext)
+	CommitWrite(b, off, newVersion, allocated, payload)
+	sink.Fold(off, MaskLock(ReadHeader(b, off)), ext)
 }
 
 // ReadObject returns the header word and a copy of size payload bytes of
@@ -289,6 +322,25 @@ func Rebuild(layout Layout, mem []byte, headers map[int]int) *Allocator {
 				a.used[b]++
 			} else {
 				a.free[c] = append(a.free[c], off)
+			}
+		}
+	}
+	return a
+}
+
+// RebuildWithDigest is Rebuild with a digest pass: while the §5.5 scan
+// walks every slot of every classed block it also folds each slot's state
+// into sink, so the caller gets the allocator AND a freshly scanned state
+// digest from the same pass. Callers replace their replica's incremental
+// digest with the result (allocator recovery runs exactly when incremental
+// state may be stale — after a promotion).
+func RebuildWithDigest(layout Layout, mem []byte, headers map[int]int, sink DigestSink) *Allocator {
+	a := Rebuild(layout, mem, headers)
+	if sink != nil {
+		for b, c := range headers {
+			base := b * layout.BlockSize
+			for off := base; off+c <= base+layout.BlockSize; off += c {
+				sink.Fold(off, MaskLock(ReadHeader(mem, off)), mem[off+HeaderSize:off+c])
 			}
 		}
 	}

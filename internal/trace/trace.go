@@ -71,7 +71,7 @@ type Record struct {
 	At      sim.Time
 	Machine int
 	Kind    Kind
-	Cat     string // category: "tx", "recovery", "msg", "fault"
+	Cat     string // category: "tx", "recovery", "msg", "fault", "audit"
 	Name    string
 	Trace   uint64
 	Span    SpanID
@@ -190,7 +190,7 @@ func (b *Buffer) SampleTx() bool {
 func (b *Buffer) push(r Record) {
 	r.Seq = b.seq
 	b.seq++
-	if r.Cat == "recovery" || r.Cat == "fault" {
+	if r.Cat == "recovery" || r.Cat == "fault" || r.Cat == "audit" {
 		b.rec.push(r, &b.dropped)
 		return
 	}
