@@ -1,10 +1,13 @@
 # Convenience targets; everything is stdlib-only `go` commands.
 
-.PHONY: check test bench figures chaos examples vet race trace
+.PHONY: check test bench perf figures chaos examples vet race trace
 
-# Default CI gate: static checks, the full suite, the race detector, a
+# Default local gate: static checks, the full suite (including the
+# 100-machine scale run in internal/perf), the race detector, a
 # multi-seed nemesis campaign with every fault kind enabled, then traced
-# smoke runs whose exports are schema-validated.
+# smoke runs whose exports are schema-validated. CI runs the same
+# targets split across parallel jobs (check / chaos / perf) in
+# .github/workflows/check.yml.
 check: vet test race chaos trace
 
 test:
@@ -14,7 +17,15 @@ short:
 	go test -short ./...
 
 bench:
-	go test -bench . -benchmem -run XXX .
+	go test -bench . -benchmem -run XXX ./internal/sim ./internal/fabric .
+
+# Simulator performance gate: re-measure the scale suite (TATP at 9, 50
+# and 100 machines) and compare against the committed BENCH_sim.json —
+# fails on a >10% events/sec regression or any steady-state engine
+# allocation. Refresh the baseline after a deliberate change with
+# `go run ./cmd/farm-perf -update`.
+perf:
+	go run ./cmd/farm-perf -out /tmp/BENCH_sim.json
 
 figures:
 	go run ./cmd/farm-bench -fig all

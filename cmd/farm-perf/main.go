@@ -1,0 +1,73 @@
+// farm-perf measures the simulator itself: host events per second,
+// simulated transactions per wall-second, allocations per event, and the
+// largest cluster simulated — the perf trajectory committed as
+// BENCH_sim.json. With -check (on by default) the fresh measurement is
+// compared against the committed baseline and the run fails on a >10%
+// events/sec regression, so engine slowdowns are caught in CI rather than
+// discovered when a 100-machine experiment stops fitting in a lunch break.
+//
+//	farm-perf                          # measure, check against BENCH_sim.json
+//	farm-perf -update                  # measure and rewrite the baseline
+//	farm-perf -out /tmp/b.json -check=false
+//	farm-perf -threshold 0.2           # tolerate up to 20% regression
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"farm/internal/perf"
+)
+
+var (
+	baselinePath = flag.String("baseline", "BENCH_sim.json", "committed baseline to compare against")
+	outPath      = flag.String("out", "", "write the fresh report to this path (empty: don't write)")
+	check        = flag.Bool("check", true, "fail on regression against the baseline")
+	threshold    = flag.Float64("threshold", 0.10, "allowed fractional events/sec regression")
+	update       = flag.Bool("update", false, "rewrite the baseline with the fresh measurement")
+)
+
+func main() {
+	flag.Parse()
+
+	report, err := perf.RunAll(perf.DefaultSpecs(), func(line string) { fmt.Println(line) })
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "farm-perf:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("peak machines simulated: %d; engine steady-state allocs/event: %.2f\n",
+		report.PeakMachines, report.EngineAllocsPerEvent)
+
+	if *outPath != "" {
+		if err := report.WriteFile(*outPath); err != nil {
+			fmt.Fprintln(os.Stderr, "farm-perf:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *outPath)
+	}
+	if *update {
+		if err := report.WriteFile(*baselinePath); err != nil {
+			fmt.Fprintln(os.Stderr, "farm-perf:", err)
+			os.Exit(1)
+		}
+		fmt.Println("updated baseline", *baselinePath)
+		return
+	}
+	if !*check {
+		return
+	}
+	baseline, err := perf.LoadReport(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "farm-perf: no baseline:", err)
+		fmt.Fprintln(os.Stderr, "run `farm-perf -update` to create one")
+		os.Exit(1)
+	}
+	if bad := perf.Compare(baseline, report, *threshold); len(bad) > 0 {
+		for _, b := range bad {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", b)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("PASS: no point regressed more than %.0f%% vs %s\n", *threshold*100, *baselinePath)
+}

@@ -55,6 +55,11 @@ type Config struct {
 	MaxKills int
 	Lease    sim.Time
 	Seed     uint64
+	// LogCapacity overrides the per-sender transaction-log ring size
+	// (bytes; 0 = core default). Large clusters shrink it: rings scale
+	// with machines², so 50 machines at the 256 KB default would spend
+	// hundreds of megabytes on rings alone.
+	LogCapacity int
 	// Audit enables state-integrity auditing: replica digests are compared
 	// after every healed fault episode and once conclusively after the
 	// final quiesce. Any divergence (outside InjectCorruption runs) is a
@@ -424,6 +429,7 @@ func Run(cfg Config) Result {
 		NumMachines:   cfg.Machines,
 		Seed:          cfg.Seed,
 		LeaseDuration: cfg.Lease,
+		LogCapacity:   cfg.LogCapacity,
 		Trace:         cfg.Trace,
 		// Audits self-heal: a localized divergent backup is fenced into
 		// force-copy re-replication and the repair is re-audited.

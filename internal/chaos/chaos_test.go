@@ -51,6 +51,44 @@ func TestRunIsDeterministic(t *testing.T) {
 	}
 }
 
+// TestRunIsDeterministicAt50Machines is the scale sibling of
+// TestRunIsDeterministic: after the event-engine refactor the simulator
+// handles clusters far beyond the seed scale, so determinism must be
+// guarded there too — heap-ordering or pooling bugs that only manifest
+// under big-cluster event populations (deep 4-ary heaps, thousands of
+// live timers, busy free lists) would otherwise slip through. The run is
+// short: the point is the machine count, not the duration.
+func TestRunIsDeterministicAt50Machines(t *testing.T) {
+	if raceEnabled {
+		// The simulation is single-goroutine; race-instrumenting a
+		// 50-machine run checks no additional concurrency and multiplies
+		// its cost enough to threaten the package test timeout. The
+		// 9-machine TestRunIsDeterministic still runs raced.
+		t.Skip("50-machine determinism run under -race: no concurrency to check, only slowdown")
+	}
+	cfg := DefaultConfig()
+	cfg.Machines = 50
+	cfg.Accounts = 100
+	cfg.MaxKills = 3
+	// Injection quiesces 200ms before the end of the run (so every fault
+	// has time to heal before the final audit); the duration must clear
+	// that window or no fault ever fires.
+	cfg.Duration = 300 * sim.Millisecond
+	cfg.FaultEvery = 30 * sim.Millisecond
+	cfg.LogCapacity = 1 << 15 // rings scale with machines²; keep memory sane
+	a := Run(cfg)
+	b := Run(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different runs at 50 machines:\n  %v\n  %v", a, b)
+	}
+	if a.Faults() == 0 {
+		t.Fatalf("50-machine determinism check exercised no faults: %v", a)
+	}
+	if len(a.Violations) != 0 {
+		t.Fatalf("50-machine run violated invariants: %v", a.Violations)
+	}
+}
+
 // TestNemesisDeterminismAllKinds drives every nemesis kind hard (short
 // fault interval, several seeds) and replays each seed, requiring the
 // replay byte-identical — the injected fault sequence itself is part of

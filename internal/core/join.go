@@ -66,7 +66,7 @@ func (m *Machine) ensureLogPair(peer int) {
 		if err != nil {
 			panic(fmt.Sprintf("core: log ring for peer %d: %v", peer, err))
 		}
-		m.logR[peer] = &logReader{src: peer, rd: ring.NewReader(mem), frames: make(map[mtl][]uint64)}
+		m.logR[peer] = newLogReader(m, peer, ring.NewReader(mem))
 	}
 	if m.logW[peer] == nil {
 		m.logW[peer] = ring.NewWriter(m.nic, fabric.MachineID(peer),

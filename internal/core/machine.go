@@ -124,11 +124,27 @@ type logReader struct {
 	src           int
 	rd            *ring.Reader
 	pollScheduled bool
+	// pollFn is the reader's single pre-bound poll callback (see
+	// newLogReader), so scheduling a poll allocates nothing.
+	pollFn func()
 	// frames indexes untruncated frame seqs by transaction (keyed without
 	// the configuration component, matching truncation references).
 	frames map[mtl][]uint64
 	// reported is the consumed-bytes watermark last pushed to the sender.
 	reported uint64
+}
+
+// newLogReader builds the reader for one peer's log ring with its poll
+// callback bound once.
+func newLogReader(m *Machine, src int, rd *ring.Reader) *logReader {
+	lr := &logReader{src: src, rd: rd, frames: make(map[mtl][]uint64)}
+	lr.pollFn = func() {
+		lr.pollScheduled = false
+		if m.alive {
+			m.pollLog(lr)
+		}
+	}
+	return lr
 }
 
 // Machine is one FaRM machine: worker threads, NVRAM-hosted region
@@ -230,8 +246,62 @@ type Machine struct {
 	curCtx      trace.Ctx
 	reconfigCtx trace.Ctx
 
+	// taskFree recycles msgTask carriers (deferred receive dispatches and
+	// outbound enqueues) so the per-message paths allocate nothing in
+	// steady state.
+	taskFree []*msgTask
+
 	// Stats.
 	Committed, Aborted uint64
+}
+
+// msgTask is one pooled unit of deferred message work: dispatching a
+// received message's handler, or enqueueing an outbound message into the
+// transport — both run on a worker thread with the CPU cost charged there.
+// runFn is bound to the task once at allocation; the task recycles itself
+// before invoking the handler, so nested sends can reuse it immediately.
+type msgTask struct {
+	m     *Machine
+	h     *proto.Handler // receive dispatch; nil for send tasks
+	src   int
+	dst   int
+	msg   interface{}
+	ctx   trace.Ctx
+	send  bool
+	runFn func()
+}
+
+func (m *Machine) getTask() *msgTask {
+	if k := len(m.taskFree); k > 0 {
+		t := m.taskFree[k-1]
+		m.taskFree = m.taskFree[:k-1]
+		return t
+	}
+	t := &msgTask{m: m}
+	t.runFn = t.run
+	return t
+}
+
+func (t *msgTask) run() {
+	m := t.m
+	h, src, dst, msg, ctx, send := t.h, t.src, t.dst, t.msg, t.ctx, t.send
+	t.h, t.msg, t.ctx, t.send = nil, nil, trace.Ctx{}, false
+	m.taskFree = append(m.taskFree, t)
+	if !m.alive {
+		return
+	}
+	if send {
+		m.tp.enqueue(dst, msg, ctx)
+		return
+	}
+	if m.trb != nil && ctx.Valid() {
+		prev := m.curCtx
+		m.curCtx = ctx
+		h.Fn(src, msg)
+		m.curCtx = prev
+		return
+	}
+	h.Fn(src, msg)
 }
 
 // regionBlocked reports whether access to a region is blocked pending lock
@@ -345,11 +415,7 @@ func (m *Machine) initLogs() {
 		if err != nil {
 			panic(err)
 		}
-		m.logR[peer.ID] = &logReader{
-			src:    peer.ID,
-			rd:     ring.NewReader(mem),
-			frames: make(map[mtl][]uint64),
-		}
+		m.logR[peer.ID] = newLogReader(m, peer.ID, ring.NewReader(mem))
 	}
 	// Self log: coordinators co-located with a primary/backup write
 	// locally (§4 "local memory accesses rather than RDMA").
@@ -357,7 +423,7 @@ func (m *Machine) initLogs() {
 	if err != nil {
 		panic(err)
 	}
-	m.logR[m.ID] = &logReader{src: m.ID, rd: ring.NewReader(mem), frames: make(map[mtl][]uint64)}
+	m.logR[m.ID] = newLogReader(m, m.ID, ring.NewReader(mem))
 	for _, peer := range m.c.Machines {
 		m.logW[peer.ID] = ring.NewWriter(m.nic, fabric.MachineID(peer.ID), nvram.RegionID(logRegionID(m.ID)), m.c.Opts.LogCapacity)
 	}
@@ -501,7 +567,7 @@ func (m *Machine) dispatchMsg(src int, msg interface{}, stamp sim.Time, ctx trac
 		m.c.Counters.Inc("msg unknown", 1)
 		return
 	}
-	m.c.Counters.Inc(h.RecvCounter, 1)
+	*h.RecvCell++
 	if stamp > 0 {
 		m.c.MsgLatency.Record(h.Name, m.c.Eng.Now()-stamp)
 	}
@@ -509,25 +575,14 @@ func (m *Machine) dispatchMsg(src int, msg interface{}, stamp sim.Time, ctx trac
 		// h.RecvCounter ("msg NAME") doubles as the precomputed event name.
 		m.trb.Event("msg", h.RecvCounter, m.c.Eng.Now(), ctx.Trace, ctx.Span, int64(src))
 	}
-	run := func() {
-		if !m.alive {
-			return
-		}
-		if m.trb != nil && ctx.Valid() {
-			prev := m.curCtx
-			m.curCtx = ctx
-			h.Fn(src, msg)
-			m.curCtx = prev
-			return
-		}
-		h.Fn(src, msg)
-	}
+	tk := m.getTask()
+	tk.h, tk.src, tk.msg, tk.ctx = h, src, msg, ctx
 	if v, ok := msg.(*proto.RecoveryVote); ok {
 		// Votes go to the peer thread of the coordinator thread (§5.3).
-		m.pool.ByIndex(int(v.Tx.Thread)).Do(m.c.Opts.CPUMsg, run)
+		m.pool.ByIndex(int(v.Tx.Thread)).Do(m.c.Opts.CPUMsg, tk.runFn)
 		return
 	}
-	m.pool.Dispatch(m.c.Opts.CPUMsg, run)
+	m.pool.Dispatch(m.c.Opts.CPUMsg, tk.runFn)
 }
 
 // onRemoteWrite reacts to one-sided writes landing in local memory; for
@@ -546,12 +601,7 @@ func (m *Machine) onRemoteWrite(region nvram.RegionID, _, _ int) {
 		return
 	}
 	lr.pollScheduled = true
-	m.c.Eng.After(m.c.Opts.PollDelay, func() {
-		lr.pollScheduled = false
-		if m.alive {
-			m.pollLog(lr)
-		}
-	})
+	m.c.Eng.After(m.c.Opts.PollDelay, lr.pollFn)
 }
 
 // pollLog drains newly arrived frames from one peer's log and processes
@@ -688,11 +738,9 @@ func (m *Machine) sendCtx(dst int, msg interface{}, ctx trace.Ctx) {
 	if !m.alive {
 		return
 	}
-	m.pool.Dispatch(m.c.Opts.CPUMsg, func() {
-		if m.alive {
-			m.tp.enqueue(dst, msg, ctx)
-		}
-	})
+	tk := m.getTask()
+	tk.send, tk.dst, tk.msg, tk.ctx = true, dst, msg, ctx
+	m.pool.Dispatch(m.c.Opts.CPUMsg, tk.runFn)
 }
 
 // sendFromThread is send with the CPU cost charged to a specific thread.
@@ -705,9 +753,7 @@ func (m *Machine) sendFromThreadCtx(thread, dst int, msg interface{}, ctx trace.
 	if !m.alive {
 		return
 	}
-	m.pool.ByIndex(thread).Do(m.c.Opts.CPUMsg, func() {
-		if m.alive {
-			m.tp.enqueue(dst, msg, ctx)
-		}
-	})
+	tk := m.getTask()
+	tk.send, tk.dst, tk.msg, tk.ctx = true, dst, msg, ctx
+	m.pool.ByIndex(thread).Do(m.c.Opts.CPUMsg, tk.runFn)
 }

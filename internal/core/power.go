@@ -134,7 +134,7 @@ func (c *Cluster) reestablishRings() {
 			for i := range mem {
 				mem[i] = 0
 			}
-			m.logR[src] = &logReader{src: src, rd: ring.NewReader(mem), frames: make(map[mtl][]uint64)}
+			m.logR[src] = newLogReader(m, src, ring.NewReader(mem))
 			sender := c.Machines[src]
 			// Close the replaced writer so any retransmissions it still has
 			// scheduled die with it instead of landing in the fresh ring.

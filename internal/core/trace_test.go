@@ -19,16 +19,18 @@ func TestTracingDisabledEnqueueAllocsNothing(t *testing.T) {
 	if m.trb != nil {
 		t.Fatal("tracing unexpectedly enabled")
 	}
+	b := m.nic.GetBatch()
+	b.Msgs = make([]interface{}, 0, 8)
+	b.Stamps = make([]sim.Time, 0, 8)
 	q := &sendQueue{
-		msgs:   make([]interface{}, 0, 8),
-		stamps: make([]sim.Time, 0, 8),
-		armed:  true, // flush timer already pending: steady-state coalescing
+		b:     b,
+		armed: true, // flush timer already pending: steady-state coalescing
 	}
 	m.tp.queues[1] = q
 	msg := &proto.LockReply{}
 	allocs := testing.AllocsPerRun(200, func() {
-		q.msgs = q.msgs[:0]
-		q.stamps = q.stamps[:0]
+		b.Msgs = b.Msgs[:0]
+		b.Stamps = b.Stamps[:0]
 		q.bytes = 0
 		m.tp.enqueue(1, msg, trace.Ctx{})
 	})
@@ -75,8 +77,8 @@ func TestPriorityTypesNeverBatched(t *testing.T) {
 	if got := c.Net.Counters.Get("msg_send") - sendsBefore; got != n {
 		t.Fatalf("priority messages used %d fabric sends, want %d (one each, uncoalesced)", got, n)
 	}
-	if q := m.tp.queues[1]; q != nil && len(q.msgs) != 0 {
-		t.Fatalf("priority messages sat in a coalescing queue: %d queued", len(q.msgs))
+	if q := m.tp.queues[1]; q != nil && q.b != nil && len(q.b.Msgs) != 0 {
+		t.Fatalf("priority messages sat in a coalescing queue: %d queued", len(q.b.Msgs))
 	}
 
 	// Non-priority sends queue up and flush as one batch.
@@ -85,10 +87,10 @@ func TestPriorityTypesNeverBatched(t *testing.T) {
 		m.tp.enqueue(1, &appMsg{}, trace.Ctx{})
 	}
 	q := m.tp.queues[1]
-	if q == nil || len(q.msgs) != n {
+	if q == nil || q.b == nil || len(q.b.Msgs) != n {
 		t.Fatalf("non-priority messages did not queue for coalescing")
 	}
-	for _, queued := range q.msgs {
+	for _, queued := range q.b.Msgs {
 		if h := m.tp.reg.Lookup(queued); h != nil && h.Priority {
 			t.Fatalf("priority message %T found in a coalescing queue", queued)
 		}

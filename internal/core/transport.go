@@ -33,14 +33,17 @@ import (
 const batchFrameOverhead = 16
 
 // sendQueue buffers outbound messages for one destination until the
-// armed flush timer fires. ctxs is parallel to msgs only while tracing is
-// enabled; untraced runs never append to it.
+// armed flush timer fires. Messages accumulate directly into a pooled
+// fabric.Batch frame (b.Ctxs is parallel to b.Msgs only while tracing is
+// enabled; untraced runs never append to it), and flushFn is the queue's
+// single pre-bound flush closure, so steady-state coalescing allocates
+// nothing: the fabric recycles the frame after delivery and the queue
+// grabs a fresh one from the pool on the next enqueue.
 type sendQueue struct {
-	msgs   []interface{}
-	stamps []sim.Time
-	ctxs   []trace.Ctx
-	bytes  int
-	armed  bool
+	b       *fabric.Batch
+	bytes   int
+	armed   bool
+	flushFn func()
 }
 
 // rpcHandler serves one request type arriving inside an rpcEnvelope.
@@ -68,6 +71,14 @@ func newTransport(m *Machine) *transport {
 	}
 	t.registerHandlers()
 	t.registerRPCHandlers()
+	// Pre-resolve every handler's counter cells so the send and receive hot
+	// paths bump pointers instead of hashing counter names per message.
+	ctr := m.c.Counters
+	t.reg.Each(func(h *proto.Handler) {
+		h.RecvCell = ctr.Cell(h.RecvCounter)
+		h.SentCell = ctr.Cell(h.SentCounter)
+		h.BytesCell = ctr.Cell(h.BytesCounter)
+	})
 	return t
 }
 
@@ -82,8 +93,8 @@ func (t *transport) enqueue(dst int, msg interface{}, ctx trace.Ctx) {
 	h := t.reg.Lookup(msg)
 	sz := h.SizeOf(msg)
 	if h != nil {
-		t.m.c.Counters.Inc(h.SentCounter, 1)
-		t.m.c.Counters.Inc(h.BytesCounter, uint64(sz))
+		*h.SentCell++
+		*h.BytesCell += uint64(sz)
 	}
 	if t.m.trb != nil && ctx.Valid() && h != nil {
 		// h.SentCounter ("sent NAME") doubles as the precomputed event
@@ -97,18 +108,23 @@ func (t *transport) enqueue(dst int, msg interface{}, ctx trace.Ctx) {
 	q := t.queues[dst]
 	if q == nil {
 		q = &sendQueue{}
+		d := dst
+		q.flushFn = func() { t.flush(d) }
 		t.queues[dst] = q
 	}
-	q.msgs = append(q.msgs, msg)
-	q.stamps = append(q.stamps, t.m.c.Eng.Now())
+	if q.b == nil {
+		q.b = t.m.nic.GetBatch()
+	}
+	q.b.Msgs = append(q.b.Msgs, msg)
+	q.b.Stamps = append(q.b.Stamps, t.m.c.Eng.Now())
 	if t.m.trb != nil {
-		// Parallel to msgs, so zero contexts pad untraced messages.
-		q.ctxs = append(q.ctxs, ctx)
+		// Parallel to Msgs, so zero contexts pad untraced messages.
+		q.b.Ctxs = append(q.b.Ctxs, ctx)
 	}
 	q.bytes += sz
 	if !q.armed {
 		q.armed = true
-		t.m.c.Eng.After(t.interval, func() { t.flush(dst) })
+		t.m.c.Eng.After(t.interval, q.flushFn)
 	}
 }
 
@@ -126,20 +142,24 @@ func (t *transport) sendDirect(dst int, msg interface{}, sz int, ctx trace.Ctx) 
 
 // flush drains one destination's queue into a single fabric frame. A
 // machine that died since enqueueing sends nothing — the same messages
-// would have been dropped by the old per-send alive check.
+// would have been dropped by the old per-send alive check — and its frame
+// goes back to the pool.
 func (t *transport) flush(dst int) {
 	q := t.queues[dst]
 	if q == nil || !q.armed {
 		return
 	}
 	q.armed = false
-	msgs, stamps, ctxs, bytes := q.msgs, q.stamps, q.ctxs, q.bytes
-	q.msgs, q.stamps, q.ctxs, q.bytes = nil, nil, nil, 0
-	if len(msgs) == 0 || !t.m.alive {
+	b, bytes := q.b, q.bytes
+	q.b, q.bytes = nil, 0
+	if b == nil {
 		return
 	}
-	t.m.nic.SendBatch(fabric.MachineID(dst), &fabric.Batch{Msgs: msgs, Stamps: stamps, Ctxs: ctxs},
-		bytes+batchFrameOverhead)
+	if len(b.Msgs) == 0 || !t.m.alive {
+		t.m.nic.ReleaseBatch(b)
+		return
+	}
+	t.m.nic.SendBatch(fabric.MachineID(dst), b, bytes+batchFrameOverhead)
 }
 
 // dispatchRPC routes an rpcEnvelope body to its registered service method.

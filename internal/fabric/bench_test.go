@@ -1,0 +1,80 @@
+package fabric
+
+import (
+	"testing"
+
+	"farm/internal/nvram"
+	"farm/internal/sim"
+)
+
+// Micro-benchmarks for the fabric hot paths: one-sided verbs, reliable
+// sends and coalesced batches. Each iteration drives a full operation to
+// completion (every wire leg and NIC service event), so ns/op is the cost
+// of the whole simulated operation, not one event. The -benchmem columns
+// guard the pooled-op contract: steady state must stay at (or within a
+// rounding error of) zero allocs beyond payload bytes handed to callbacks.
+
+func newBenchNet(b *testing.B) (*sim.Engine, *NIC, *NIC) {
+	b.Helper()
+	eng := sim.NewEngine(42)
+	net := NewNetwork(eng, Options{})
+	m0, m1 := nvram.NewStore(), nvram.NewStore()
+	n0 := net.AddMachine(0, m0)
+	n1 := net.AddMachine(1, m1)
+	if _, err := m1.Allocate(5, 4096); err != nil {
+		b.Fatal(err)
+	}
+	return eng, n0, n1
+}
+
+func BenchmarkRDMAWrite(b *testing.B) {
+	eng, n0, _ := newBenchNet(b)
+	buf := make([]byte, 128)
+	cb := func(error) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n0.Write(1, 5, 0, buf, cb)
+		eng.Run()
+	}
+}
+
+func BenchmarkRDMARead(b *testing.B) {
+	eng, n0, _ := newBenchNet(b)
+	cb := func([]byte, error) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n0.Read(1, 5, 0, 128, cb)
+		eng.Run()
+	}
+}
+
+func BenchmarkSend(b *testing.B) {
+	eng, n0, n1 := newBenchNet(b)
+	n1.SetMessageHandler(func(MachineID, interface{}) {})
+	msg := &struct{ X int }{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n0.SendSized(1, msg, 64)
+		eng.Run()
+	}
+}
+
+func BenchmarkSendBatch(b *testing.B) {
+	eng, n0, n1 := newBenchNet(b)
+	n1.SetMessageHandler(func(MachineID, interface{}) {})
+	msg := &struct{ X int }{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bt := n0.GetBatch()
+		for k := 0; k < 8; k++ {
+			bt.Msgs = append(bt.Msgs, msg)
+			bt.Stamps = append(bt.Stamps, eng.Now())
+		}
+		n0.SendBatch(1, bt, 8*64)
+		eng.Run()
+	}
+}

@@ -18,11 +18,20 @@
 // is which operations consume CPU, and that accounting belongs to the layer
 // that owns the CPUs (internal/core charges verb-issue and message-handling
 // costs to its simulated threads).
+//
+// Hot-path discipline: the per-verb and per-send machinery (the multi-leg
+// wire state machines, write-payload staging buffers, coalesced Batch
+// frames) is pooled on the Network and every stage continuation is a
+// closure bound once at pool-insertion time, so the steady-state cost of a
+// verb or send is zero heap allocations beyond the payload bytes that
+// escape to the caller. NIC and partition lookups are dense slice indexes,
+// not map hits, and hot counters are pre-resolved cells.
 package fabric
 
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"farm/internal/nvram"
 	"farm/internal/sim"
@@ -108,33 +117,79 @@ type Network struct {
 	Opts     Options
 	Counters *stats.Counters
 
-	nics map[MachineID]*NIC
-	// partition maps a machine to a connectivity group; machines in
-	// different groups cannot communicate. Default group is 0.
-	partition map[MachineID]int
+	// nics and partition are dense tables indexed by MachineID (machines
+	// are small ids; external clients live above 1000 — still tiny).
+	nics      []*NIC
+	partition []int32
 	// linkFaults/machineFaults are the nemesis layer's fault tables
 	// (nemesis.go), consulted per directed leg on every verb and send.
 	linkFaults    map[linkKey]LinkFault
 	machineFaults map[MachineID]MachineFault
+
+	// Free lists for the per-operation machinery (single goroutine, no
+	// locks). Ops, batches and write-staging buffers cycle through these
+	// so steady state allocates nothing.
+	verbFree  []*verbOp
+	sendFree  []*sendOp
+	batchFree []*Batch
+	bufFree   [bufBuckets][][]byte
+
+	// Pre-resolved counter cells for the per-event hot paths.
+	cLocalRead, cRDMARead, cRDMAReadBytes    *uint64
+	cLocalWrite, cRDMAWrite, cRDMAWriteBytes *uint64
+	cMsgSend, cMsgSendBytes, cMsgCoalesced   *uint64
+	cUDSend, cUDDropped, cMsgLost            *uint64
+	cCompletionLost, cFaultDrop, cFaultDup   *uint64
 }
 
 // NewNetwork creates an empty network on the given engine.
 func NewNetwork(eng *sim.Engine, opts Options) *Network {
-	return &Network{
+	n := &Network{
 		Eng:           eng,
 		Opts:          opts.withDefaults(),
 		Counters:      stats.NewCounters(),
-		nics:          make(map[MachineID]*NIC),
-		partition:     make(map[MachineID]int),
 		linkFaults:    make(map[linkKey]LinkFault),
 		machineFaults: make(map[MachineID]MachineFault),
 	}
+	n.cLocalRead = n.Counters.Cell("local_read")
+	n.cRDMARead = n.Counters.Cell("rdma_read")
+	n.cRDMAReadBytes = n.Counters.Cell("rdma_read_bytes")
+	n.cLocalWrite = n.Counters.Cell("local_write")
+	n.cRDMAWrite = n.Counters.Cell("rdma_write")
+	n.cRDMAWriteBytes = n.Counters.Cell("rdma_write_bytes")
+	n.cMsgSend = n.Counters.Cell("msg_send")
+	n.cMsgSendBytes = n.Counters.Cell("msg_send_bytes")
+	n.cMsgCoalesced = n.Counters.Cell("msg_send_coalesced")
+	n.cUDSend = n.Counters.Cell("ud_send")
+	n.cUDDropped = n.Counters.Cell("ud_dropped")
+	n.cMsgLost = n.Counters.Cell("msg_lost")
+	n.cCompletionLost = n.Counters.Cell("completion_lost")
+	n.cFaultDrop = n.Counters.Cell("fault_send_dropped")
+	n.cFaultDup = n.Counters.Cell("fault_send_dup")
+	return n
+}
+
+// grow extends the dense id tables to cover id.
+func (n *Network) grow(id MachineID) {
+	for int(id) >= len(n.nics) {
+		n.nics = append(n.nics, nil)
+		n.partition = append(n.partition, 0)
+	}
+}
+
+// nic returns the NIC for id, or nil (dense index, no map hit).
+func (n *Network) nic(id MachineID) *NIC {
+	if id < 0 || int(id) >= len(n.nics) {
+		return nil
+	}
+	return n.nics[id]
 }
 
 // AddMachine registers a machine's NIC, backed by its non-volatile memory
 // store (the memory one-sided verbs address).
 func (n *Network) AddMachine(id MachineID, mem *nvram.Store) *NIC {
-	if _, ok := n.nics[id]; ok {
+	n.grow(id)
+	if n.nics[id] != nil {
 		panic(fmt.Sprintf("fabric: machine %d already registered", id))
 	}
 	nic := &NIC{
@@ -150,22 +205,77 @@ func (n *Network) AddMachine(id MachineID, mem *nvram.Store) *NIC {
 }
 
 // NIC returns the NIC for machine id, or nil.
-func (n *Network) NIC(id MachineID) *NIC { return n.nics[id] }
+func (n *Network) NIC(id MachineID) *NIC { return n.nic(id) }
 
 // SetPartition assigns machines to connectivity groups; unlisted machines
 // are group 0.
 func (n *Network) SetPartition(groups map[MachineID]int) {
-	n.partition = make(map[MachineID]int)
+	for i := range n.partition {
+		n.partition[i] = 0
+	}
 	for id, g := range groups {
-		n.partition[id] = g
+		n.grow(id)
+		n.partition[id] = int32(g)
 	}
 }
 
 // HealPartition restores full connectivity.
-func (n *Network) HealPartition() { n.partition = make(map[MachineID]int) }
+func (n *Network) HealPartition() {
+	for i := range n.partition {
+		n.partition[i] = 0
+	}
+}
+
+func (n *Network) partitionOf(id MachineID) int32 {
+	if id < 0 || int(id) >= len(n.partition) {
+		return 0
+	}
+	return n.partition[id]
+}
 
 func (n *Network) hop() sim.Time {
 	return n.Opts.WireLatency + n.Eng.Rand().Duration(n.Opts.WireJitter+1)
+}
+
+// --- write-payload staging buffers ---
+
+// bufBuckets is the number of power-of-two size classes pooled for
+// one-sided write staging copies (8 B .. 64 KB); larger payloads fall back
+// to plain allocation.
+const bufBuckets = 14
+
+func bufBucket(size int) int {
+	if size <= 8 {
+		return 0
+	}
+	b := bits.Len(uint(size-1)) - 3
+	if b >= bufBuckets {
+		return -1
+	}
+	return b
+}
+
+// getBuf returns a buffer of the exact length requested, reusing a pooled
+// backing array when one fits.
+func (n *Network) getBuf(size int) []byte {
+	b := bufBucket(size)
+	if b < 0 {
+		return make([]byte, size)
+	}
+	if k := len(n.bufFree[b]); k > 0 {
+		buf := n.bufFree[b][k-1]
+		n.bufFree[b] = n.bufFree[b][:k-1]
+		return buf[:size]
+	}
+	return make([]byte, size, 8<<b)
+}
+
+func (n *Network) putBuf(buf []byte) {
+	b := bufBucket(cap(buf))
+	if b < 0 || cap(buf) != 8<<b {
+		return
+	}
+	n.bufFree[b] = append(n.bufFree[b], buf[:cap(buf)])
 }
 
 // NIC is one machine's network interface. One-sided verbs execute entirely
@@ -216,143 +326,275 @@ func (c *NIC) Mem() *nvram.Store { return c.mem }
 // a Network reference.
 func (c *NIC) Engine() *sim.Engine { return c.net.Eng }
 
+// --- one-sided verbs ---
+
+type verbKind uint8
+
+const (
+	verbProbe verbKind = iota
+	verbRead
+	verbWrite
+)
+
+// verbOp is the pooled state machine of one one-sided verb: src tx NIC →
+// wire → dst rx NIC (execute against memory) → wire → src rx NIC
+// (completion). Each wire leg is checked and delayed independently
+// (nemesis.go), so an asymmetric cut can lose the completion of a verb
+// whose remote effect already landed — the initiator then sees ErrTimeout
+// for an operation that actually executed, the ambiguity FaRM's recovery
+// protocols must absorb.
+//
+// The stage continuations (txFn..failFn) are bound to the op once when it
+// is first allocated and reused for the op's whole pooled lifetime, so a
+// steady-state verb schedules through them without allocating.
+type verbOp struct {
+	net     *Network
+	src     *NIC
+	dst     MachineID
+	kind    verbKind
+	region  nvram.RegionID
+	off     int
+	length  int    // read/probe length
+	payload []byte // write staging copy (pooled)
+
+	readCb  func(data []byte, err error)
+	writeCb func(err error)
+
+	data []byte
+	err  error
+
+	txFn, arriveFn, execFn, returnFn, completeFn, failFn, localFn func()
+}
+
+func (n *Network) getVerbOp() *verbOp {
+	if k := len(n.verbFree); k > 0 {
+		op := n.verbFree[k-1]
+		n.verbFree = n.verbFree[:k-1]
+		return op
+	}
+	op := &verbOp{net: n}
+	op.txFn = op.txDone
+	op.arriveFn = op.arrive
+	op.execFn = op.exec
+	op.returnFn = op.ret
+	op.completeFn = op.complete
+	op.failFn = op.failFire
+	op.localFn = op.local
+	return op
+}
+
+func (op *verbOp) recycle() {
+	if op.payload != nil {
+		op.net.putBuf(op.payload)
+	}
+	op.src = nil
+	op.payload, op.data = nil, nil
+	op.readCb, op.writeCb = nil, nil
+	op.err = nil
+	op.net.verbFree = append(op.net.verbFree, op)
+}
+
+// wireBytes is the verb's modeled transfer size on the wire.
+func (op *verbOp) wireBytes() int {
+	if op.kind == verbWrite {
+		return len(op.payload)
+	}
+	return op.length
+}
+
+// start issues the verb. Dead initiators complete nothing.
+func (op *verbOp) start(c *NIC) {
+	net := op.net
+	op.src = c
+	if !c.powered {
+		op.recycle()
+		return
+	}
+	if op.dst == c.ID {
+		// Same-machine fast path: a plain memory access, no NIC or wire.
+		net.Eng.After(net.Opts.LocalOpTime, op.localFn)
+		return
+	}
+	c.tx.Do(net.nicOpTime(c.ID)+net.xferTime(c.ID, op.wireBytes()), op.txFn)
+}
+
+func (op *verbOp) local() {
+	c := op.src
+	if !c.powered {
+		op.recycle()
+		return
+	}
+	op.execOn(c)
+	op.finish()
+}
+
+func (op *verbOp) txDone() {
+	net, c := op.net, op.src
+	net.Eng.After(net.hop()+net.legDelay(c.ID, op.dst), op.arriveFn)
+}
+
+func (op *verbOp) arrive() {
+	net, c := op.net, op.src
+	r := net.nic(op.dst)
+	if r == nil || !r.powered || !net.legUp(c.ID, op.dst) {
+		op.fail()
+		return
+	}
+	r.rx.Do(net.nicOpTime(op.dst), op.execFn)
+}
+
+func (op *verbOp) exec() {
+	net, c := op.net, op.src
+	// Execute against remote memory in NIC context. The remote machine may
+	// have died between scheduling and service.
+	r := net.nic(op.dst)
+	if !r.powered || !net.legUp(c.ID, op.dst) {
+		op.fail()
+		return
+	}
+	op.execOn(r)
+	// The remote effect is durable from here on; only the completion can
+	// still be lost.
+	if !net.legUp(op.dst, c.ID) {
+		*net.cCompletionLost++
+		op.fail()
+		return
+	}
+	net.Eng.After(net.hop()+net.legDelay(op.dst, c.ID)+net.xferTime(op.dst, op.wireBytes()), op.returnFn)
+}
+
+// execOn performs the verb's memory effect on NIC r (which may be the
+// initiator itself on the local fast path).
+func (op *verbOp) execOn(r *NIC) {
+	switch op.kind {
+	case verbRead:
+		b := r.mem.Region(op.region)
+		if b == nil || op.off < 0 || op.length < 0 || op.off+op.length > len(b) {
+			op.err = ErrBadAddress
+			return
+		}
+		data := make([]byte, op.length)
+		copy(data, b[op.off:op.off+op.length])
+		op.data = data
+	case verbWrite:
+		b := r.mem.Region(op.region)
+		if b == nil || op.off < 0 || op.off+len(op.payload) > len(b) {
+			op.err = ErrBadAddress
+			return
+		}
+		copy(b[op.off:], op.payload)
+		if r.writeHook != nil {
+			r.writeHook(op.region, op.off, len(op.payload))
+		}
+	case verbProbe:
+	}
+}
+
+func (op *verbOp) ret() {
+	c := op.src
+	if !c.powered {
+		op.recycle()
+		return
+	}
+	c.rx.Do(op.net.nicOpTime(c.ID), op.completeFn)
+}
+
+func (op *verbOp) complete() {
+	if !op.src.powered {
+		op.recycle()
+		return
+	}
+	op.finish()
+}
+
+// fail arms the initiator-side timeout: the destination is dead, cut or
+// lost the completion; the initiator reports ErrTimeout after FailTimeout.
+func (op *verbOp) fail() {
+	op.net.Eng.After(op.net.Opts.FailTimeout, op.failFn)
+}
+
+func (op *verbOp) failFire() {
+	if !op.src.powered {
+		op.recycle()
+		return
+	}
+	op.data, op.err = nil, ErrTimeout
+	op.finish()
+}
+
+// finish invokes the caller's completion callback and recycles the op. The
+// op is recycled first (fields copied out) so the callback may immediately
+// issue new verbs that reuse it.
+func (op *verbOp) finish() {
+	kind, data, err := op.kind, op.data, op.err
+	readCb, writeCb := op.readCb, op.writeCb
+	op.recycle()
+	if kind == verbRead {
+		if readCb == nil {
+			return
+		}
+		if err != nil {
+			readCb(nil, err)
+			return
+		}
+		readCb(data, nil)
+		return
+	}
+	if writeCb != nil {
+		writeCb(err)
+	}
+}
+
 // Read issues a one-sided RDMA read of length bytes at (region, off) on
 // dst. cb receives the data or an error. No remote CPU is involved; the
 // remote NIC serves the request from registered memory.
 func (c *NIC) Read(dst MachineID, region nvram.RegionID, off, length int, cb func(data []byte, err error)) {
+	net := c.net
 	if dst == c.ID {
-		c.net.Counters.Inc("local_read", 1)
+		*net.cLocalRead++
 	} else {
-		c.net.Counters.Inc("rdma_read", 1)
-		c.net.Counters.Inc("rdma_read_bytes", uint64(length))
+		*net.cRDMARead++
+		*net.cRDMAReadBytes += uint64(length)
 	}
-	c.oneSided(dst, length, func(r *NIC) (interface{}, error) {
-		b := r.mem.Region(region)
-		if b == nil || off < 0 || length < 0 || off+length > len(b) {
-			return nil, ErrBadAddress
-		}
-		data := make([]byte, length)
-		copy(data, b[off:off+length])
-		return data, nil
-	}, func(v interface{}, err error) {
-		if cb == nil {
-			return
-		}
-		if err != nil {
-			cb(nil, err)
-			return
-		}
-		cb(v.([]byte), nil)
-	})
+	op := net.getVerbOp()
+	op.dst, op.kind = dst, verbRead
+	op.region, op.off, op.length = region, off, length
+	op.readCb = cb
+	op.start(c)
 }
 
 // Write issues a one-sided RDMA write of data at (region, off) on dst. cb
 // is the hardware ack: it fires when the remote NIC has placed the bytes in
 // remote non-volatile memory, with no remote CPU involvement.
 func (c *NIC) Write(dst MachineID, region nvram.RegionID, off int, data []byte, cb func(err error)) {
+	net := c.net
 	if dst == c.ID {
-		c.net.Counters.Inc("local_write", 1)
+		*net.cLocalWrite++
 	} else {
-		c.net.Counters.Inc("rdma_write", 1)
-		c.net.Counters.Inc("rdma_write_bytes", uint64(len(data)))
+		*net.cRDMAWrite++
+		*net.cRDMAWriteBytes += uint64(len(data))
 	}
-	payload := make([]byte, len(data))
+	payload := net.getBuf(len(data))
 	copy(payload, data)
-	c.oneSided(dst, len(data), func(r *NIC) (interface{}, error) {
-		b := r.mem.Region(region)
-		if b == nil || off < 0 || off+len(payload) > len(b) {
-			return nil, ErrBadAddress
-		}
-		copy(b[off:], payload)
-		if r.writeHook != nil {
-			r.writeHook(region, off, len(payload))
-		}
-		return nil, nil
-	}, func(_ interface{}, err error) {
-		if cb != nil {
-			cb(err)
-		}
-	})
+	op := net.getVerbOp()
+	op.dst, op.kind = dst, verbWrite
+	op.region, op.off = region, off
+	op.payload = payload
+	op.writeCb = cb
+	op.start(c)
 }
 
 // Probe issues a minimal one-sided read used by the reconfiguration
 // protocol to test liveness (§5.2 step 2); it succeeds iff the destination
 // NIC is powered and reachable.
 func (c *NIC) Probe(dst MachineID, cb func(err error)) {
-	c.net.Counters.Inc("rdma_read", 1)
-	c.oneSided(dst, 8, func(*NIC) (interface{}, error) { return nil, nil },
-		func(_ interface{}, err error) {
-			if cb != nil {
-				cb(err)
-			}
-		})
-}
-
-// oneSided routes a verb through src tx NIC → wire → dst rx NIC (where
-// remote executes against memory) → wire → src rx NIC (completion). Each
-// wire leg is checked and delayed independently (nemesis.go), so an
-// asymmetric cut can lose the completion of a verb whose remote effect
-// already landed — the initiator then sees ErrTimeout for an operation that
-// actually executed, the ambiguity FaRM's recovery protocols must absorb.
-func (c *NIC) oneSided(dst MachineID, bytes int, remote func(r *NIC) (interface{}, error), complete func(interface{}, error)) {
 	net := c.net
-	eng := net.Eng
-	fail := func() {
-		eng.After(net.Opts.FailTimeout, func() {
-			if c.powered {
-				complete(nil, ErrTimeout)
-			}
-		})
-	}
-	if !c.powered {
-		return // dead initiators complete nothing
-	}
-	if dst == c.ID {
-		// Same-machine fast path: a plain memory access, no NIC or wire.
-		eng.After(net.Opts.LocalOpTime, func() {
-			if !c.powered {
-				return
-			}
-			v, err := remote(c)
-			complete(v, err)
-		})
-		return
-	}
-	c.tx.Do(net.nicOpTime(c.ID)+net.xferTime(c.ID, bytes), func() {
-		eng.After(net.hop()+net.legDelay(c.ID, dst), func() {
-			r := net.nics[dst]
-			if r == nil || !r.powered || !net.legUp(c.ID, dst) {
-				fail()
-				return
-			}
-			r.rx.Do(net.nicOpTime(dst), func() {
-				// Execute against remote memory in NIC context. The remote
-				// machine may have died between scheduling and service.
-				if !r.powered || !net.legUp(c.ID, dst) {
-					fail()
-					return
-				}
-				v, err := remote(r)
-				// The remote effect is durable from here on; only the
-				// completion can still be lost.
-				if !net.legUp(dst, c.ID) {
-					net.Counters.Inc("completion_lost", 1)
-					fail()
-					return
-				}
-				eng.After(net.hop()+net.legDelay(dst, c.ID)+net.xferTime(dst, bytes), func() {
-					if !c.powered {
-						return
-					}
-					c.rx.Do(net.nicOpTime(c.ID), func() {
-						if c.powered {
-							complete(v, err)
-						}
-					})
-				})
-			})
-		})
-	})
+	*net.cRDMARead++
+	op := net.getVerbOp()
+	op.dst, op.kind = dst, verbProbe
+	op.length = 8
+	op.writeCb = cb
+	op.start(c)
 }
 
 // Batch is one coalesced fabric frame carrying several small control
@@ -361,10 +603,54 @@ func (c *NIC) oneSided(dst MachineID, bytes int, remote func(r *NIC) (interface{
 // Stamps carries each message's enqueue time (for queueing-latency stats);
 // Ctxs carries each message's causal trace context. Each is either empty
 // or parallel to Msgs, so untraced runs pay nothing for the extra field.
+//
+// Batches obtained from NIC.GetBatch are pooled: the fabric reclaims them
+// after the final delivery (or loss), so a sender must treat the frame as
+// consumed once passed to SendBatch.
 type Batch struct {
 	Msgs   []interface{}
 	Stamps []sim.Time
 	Ctxs   []trace.Ctx
+
+	pooled bool
+}
+
+// GetBatch returns an empty (possibly recycled) batch frame to fill and
+// pass to SendBatch.
+func (c *NIC) GetBatch() *Batch { return c.net.getBatch() }
+
+// ReleaseBatch returns an unsent pooled batch to the pool (e.g. the sender
+// died between enqueue and flush). Batches passed to SendBatch must NOT be
+// released by the caller; the fabric owns them from that point.
+func (c *NIC) ReleaseBatch(b *Batch) { c.net.putBatch(b) }
+
+func (n *Network) getBatch() *Batch {
+	if k := len(n.batchFree); k > 0 {
+		b := n.batchFree[k-1]
+		n.batchFree = n.batchFree[:k-1]
+		return b
+	}
+	return &Batch{pooled: true}
+}
+
+func (n *Network) putBatch(b *Batch) {
+	if b == nil || !b.pooled {
+		return
+	}
+	for i := range b.Msgs {
+		b.Msgs[i] = nil
+	}
+	b.Msgs = b.Msgs[:0]
+	b.Stamps = b.Stamps[:0]
+	b.Ctxs = b.Ctxs[:0]
+	n.batchFree = append(n.batchFree, b)
+}
+
+// releaseIfBatch reclaims a pooled batch that died before delivery.
+func (n *Network) releaseIfBatch(msg interface{}) {
+	if b, ok := msg.(*Batch); ok {
+		n.putBatch(b)
+	}
 }
 
 // Send delivers msg reliably to dst's message handler. Delivery is
@@ -372,7 +658,7 @@ type Batch struct {
 // vanishes and higher layers notice via leases/timeouts, as in the paper.
 // The payload is shared by reference; senders must not mutate it.
 func (c *NIC) Send(dst MachineID, msg interface{}) {
-	c.net.Counters.Inc("msg_send", 1)
+	*c.net.cMsgSend++
 	c.transmit(dst, msg, false, 0)
 }
 
@@ -380,94 +666,156 @@ func (c *NIC) Send(dst MachineID, msg interface{}) {
 // the NIC's bandwidth, so uncoalesced reliable sends occupy the wire like
 // everything else (the registry wire-size model supplies bytes).
 func (c *NIC) SendSized(dst MachineID, msg interface{}, bytes int) {
-	c.net.Counters.Inc("msg_send", 1)
-	c.net.Counters.Inc("msg_send_bytes", uint64(bytes))
+	*c.net.cMsgSend++
+	*c.net.cMsgSendBytes += uint64(bytes)
 	c.transmit(dst, msg, false, bytes)
 }
 
 // SendBatch delivers a coalesced frame of len(b.Msgs) messages as a single
 // fabric send, occupying the NIC once and the wire for the frame's modeled
 // size. bytes is the total modeled payload size; the serialization cost it
-// implies is charged at the sending NIC.
+// implies is charged at the sending NIC. Pooled frames are reclaimed by
+// the fabric after final delivery.
 func (c *NIC) SendBatch(dst MachineID, b *Batch, bytes int) {
-	c.net.Counters.Inc("msg_send", 1)
-	c.net.Counters.Inc("msg_send_coalesced", uint64(len(b.Msgs)))
-	c.net.Counters.Inc("msg_send_bytes", uint64(bytes))
+	*c.net.cMsgSend++
+	*c.net.cMsgCoalesced += uint64(len(b.Msgs))
+	*c.net.cMsgSendBytes += uint64(bytes)
 	c.transmit(dst, b, false, bytes)
 }
 
 // SendUD delivers msg over the connectionless unreliable datagram
 // transport used by the lease manager (§5.1). Datagrams may be dropped.
 func (c *NIC) SendUD(dst MachineID, msg interface{}) {
-	c.net.Counters.Inc("ud_send", 1)
+	*c.net.cUDSend++
 	c.transmit(dst, msg, true, 0)
+}
+
+// sendOp is the pooled state machine of one reliable send or datagram:
+// src tx NIC → wire → dst rx NIC → handler upcall. Duplicate-delivery
+// faults schedule two wire legs through the same op; the op (and a pooled
+// batch riding on it) is reclaimed when the last copy delivers or dies.
+type sendOp struct {
+	net       *Network
+	src       *NIC
+	dst       MachineID
+	msg       interface{}
+	batch     *Batch // non-nil when msg is a pooled Batch
+	ud        bool
+	bytes     int
+	copies    int8
+	remaining int8
+
+	txFn, arriveFn, deliverFn func()
+}
+
+func (n *Network) getSendOp() *sendOp {
+	if k := len(n.sendFree); k > 0 {
+		op := n.sendFree[k-1]
+		n.sendFree = n.sendFree[:k-1]
+		return op
+	}
+	op := &sendOp{net: n}
+	op.txFn = op.txDone
+	op.arriveFn = op.arrive
+	op.deliverFn = op.deliver
+	return op
+}
+
+// done retires one delivery copy; the last one reclaims the op and any
+// pooled batch (whose messages have all been dispatched by now).
+func (op *sendOp) done() {
+	op.remaining--
+	if op.remaining > 0 {
+		return
+	}
+	if op.batch != nil {
+		op.net.putBatch(op.batch)
+	}
+	op.src = nil
+	op.msg, op.batch = nil, nil
+	op.net.sendFree = append(op.net.sendFree, op)
+}
+
+func (op *sendOp) txDone() {
+	net, c := op.net, op.src
+	for i := int8(0); i < op.copies; i++ {
+		net.Eng.After(net.hop()+net.legDelay(c.ID, op.dst), op.arriveFn)
+	}
+}
+
+func (op *sendOp) arrive() {
+	net, c := op.net, op.src
+	r := net.nic(op.dst)
+	if r == nil || !r.powered || !net.legUp(c.ID, op.dst) {
+		*net.cMsgLost++
+		op.done()
+		return
+	}
+	r.rx.Do(net.nicOpTime(op.dst), op.deliverFn)
+}
+
+func (op *sendOp) deliver() {
+	r := op.net.nic(op.dst)
+	if r == nil || !r.powered {
+		op.done()
+		return
+	}
+	h := r.msgHandler
+	if op.ud {
+		h = r.udHandler
+	}
+	if h != nil {
+		h(op.src.ID, op.msg)
+	}
+	op.done()
 }
 
 func (c *NIC) transmit(dst MachineID, msg interface{}, ud bool, bytes int) {
 	net := c.net
 	if !c.powered {
-		return
+		net.releaseIfBatch(msg)
+		return // dead initiators send nothing
 	}
 	if ud && net.Eng.Rand().Bool(net.udLossProb(c.ID, dst)) {
-		net.Counters.Inc("ud_dropped", 1)
+		*net.cUDDropped++
 		return
 	}
 	if dst == c.ID {
 		// Loopback: skip the NIC and wire (link faults model the fabric, so
 		// they never apply to a machine talking to itself).
-		net.Eng.After(net.Opts.LocalOpTime, func() {
-			if !c.powered {
-				return
-			}
-			h := c.msgHandler
-			if ud {
-				h = c.udHandler
-			}
-			if h != nil {
-				h(c.ID, msg)
-			}
-		})
+		op := net.getSendOp()
+		op.src, op.dst, op.msg, op.ud, op.bytes = c, dst, msg, ud, bytes
+		op.batch = pooledBatch(msg)
+		op.copies, op.remaining = 1, 1
+		net.Eng.After(net.Opts.LocalOpTime, op.deliverFn)
 		return
 	}
 	// Reliable-send drop/dup faults model RC retry exhaustion and ack-loss
 	// retransmission at the message layer. They deliberately do NOT apply
 	// to one-sided verbs: RC ordering cannot lose one write and deliver the
 	// next, so partial verb loss is modelled as a Cut episode instead.
-	copies := 1
+	copies := int8(1)
 	if !ud {
 		if net.dropSend(c.ID, dst) {
-			net.Counters.Inc("fault_send_dropped", 1)
+			*net.cFaultDrop++
+			net.releaseIfBatch(msg)
 			return
 		}
 		if net.dupSend(c.ID, dst) {
-			net.Counters.Inc("fault_send_dup", 1)
+			*net.cFaultDup++
 			copies = 2
 		}
 	}
-	deliver := func() {
-		net.Eng.After(net.hop()+net.legDelay(c.ID, dst), func() {
-			r := net.nics[dst]
-			if r == nil || !r.powered || !net.legUp(c.ID, dst) {
-				net.Counters.Inc("msg_lost", 1)
-				return
-			}
-			r.rx.Do(net.nicOpTime(dst), func() {
-				if !r.powered {
-					return
-				}
-				h := r.msgHandler
-				if ud {
-					h = r.udHandler
-				}
-				if h != nil {
-					h(c.ID, msg)
-				}
-			})
-		})
+	op := net.getSendOp()
+	op.src, op.dst, op.msg, op.ud, op.bytes = c, dst, msg, ud, bytes
+	op.batch = pooledBatch(msg)
+	op.copies, op.remaining = copies, copies
+	c.tx.Do(net.nicOpTime(c.ID)+net.xferTime(c.ID, bytes), op.txFn)
+}
+
+func pooledBatch(msg interface{}) *Batch {
+	if b, ok := msg.(*Batch); ok && b.pooled {
+		return b
 	}
-	c.tx.Do(net.nicOpTime(c.ID)+net.xferTime(c.ID, bytes), func() {
-		for i := 0; i < copies; i++ {
-			deliver()
-		}
-	})
+	return nil
 }

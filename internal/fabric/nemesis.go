@@ -140,7 +140,7 @@ func (n *Network) FaultCount() int { return len(n.linkFaults) + len(n.machineFau
 // legUp reports whether a wire traversal from→to delivers: same partition
 // group, no directional cut, no Tx/Rx machine cut on the endpoints.
 func (n *Network) legUp(from, to MachineID) bool {
-	if n.partition[from] != n.partition[to] {
+	if n.partitionOf(from) != n.partitionOf(to) {
 		return false
 	}
 	if len(n.linkFaults) > 0 && n.linkFaults[linkKey{from, to}].Cut {

@@ -1,0 +1,264 @@
+// Package perf is the simulator's performance trajectory: scale
+// experiments (TATP at 50 and 100+ simulated machines, thousands of
+// simulated client threads) measured in host terms — events per
+// wall-second, simulated transactions per wall-second, allocations per
+// event. cmd/farm-perf runs the suite, writes BENCH_sim.json, and checks
+// it against the committed baseline so engine regressions fail CI instead
+// of silently eroding the scale ceiling.
+//
+// Simulated metrics (tx/s of virtual time) belong to internal/exper and
+// EXPERIMENTS.md; this package measures the *simulator*, not the system
+// under simulation.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"farm/internal/core"
+	"farm/internal/loadgen"
+	"farm/internal/sim"
+	"farm/internal/tatp"
+)
+
+// SchemaVersion identifies the BENCH_sim.json layout.
+const SchemaVersion = "farm/bench-sim/v1"
+
+// PointSpec describes one scale run.
+type PointSpec struct {
+	Name        string
+	Machines    int
+	Threads     int // worker threads per machine
+	Concurrency int // outstanding ops per client thread
+	Subscribers uint64
+	Regions     int
+	Warm        sim.Time
+	Measure     sim.Time
+	Seed        uint64
+}
+
+// Point is one measured scale run, as serialized into BENCH_sim.json.
+type Point struct {
+	Name     string `json:"name"`
+	Workload string `json:"workload"`
+	Machines int    `json:"machines"`
+	// ClientThreads is machines × threads × concurrency: the number of
+	// closed-loop simulated clients driving load.
+	ClientThreads int `json:"client_threads"`
+	// SimulatedMS is the measured window of virtual time, in milliseconds.
+	SimulatedMS float64 `json:"simulated_ms"`
+	// WallSeconds is host time spent simulating the measured window
+	// (setup and warmup excluded).
+	WallSeconds float64 `json:"wall_seconds"`
+	// HostEvents is the number of engine events executed in the window.
+	HostEvents uint64 `json:"host_events"`
+	// EventsPerSec is the headline simulator speed: engine events
+	// executed per wall-clock second.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Committed is the number of transactions committed in the window.
+	Committed uint64 `json:"committed"`
+	// TxPerWallSec is simulated committed transactions per wall-second:
+	// how much workload the simulator chews through in real time.
+	TxPerWallSec float64 `json:"tx_per_wall_sec"`
+	// SimTxPerSec is the simulated system's own throughput (committed
+	// transactions per second of virtual time), for cross-checking
+	// against internal/exper numbers.
+	SimTxPerSec float64 `json:"sim_tx_per_sec"`
+	// AllocsPerEvent is heap allocations per engine event during the
+	// window (workload allocations included, so it bounds the engine's
+	// own cost from above).
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	// HeapMB is the live heap after the run, in MiB.
+	HeapMB float64 `json:"heap_mb"`
+}
+
+// Report is the BENCH_sim.json document.
+type Report struct {
+	Schema      string `json:"schema"`
+	GoVersion   string `json:"go_version"`
+	GeneratedBy string `json:"generated_by"`
+	// PeakMachines is the largest cluster simulated in this report.
+	PeakMachines int `json:"peak_machines"`
+	// EngineAllocsPerEvent is the engine's own steady-state allocation
+	// cost (schedule + dispatch of one event, measured in isolation with
+	// testing.AllocsPerRun). The zero-alloc contract pins this at 0.
+	EngineAllocsPerEvent float64 `json:"engine_allocs_per_event"`
+	Points               []Point `json:"points"`
+}
+
+// DefaultSpecs is the committed trajectory: the seed scale for context,
+// then the paper-scale runs. Windows are sized so the full suite runs in
+// well under a minute of host time.
+func DefaultSpecs() []PointSpec {
+	return []PointSpec{
+		{Name: "tatp-9", Machines: 9, Threads: 8, Concurrency: 4,
+			Subscribers: 2000, Regions: 6, Warm: sim.Millisecond, Measure: 10 * sim.Millisecond, Seed: 1},
+		{Name: "tatp-50", Machines: 50, Threads: 8, Concurrency: 4,
+			Subscribers: 10000, Regions: 12, Warm: sim.Millisecond, Measure: 4 * sim.Millisecond, Seed: 1},
+		{Name: "tatp-100", Machines: 100, Threads: 8, Concurrency: 4,
+			Subscribers: 10000, Regions: 12, Warm: sim.Millisecond, Measure: 3 * sim.Millisecond, Seed: 1},
+	}
+}
+
+// options sizes cluster knobs to the machine count: big clusters shrink
+// the per-sender log rings (machines × machines of them) so memory stays
+// bounded — a 100-machine cluster with default 256 KB rings would need
+// gigabytes for rings alone.
+func (s PointSpec) options() core.Options {
+	o := core.Options{NumMachines: s.Machines, Threads: s.Threads, Seed: s.Seed}
+	switch {
+	case s.Machines >= 80:
+		o.LogCapacity = 1 << 15
+	case s.Machines >= 30:
+		o.LogCapacity = 1 << 16
+	}
+	return o
+}
+
+// Run executes one scale run and measures it.
+func Run(s PointSpec) (Point, error) {
+	c := core.New(s.options())
+	w, err := tatp.Setup(c, s.Subscribers, s.Regions)
+	if err != nil {
+		return Point{}, err
+	}
+	machines := make([]int, s.Machines)
+	for i := range machines {
+		machines[i] = i
+	}
+	g := loadgen.New(c, w.Mix())
+	g.Warmup = s.Warm
+	g.Start(machines, s.Threads, s.Concurrency)
+	c.RunFor(s.Warm)
+
+	runtime.GC()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	ev0, cm0 := c.Eng.Executed(), g.Committed()
+	t0 := time.Now()
+	c.RunFor(s.Measure)
+	wall := time.Since(t0).Seconds()
+	runtime.ReadMemStats(&ms1)
+	ev, cm := c.Eng.Executed()-ev0, g.Committed()-cm0
+
+	p := Point{
+		Name:          s.Name,
+		Workload:      "tatp",
+		Machines:      s.Machines,
+		ClientThreads: s.Machines * s.Threads * s.Concurrency,
+		SimulatedMS:   s.Measure.Millis(),
+		WallSeconds:   wall,
+		HostEvents:    ev,
+		Committed:     cm,
+		HeapMB:        float64(ms1.HeapAlloc) / (1 << 20),
+	}
+	if wall > 0 {
+		p.EventsPerSec = float64(ev) / wall
+		p.TxPerWallSec = float64(cm) / wall
+	}
+	if s.Measure > 0 {
+		p.SimTxPerSec = float64(cm) / s.Measure.Seconds()
+	}
+	if ev > 0 {
+		p.AllocsPerEvent = float64(ms1.Mallocs-ms0.Mallocs) / float64(ev)
+	}
+	return p, nil
+}
+
+// EngineAllocsPerEvent measures the engine's own steady-state cost of one
+// scheduled-and-dispatched event, in heap allocations.
+func EngineAllocsPerEvent() float64 {
+	e := sim.NewEngine(1)
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		e.After(sim.Time(i), fn)
+	}
+	e.Run()
+	return testing.AllocsPerRun(1000, func() {
+		e.After(10, fn)
+		e.Step()
+	})
+}
+
+// RunAll runs every spec and assembles the report. progress (may be nil)
+// receives one line per completed point.
+func RunAll(specs []PointSpec, progress func(string)) (*Report, error) {
+	r := &Report{
+		Schema:               SchemaVersion,
+		GoVersion:            runtime.Version(),
+		GeneratedBy:          "cmd/farm-perf",
+		EngineAllocsPerEvent: EngineAllocsPerEvent(),
+	}
+	for _, s := range specs {
+		p, err := Run(s)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.Name, err)
+		}
+		if p.Machines > r.PeakMachines {
+			r.PeakMachines = p.Machines
+		}
+		r.Points = append(r.Points, p)
+		if progress != nil {
+			progress(fmt.Sprintf("%-10s %3d machines %5d clients  %8.0f ev/s  %7.0f tx/wall-s  %.2f allocs/ev  %.1fs wall",
+				p.Name, p.Machines, p.ClientThreads, p.EventsPerSec, p.TxPerWallSec, p.AllocsPerEvent, p.WallSeconds))
+		}
+	}
+	return r, nil
+}
+
+// WriteFile serializes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadReport reads a BENCH_sim.json document.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Compare checks got against a committed baseline: every baseline point
+// must be present and not regress events/sec by more than threshold
+// (0.10 = 10%). The engine's zero-alloc contract is also enforced here —
+// wall-clock noise cannot fake an allocation. It returns a list of
+// human-readable violations, empty when the report passes.
+func Compare(baseline, got *Report, threshold float64) []string {
+	var bad []string
+	if got.EngineAllocsPerEvent > 0 {
+		bad = append(bad, fmt.Sprintf(
+			"engine steady-state allocs/event = %.2f, want 0", got.EngineAllocsPerEvent))
+	}
+	byName := make(map[string]Point, len(got.Points))
+	for _, p := range got.Points {
+		byName[p.Name] = p
+	}
+	for _, b := range baseline.Points {
+		g, ok := byName[b.Name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("point %q missing from new report", b.Name))
+			continue
+		}
+		floor := b.EventsPerSec * (1 - threshold)
+		if g.EventsPerSec < floor {
+			bad = append(bad, fmt.Sprintf(
+				"%s: %.0f events/sec is a >%.0f%% regression from baseline %.0f",
+				b.Name, g.EventsPerSec, threshold*100, b.EventsPerSec))
+		}
+	}
+	return bad
+}

@@ -1,0 +1,110 @@
+package perf
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"farm/internal/sim"
+)
+
+// TestScale100TATP is the headline scale gate: a 100-machine TATP cluster
+// with 3200 closed-loop clients must set up, warm, and chew through a
+// measured window without stalling — inside the ordinary test suite, not
+// just the perf harness. The window is shorter than farm-perf's (this is
+// a completion gate, not a measurement), and the run is skipped under the
+// race detector: the simulator is single-goroutine, so race instrumenting
+// a 100-machine run buys nothing except a many-fold slowdown.
+func TestScale100TATP(t *testing.T) {
+	if raceEnabled {
+		t.Skip("100-machine scale run under -race: no concurrency to check, only slowdown")
+	}
+	if testing.Short() {
+		t.Skip("100-machine scale run skipped in -short mode")
+	}
+	spec := PointSpec{Name: "tatp-100", Machines: 100, Threads: 8, Concurrency: 4,
+		Subscribers: 10000, Regions: 12, Warm: sim.Millisecond, Measure: 2 * sim.Millisecond, Seed: 1}
+	p, err := Run(spec)
+	if err != nil {
+		t.Fatalf("100-machine TATP run failed: %v", err)
+	}
+	if p.Machines != 100 || p.ClientThreads != 100*8*4 {
+		t.Fatalf("spec not honored: %+v", p)
+	}
+	if p.Committed == 0 {
+		t.Fatalf("100-machine cluster committed nothing: %+v", p)
+	}
+	if p.HostEvents == 0 || p.EventsPerSec <= 0 {
+		t.Fatalf("no events measured: %+v", p)
+	}
+	t.Logf("tatp-100: %.0f events/sec, %d committed, %.2f allocs/event, %.1fs wall",
+		p.EventsPerSec, p.Committed, p.AllocsPerEvent, p.WallSeconds)
+}
+
+// TestEngineAllocsPerEventIsZero pins the zero-alloc contract at the
+// harness's own measurement point, so a regression fails `go test` even
+// when nobody runs farm-perf.
+func TestEngineAllocsPerEventIsZero(t *testing.T) {
+	if got := EngineAllocsPerEvent(); got != 0 {
+		t.Fatalf("engine steady-state allocs/event = %v, want 0", got)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := &Report{
+		Schema:       SchemaVersion,
+		GoVersion:    "go1.24.0",
+		GeneratedBy:  "test",
+		PeakMachines: 100,
+		Points: []Point{{
+			Name: "tatp-9", Workload: "tatp", Machines: 9, ClientThreads: 288,
+			SimulatedMS: 10, WallSeconds: 1.5, HostEvents: 1e6,
+			EventsPerSec: 666666, Committed: 1234, TxPerWallSec: 822.7,
+			SimTxPerSec: 123400, AllocsPerEvent: 2.5, HeapMB: 64,
+		}},
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := LoadReport(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Fatalf("round trip changed report:\n  wrote %+v\n  read  %+v", r, got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := &Report{Points: []Point{
+		{Name: "a", EventsPerSec: 1000},
+		{Name: "b", EventsPerSec: 500},
+	}}
+	ok := &Report{Points: []Point{
+		{Name: "a", EventsPerSec: 950}, // -5%: inside a 10% threshold
+		{Name: "b", EventsPerSec: 800}, // improvement
+	}}
+	if bad := Compare(base, ok, 0.10); len(bad) != 0 {
+		t.Fatalf("clean report flagged: %v", bad)
+	}
+
+	regressed := &Report{Points: []Point{
+		{Name: "a", EventsPerSec: 850}, // -15%: beyond threshold
+		{Name: "b", EventsPerSec: 500},
+	}}
+	if bad := Compare(base, regressed, 0.10); len(bad) != 1 {
+		t.Fatalf("want exactly the point-a regression, got: %v", bad)
+	}
+
+	missing := &Report{Points: []Point{{Name: "a", EventsPerSec: 1000}}}
+	if bad := Compare(base, missing, 0.10); len(bad) != 1 {
+		t.Fatalf("want exactly the missing-b violation, got: %v", bad)
+	}
+
+	// The zero-alloc contract is enforced regardless of speed.
+	leaky := &Report{EngineAllocsPerEvent: 0.5, Points: base.Points}
+	if bad := Compare(base, leaky, 0.10); len(bad) != 1 {
+		t.Fatalf("want exactly the allocs violation, got: %v", bad)
+	}
+}

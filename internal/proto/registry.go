@@ -26,6 +26,13 @@ type Handler struct {
 	SentCounter  string
 	BytesCounter string
 
+	// RecvCell / SentCell / BytesCell are pre-resolved counter cells the
+	// transport installs after registration (stats.Counters.Cell), so the
+	// per-message hot paths bump a pointer instead of hashing the name.
+	RecvCell  *uint64
+	SentCell  *uint64
+	BytesCell *uint64
+
 	// Fn dispatches a received message (src is the sender machine id).
 	Fn func(src int, msg interface{})
 	// Size models the message's wire size in bytes (nil: DefaultMsgSize).
@@ -107,6 +114,14 @@ func (r *Registry) Handles(msg interface{}) bool {
 
 // Len returns the number of registered types.
 func (r *Registry) Len() int { return len(r.handlers) }
+
+// Each calls fn for every registered handler (iteration order is
+// unspecified). The transport uses it to pre-resolve counter cells.
+func (r *Registry) Each(fn func(h *Handler)) {
+	for _, h := range r.handlers {
+		fn(h)
+	}
+}
 
 // WireMessages returns one sample value of every top-level message type
 // this package defines for the reliable transport. The registry-

@@ -1,0 +1,64 @@
+package sim
+
+import "testing"
+
+// Micro-benchmarks for the event-engine hot path. Run via `make bench`;
+// the -benchmem columns are the regression guard for the zero-alloc
+// contract (all steady-state paths must report 0 allocs/op).
+
+func BenchmarkEngineAfterStep(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(10, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineChurn measures push/pop against a populated heap (1k
+// pending events), the regime a busy cluster run actually operates in.
+func BenchmarkEngineChurn(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		e.After(Time(i%97), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%97), fn)
+		e.Step()
+	}
+}
+
+func BenchmarkEngineAfterTimerFire(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.AfterTimer(10, fn)
+		e.Step()
+	}
+}
+
+func BenchmarkEngineAfterTimerStop(b *testing.B) {
+	e := NewEngine(1)
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm := e.AfterTimer(10, fn)
+		tm.Stop()
+	}
+}
+
+func BenchmarkThreadDo(b *testing.B) {
+	e := NewEngine(1)
+	th := NewThread(e, "bench")
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		th.Do(10, fn)
+		e.Run()
+	}
+}

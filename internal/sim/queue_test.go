@@ -1,0 +1,271 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// This file guards the value-typed 4-ary event queue with a reference
+// model: the straightforward container/heap implementation the engine used
+// to have. The property test drives both through randomized schedules —
+// bursts of same-time events, mixed At/After/AfterTimer, cancellations,
+// nested scheduling — and asserts identical execution order, because the
+// whole repo's determinism contract reduces to "the queue pops in (at, seq)
+// order, FIFO among ties".
+
+// refEvent is one scheduled callback in the reference model.
+type refEvent struct {
+	at        Time
+	seq       uint64
+	id        int
+	cancelled bool
+	popped    bool
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	return h[i].at < h[j].at || (h[i].at == h[j].at && h[i].seq < h[j].seq)
+}
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(*refEvent)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// refModel mirrors the engine: same (at, seq) order, and cancelled timers
+// never execute.
+type refModel struct {
+	h    refHeap
+	seq  uint64
+	now  Time
+	live int // scheduled, not popped, not cancelled
+}
+
+func (m *refModel) schedule(at Time, id int) *refEvent {
+	m.seq++
+	ev := &refEvent{at: at, seq: m.seq, id: id}
+	heap.Push(&m.h, ev)
+	m.live++
+	return ev
+}
+
+func (m *refModel) cancel(ev *refEvent) {
+	if ev.popped || ev.cancelled {
+		return
+	}
+	ev.cancelled = true
+	m.live--
+}
+
+// pop returns the next event that should execute, or nil.
+func (m *refModel) pop() *refEvent {
+	for len(m.h) > 0 {
+		ev := heap.Pop(&m.h).(*refEvent)
+		ev.popped = true
+		if ev.cancelled {
+			continue
+		}
+		m.now = ev.at
+		m.live--
+		return ev
+	}
+	return nil
+}
+
+func TestQueueMatchesReferenceModel(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		e := NewEngine(seed)
+		model := &refModel{}
+		rng := NewRand(seed * 7919)
+
+		var got, want []int
+		record := func(id int) func() {
+			return func() { got = append(got, id) }
+		}
+
+		type liveTimer struct {
+			tm Timer
+			ev *refEvent
+		}
+		var timers []liveTimer
+		nextID := 0
+
+		// Drive both queues through the same randomized schedule. The
+		// engine's clock equals the model's clock after every step, so
+		// scheduling "from outside" after a step is indistinguishable from
+		// an event scheduling nested work at its own execution time.
+		for op := 0; op < 3000; op++ {
+			switch rng.Intn(10) {
+			case 0, 1: // burst of same-time events — FIFO tie-break coverage
+				d := Time(rng.Intn(50))
+				for k := rng.Intn(4) + 2; k > 0; k-- {
+					id := nextID
+					nextID++
+					e.At(e.Now()+d, record(id))
+					model.schedule(model.now+d, id)
+				}
+			case 2, 3: // single After
+				d := Time(rng.Intn(200))
+				id := nextID
+				nextID++
+				e.After(d, record(id))
+				model.schedule(model.now+d, id)
+			case 4, 5: // cancellable timer
+				d := Time(rng.Intn(200))
+				id := nextID
+				nextID++
+				tm := e.AfterTimer(d, record(id))
+				ev := model.schedule(model.now+d, id)
+				timers = append(timers, liveTimer{tm, ev})
+			case 6: // cancel a random timer (possibly already fired: no-op)
+				if len(timers) > 0 {
+					i := rng.Intn(len(timers))
+					timers[i].tm.Stop()
+					model.cancel(timers[i].ev)
+					timers[i] = timers[len(timers)-1]
+					timers = timers[:len(timers)-1]
+				}
+			default: // step both
+				stepped := e.Step()
+				ev := model.pop()
+				if stepped != (ev != nil) {
+					t.Fatalf("seed %d op %d: engine stepped=%v, model=%v", seed, op, stepped, ev != nil)
+				}
+				if ev != nil {
+					want = append(want, ev.id)
+					if e.Now() != ev.at {
+						t.Fatalf("seed %d op %d: clock %v, model %v", seed, op, e.Now(), ev.at)
+					}
+				}
+			}
+			if e.Pending() != model.live {
+				t.Fatalf("seed %d op %d: Pending()=%d, model live=%d", seed, op, e.Pending(), model.live)
+			}
+		}
+
+		// Drain both.
+		for e.Step() {
+			ev := model.pop()
+			if ev == nil {
+				t.Fatalf("seed %d: engine had more events than model", seed)
+			}
+			want = append(want, ev.id)
+		}
+		if model.pop() != nil {
+			t.Fatalf("seed %d: model had more events than engine", seed)
+		}
+
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: executed %d events, model %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: execution order diverged at %d: got %d, want %d", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSteadyStateZeroAllocs pins the engine's zero-allocation contract:
+// once the heap array and timer-slot table have grown to their high-water
+// mark, scheduling and running events allocates nothing.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	e := NewEngine(1)
+	fn := func() {}
+
+	// Warm: grow the heap backing array and the timer slot table.
+	for i := 0; i < 1024; i++ {
+		e.After(Time(i), fn)
+	}
+	for i := 0; i < 64; i++ {
+		e.AfterTimer(Time(i), fn)
+	}
+	e.Run()
+
+	cases := []struct {
+		name string
+		body func()
+	}{
+		{"After+Step", func() { e.After(10, fn); e.Step() }},
+		{"At+Step", func() { e.At(e.Now()+5, fn); e.Step() }},
+		{"AfterTimer+Step", func() { e.AfterTimer(10, fn); e.Step() }},
+		{"AfterTimer+Stop", func() { tm := e.AfterTimer(10, fn); tm.Stop() }},
+	}
+	for _, c := range cases {
+		if allocs := testing.AllocsPerRun(1000, c.body); allocs != 0 {
+			t.Errorf("%s allocates %.1f objects per event, want 0", c.name, allocs)
+		}
+	}
+}
+
+// TestStoppedTimerLeavesQueueImmediately covers the Pending()/occupancy
+// fix: a cancelled timer's entry is removed at Stop time, not popped dead
+// at its deadline.
+func TestStoppedTimerLeavesQueueImmediately(t *testing.T) {
+	e := NewEngine(1)
+	tm := e.AfterTimer(100, func() { t.Error("stopped timer fired") })
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", e.Pending())
+	}
+	tm.Stop()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() after Stop = %d, want 0 (entry must be reclaimed)", e.Pending())
+	}
+	e.Run()
+	if e.Now() != 0 {
+		t.Fatalf("clock advanced to %v draining a cancelled timer, want 0", e.Now())
+	}
+	if e.Executed() != 0 {
+		t.Fatalf("executed %d events, want 0", e.Executed())
+	}
+	// Double Stop is a no-op.
+	tm.Stop()
+	if !tm.Stopped() {
+		t.Fatal("Stopped() should report true")
+	}
+}
+
+// TestStaleTimerHandleDoesNotCancelRecycledSlot: once a timer fires, its
+// slot is recycled; a Stop through the old handle must not cancel whatever
+// timer now occupies the slot.
+func TestStaleTimerHandleDoesNotCancelRecycledSlot(t *testing.T) {
+	e := NewEngine(1)
+	t1 := e.AfterTimer(10, func() {})
+	e.Run() // t1 fires; its slot returns to the free list
+
+	fired := false
+	e.AfterTimer(10, func() { fired = true }) // reuses t1's slot
+	t1.Stop()                                 // stale generation: must be a no-op
+	e.Run()
+	if !fired {
+		t.Fatal("stale Stop cancelled an unrelated timer in the recycled slot")
+	}
+}
+
+// TestCancelInteriorHeapEntry stops a timer whose event sits in the middle
+// of a populated heap, exercising removeAt's sift-up and sift-down repair.
+func TestCancelInteriorHeapEntry(t *testing.T) {
+	e := NewEngine(1)
+	var got []Time
+	for _, d := range []Time{50, 10, 90, 30, 70, 20, 80, 40, 60} {
+		e.After(d, func() { got = append(got, e.Now()) })
+	}
+	tm := e.AfterTimer(55, func() { t.Error("cancelled timer fired") })
+	tm.Stop()
+	e.Run()
+	wantLen := 9
+	if len(got) != wantLen {
+		t.Fatalf("ran %d events, want %d", len(got), wantLen)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("events out of order after interior removal: %v", got)
+		}
+	}
+}

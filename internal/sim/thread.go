@@ -6,13 +6,23 @@ package sim
 // clock, so CPU saturation and queueing delay emerge naturally. This is how
 // the reproduction exposes the CPU bottlenecks the paper is about: RPC
 // handling costs remote CPU here, one-sided RDMA does not.
+//
+// The queues are ring buffers and each thread owns a single pre-bound
+// completion closure, so serving an item performs no heap allocation in
+// steady state (the old slice-slide queues re-allocated their backing
+// arrays continuously and bound one closure per item).
 type Thread struct {
 	eng  *Engine
 	name string
 
 	busy   bool
-	high   []workItem // served before normal work (lease-manager priority)
-	normal []workItem
+	high   workRing // served before normal work (lease-manager priority)
+	normal workRing
+
+	// cur is the item in service; finishFn is the completion closure bound
+	// once at construction and reused for every item.
+	cur      workItem
+	finishFn func()
 
 	// busyNS accumulates time spent serving work, for utilization metrics.
 	busyNS Time
@@ -28,9 +38,47 @@ type workItem struct {
 	fn   func()
 }
 
+// workRing is a growable FIFO ring of work items. Pop zeroes the vacated
+// entry so the ring never pins dead closures.
+type workRing struct {
+	items []workItem
+	head  int
+	n     int
+}
+
+func (r *workRing) push(it workItem) {
+	if r.n == len(r.items) {
+		grown := make([]workItem, max(8, 2*len(r.items)))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.items[(r.head+i)%len(r.items)]
+		}
+		r.items = grown
+		r.head = 0
+	}
+	r.items[(r.head+r.n)%len(r.items)] = it
+	r.n++
+}
+
+func (r *workRing) pop() workItem {
+	it := r.items[r.head]
+	r.items[r.head] = workItem{}
+	r.head = (r.head + 1) % len(r.items)
+	r.n--
+	return it
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
 // NewThread creates an idle thread attached to eng.
 func NewThread(eng *Engine, name string) *Thread {
-	return &Thread{eng: eng, name: name}
+	t := &Thread{eng: eng, name: name}
+	t.finishFn = t.finish
+	return t
 }
 
 // Name returns the diagnostic name given at construction.
@@ -52,9 +100,9 @@ func (t *Thread) enqueue(cost Time, fn func(), prio bool) {
 	}
 	it := workItem{cost: cost, fn: fn}
 	if prio {
-		t.high = append(t.high, it)
+		t.high.push(it)
 	} else {
-		t.normal = append(t.normal, it)
+		t.normal.push(it)
 	}
 	if !t.busy {
 		t.serveNext()
@@ -64,12 +112,10 @@ func (t *Thread) enqueue(cost Time, fn func(), prio bool) {
 func (t *Thread) serveNext() {
 	var it workItem
 	switch {
-	case len(t.high) > 0:
-		it = t.high[0]
-		t.high = t.high[1:]
-	case len(t.normal) > 0:
-		it = t.normal[0]
-		t.normal = t.normal[1:]
+	case t.high.n > 0:
+		it = t.high.pop()
+	case t.normal.n > 0:
+		it = t.normal.pop()
 	default:
 		t.busy = false
 		return
@@ -80,18 +126,27 @@ func (t *Thread) serveNext() {
 		cost += t.jitter(t.eng.Rand())
 	}
 	t.busyNS += cost
-	t.eng.After(cost, func() {
-		t.served++
-		if it.fn != nil {
-			it.fn()
-		}
-		t.serveNext()
-	})
+	t.cur = it
+	t.eng.After(cost, t.finishFn)
+}
+
+// finish completes the item in service and starts the next one. It is the
+// thread's single completion callback: cur is read before running fn so a
+// completion that enqueues more work (busy is still true, so enqueue just
+// queues) cannot clobber it.
+func (t *Thread) finish() {
+	it := t.cur
+	t.cur = workItem{}
+	t.served++
+	if it.fn != nil {
+		it.fn()
+	}
+	t.serveNext()
 }
 
 // QueueLen reports the number of items waiting (not counting the one in
 // service).
-func (t *Thread) QueueLen() int { return len(t.high) + len(t.normal) }
+func (t *Thread) QueueLen() int { return t.high.n + t.normal.n }
 
 // Busy reports whether the thread is currently serving an item.
 func (t *Thread) Busy() bool { return t.busy }

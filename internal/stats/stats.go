@@ -283,24 +283,44 @@ func (ls *LatencySet) String() string {
 
 // Counters is a set of named monotonic counters, used to account message
 // and RDMA-operation counts (the unit of the paper's §4 analysis).
+//
+// Counters are stored as cells (pointers): hot paths that increment the
+// same counter millions of times per run resolve the name once with Cell
+// and then bump the cell directly, skipping the per-increment map hash.
 type Counters struct {
-	m map[string]uint64
+	m map[string]*uint64
 }
 
 // NewCounters returns an empty counter set.
-func NewCounters() *Counters { return &Counters{m: make(map[string]uint64)} }
+func NewCounters() *Counters { return &Counters{m: make(map[string]*uint64)} }
+
+// Cell returns the addressable cell of the named counter, creating it at
+// zero if needed. Cells stay valid across Reset (which zeroes in place).
+func (c *Counters) Cell(name string) *uint64 {
+	p := c.m[name]
+	if p == nil {
+		p = new(uint64)
+		c.m[name] = p
+	}
+	return p
+}
 
 // Inc adds delta to the named counter.
-func (c *Counters) Inc(name string, delta uint64) { c.m[name] += delta }
+func (c *Counters) Inc(name string, delta uint64) { *c.Cell(name) += delta }
 
 // Get returns the named counter's value.
-func (c *Counters) Get(name string) uint64 { return c.m[name] }
+func (c *Counters) Get(name string) uint64 {
+	if p := c.m[name]; p != nil {
+		return *p
+	}
+	return 0
+}
 
 // Snapshot returns a copy of all counters.
 func (c *Counters) Snapshot() map[string]uint64 {
 	out := make(map[string]uint64, len(c.m))
 	for k, v := range c.m {
-		out[k] = v
+		out[k] = *v
 	}
 	return out
 }
@@ -309,21 +329,27 @@ func (c *Counters) Snapshot() map[string]uint64 {
 func (c *Counters) Diff(prev map[string]uint64) map[string]uint64 {
 	out := make(map[string]uint64)
 	for k, v := range c.m {
-		if d := v - prev[k]; d != 0 {
+		if d := *v - prev[k]; d != 0 {
 			out[k] = d
 		}
 	}
 	return out
 }
 
-// Reset zeroes all counters.
-func (c *Counters) Reset() { c.m = make(map[string]uint64) }
+// Reset zeroes all counters in place; cells handed out by Cell stay valid.
+func (c *Counters) Reset() {
+	for _, p := range c.m {
+		*p = 0
+	}
+}
 
-// String renders counters sorted by name.
+// String renders nonzero counters sorted by name.
 func (c *Counters) String() string {
 	names := make([]string, 0, len(c.m))
-	for k := range c.m {
-		names = append(names, k)
+	for k, v := range c.m {
+		if *v != 0 {
+			names = append(names, k)
+		}
 	}
 	sort.Strings(names)
 	var b strings.Builder
@@ -331,7 +357,7 @@ func (c *Counters) String() string {
 		if i > 0 {
 			b.WriteByte(' ')
 		}
-		fmt.Fprintf(&b, "%s=%d", n, c.m[n])
+		fmt.Fprintf(&b, "%s=%d", n, *c.m[n])
 	}
 	return b.String()
 }
