@@ -31,14 +31,21 @@ figures:
 	go run ./cmd/farm-bench -fig all
 
 # Nemesis campaign: 20 seeds of mixed faults with state-integrity audits
-# after every heal, an injected-corruption run proving detect→localize→
-# repair, plus a determinism replay. Narrow with -faults (e.g.
-# `go run ./cmd/farm-chaos -faults oneway,gray`) and reproduce any
-# reported seed with `-replay <seed>`.
+# after every heal and the strict-serializability history checker judging
+# every run, an injected-corruption run proving detect→localize→repair,
+# plus a determinism replay. The -bug-validation run breaks OCC read
+# validation on purpose: it MUST fail (hence the `!`), and farm-histcheck
+# must independently convict its history dump — the checker's teeth are
+# themselves under test. Narrow with -faults (e.g. `go run
+# ./cmd/farm-chaos -faults oneway,gray`) and reproduce any reported seed
+# with `-replay <seed>`; violating runs leave their history dumps in
+# ./chaos-failures.
 chaos:
 	go run ./cmd/farm-chaos -runs 20
 	go run ./cmd/farm-chaos -runs 1 -corrupt
 	go run ./cmd/farm-chaos -replay 1
+	! go run ./cmd/farm-chaos -runs 1 -bug-validation -histdump /tmp/farm-bugval
+	! go run ./cmd/farm-histcheck /tmp/farm-bugval/seed-1.history.json
 	go test -race -run TestRunIsDeterministic ./internal/chaos
 
 # Traced smoke runs: a fault-free bank run and a Figure 9 recovery run,

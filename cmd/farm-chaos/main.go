@@ -9,17 +9,29 @@
 // machine, block and object. -corrupt flips one byte in a backup mid-run to
 // prove the detect→localize→repair path end to end.
 //
+// With -histcheck (on by default) every transaction's client-observable
+// history is recorded and, after the quiesce, checked for strict
+// serializability: the checker infers the per-object version order, builds
+// the transaction dependency graph (ww/wr/rw plus real-time edges) and
+// reports any cycle with a minimal witness. A violating run writes its
+// canonical history dump to ./chaos-failures (or -histdump DIR) next to the
+// seed that regenerates it; farm-histcheck re-judges dumps offline.
+// -bug-validation deliberately breaks OCC read validation to prove the
+// checker has teeth — such a run MUST fail.
+//
 //	farm-chaos -runs 10
 //	farm-chaos -runs 5 -machines 9 -duration 2s -seed 42
 //	farm-chaos -faults oneway,gray -runs 8
 //	farm-chaos -corrupt -runs 1
 //	farm-chaos -replay 42
+//	farm-chaos -runs 1 -bug-validation -histdump /tmp/bugval
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"time"
@@ -37,7 +49,15 @@ var (
 	replay   = flag.Uint64("replay", 0, "replay one seed twice, verify the runs are identical, and print its fault timeline")
 	audit    = flag.Bool("audit", true, "audit replica state-integrity after every nemesis heal and at end of run")
 	corrupt  = flag.Bool("corrupt", false, "flip one byte in a backup replica mid-run; audits must detect, localize and repair it")
+
+	histcheck = flag.Bool("histcheck", true, "record every transaction's history and run the strict-serializability checker after each run")
+	histdump  = flag.String("histdump", "", "directory to write each run's canonical history dump; violating runs always dump (here or ./chaos-failures)")
+	bugval    = flag.Bool("bug-validation", false, "deliberately break OCC read validation (test-only); the run MUST then fail with a history cycle")
 )
+
+// failureDir is where violating runs leave their history dumps when
+// -histdump gives no destination.
+const failureDir = "chaos-failures"
 
 func main() {
 	flag.Parse()
@@ -47,6 +67,9 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Audit = *audit
 	cfg.InjectCorruption = *corrupt
+	cfg.HistCheck = *histcheck
+	cfg.HistDump = *histdump != ""
+	cfg.BugSkipValidation = *bugval
 	if *corrupt && !*audit {
 		fmt.Fprintln(os.Stderr, "farm-chaos: -corrupt requires -audit (nothing else can detect it)")
 		os.Exit(2)
@@ -71,6 +94,7 @@ func main() {
 		fmt.Println(r)
 		audits += r.Audits
 		printDivergences(r)
+		saveHistory(r)
 		if len(r.Violations) > 0 {
 			bad++
 		}
@@ -83,6 +107,36 @@ func main() {
 		fmt.Printf("\nall %d runs clean: money conserved, one configuration, cluster live, %d audits passed\n", *runs, audits)
 	} else {
 		fmt.Printf("\nall %d runs clean: money conserved, one configuration, cluster live\n", *runs)
+	}
+}
+
+// saveHistory writes a run's history dump to disk: always when -histdump
+// names a directory, and always for a violating run (so the bug report is
+// complete: the dump plus the seed that regenerates it byte for byte).
+func saveHistory(r chaos.Result) {
+	if len(r.HistoryJSON) == 0 {
+		return
+	}
+	dir := *histdump
+	if dir == "" {
+		if len(r.Violations) == 0 {
+			return
+		}
+		dir = failureDir
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "farm-chaos: %v\n", err)
+		return
+	}
+	path := filepath.Join(dir, fmt.Sprintf("seed-%d.history.json", r.Seed))
+	if err := os.WriteFile(path, r.HistoryJSON, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "farm-chaos: %v\n", err)
+		return
+	}
+	fmt.Printf("    history dump: %s (%d events)\n", path, r.HistEvents)
+	if len(r.Violations) > 0 {
+		fmt.Printf("    reproduce:    go run ./cmd/farm-chaos -replay %d\n", r.Seed)
+		fmt.Printf("    inspect:      go run ./cmd/farm-histcheck %s\n", path)
 	}
 }
 
@@ -167,6 +221,7 @@ func replaySeed(cfg chaos.Config, seed uint64) {
 		os.Exit(1)
 	}
 	fmt.Println(a)
+	saveHistory(a)
 	fmt.Printf("\nfault timeline (%d episodes):\n", len(a.Timeline))
 	for _, e := range a.Timeline {
 		fmt.Printf("  %s\n", e)

@@ -1,0 +1,59 @@
+// farm-histcheck runs the offline strict-serializability checker over
+// canonical transaction-history dumps written by farm-chaos (-histdump, or
+// automatically by a violating run). It rebuilds the per-object version
+// order, the transaction dependency graph (ww/wr/rw plus real-time edges)
+// and reports every violation — dependency cycles with a minimal witness,
+// dirty reads, duplicate version installs — plus the opacity measurement
+// over aborted transactions.
+//
+//	farm-histcheck chaos-failures/seed-42.history.json
+//	farm-histcheck -q dumps/*.history.json
+//
+// Exit status 1 if any dump fails to load or fails the checker.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"farm/internal/history"
+)
+
+var quiet = flag.Bool("q", false, "print only failing files and their violations")
+
+func main() {
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: farm-histcheck [-q] DUMP.json ...")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "farm-histcheck: %v\n", err)
+			failed = true
+			continue
+		}
+		h, err := history.Load(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "farm-histcheck: %s: %v\n", path, err)
+			failed = true
+			continue
+		}
+		rep := history.Check(h)
+		if !*quiet || !rep.Ok() {
+			fmt.Printf("%s: %s\n", path, rep)
+		}
+		for _, v := range rep.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+		if !rep.Ok() {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"farm/internal/core"
 	"farm/internal/fabric"
+	"farm/internal/history"
 	"farm/internal/loadgen"
 	"farm/internal/proto"
 	"farm/internal/sim"
@@ -74,6 +75,24 @@ type Config struct {
 	// Trace enables causality tracing for the run; the merged Chrome
 	// trace_event JSON lands in Result.TraceJSON.
 	Trace trace.Options
+	// HistCheck records every transaction's client-observable history
+	// (internal/history) and runs the offline strict-serializability
+	// checker over it after the quiesce: any dependency cycle, dirty read
+	// or duplicate version install is a violation. It also arms read-only
+	// sum-all-accounts probe transactions in the workload — transfers alone
+	// read exactly what they write (lock-protected even without
+	// validation), so wide read-only snapshots are what give the checker
+	// teeth against validation bugs.
+	HistCheck bool
+	// HistDump forces Result.HistoryJSON to carry the canonical history
+	// dump even on clean runs. (A run with history violations always
+	// carries its dump.)
+	HistDump bool
+	// BugSkipValidation disables OCC read validation in the core — a
+	// test-only fault injected into the protocol itself. A run with this
+	// set is EXPECTED to fail: the history checker must catch the
+	// resulting serializability violations with a concrete cycle witness.
+	BugSkipValidation bool
 }
 
 // DefaultConfig returns a campaign tuned to finish one run in a few wall
@@ -96,6 +115,7 @@ func DefaultConfig() Config {
 		Lease:           5 * sim.Millisecond,
 		Seed:            1,
 		Audit:           true,
+		HistCheck:       true,
 	}
 }
 
@@ -128,6 +148,20 @@ type Result struct {
 	// enabled it). Included in the determinism contract: the same seed
 	// must reproduce it byte for byte.
 	TraceJSON []byte
+	// History-checker summary (zero unless Config.HistCheck).
+	// HistIndeterminate counts transactions whose coordinator died before
+	// reporting an outcome; HistInferred is the subset whose commit the
+	// checker proved from later reads. OpacityChecked/NonOpaque report the
+	// opacity probe over aborted transactions (a measurement, not a
+	// violation: FaRM's individual reads are atomic but aborted
+	// transactions may observe inconsistent cross-object snapshots).
+	HistEvents, HistCommitted, HistInferred, HistIndeterminate int
+	OpacityChecked, NonOpaque                                  int
+	// HistoryJSON is the canonical history dump — populated when
+	// Config.HistDump is set or when the checker found violations, nil
+	// otherwise (a 20-run campaign's histories would dwarf everything
+	// else in memory). Byte-identical across replays of the same seed.
+	HistoryJSON []byte
 }
 
 // Faults is the total number of injected fault episodes.
@@ -141,8 +175,13 @@ func (r Result) String() string {
 	if len(r.Violations) > 0 {
 		status = fmt.Sprintf("VIOLATED %v", r.Violations)
 	}
-	return fmt.Sprintf("seed=%d commits=%d aborts=%d kills=%d cmkills=%d partitions=%d oneways=%d flaps=%d grays=%d powercycles=%d audits=%d/%d skips → %s",
-		r.Seed, r.Commits, r.Aborts, r.Kills, r.CMKills, r.Partitions, r.OneWays, r.Flaps, r.Grays, r.PowerCycles, r.Audits, r.AuditSkips, status)
+	hist := ""
+	if r.HistEvents > 0 {
+		hist = fmt.Sprintf(" hist=%d(%dc/%di/%d?) nonopaque=%d/%d",
+			r.HistEvents, r.HistCommitted, r.HistInferred, r.HistIndeterminate, r.NonOpaque, r.OpacityChecked)
+	}
+	return fmt.Sprintf("seed=%d commits=%d aborts=%d kills=%d cmkills=%d partitions=%d oneways=%d flaps=%d grays=%d powercycles=%d audits=%d/%d skips%s → %s",
+		r.Seed, r.Commits, r.Aborts, r.Kills, r.CMKills, r.Partitions, r.OneWays, r.Flaps, r.Grays, r.PowerCycles, r.Audits, r.AuditSkips, hist, status)
 }
 
 // Nemesis is one composable fault generator. Inject attempts to start an
@@ -433,7 +472,9 @@ func Run(cfg Config) Result {
 		Trace:         cfg.Trace,
 		// Audits self-heal: a localized divergent backup is fenced into
 		// force-copy re-replication and the repair is re-audited.
-		AuditRepair: cfg.Audit,
+		AuditRepair:        cfg.Audit,
+		History:            cfg.HistCheck || cfg.HistDump,
+		SkipReadValidation: cfg.BugSkipValidation,
 	}
 	c := core.New(opts)
 	regions, err := c.CreateRegions(0, 3, 0)
@@ -465,6 +506,7 @@ func Run(cfg Config) Result {
 
 	// Transfer drivers on every machine (dead drivers just stop).
 	var commits, aborts uint64
+	var snapBad int
 	for mi := 0; mi < cfg.Machines; mi++ {
 		m := c.Machine(mi)
 		rng := sim.NewRand(cfg.Seed*977 + uint64(mi))
@@ -480,8 +522,52 @@ func Run(cfg Config) Result {
 				aborts++
 				c.Eng.After(100*sim.Microsecond, drive)
 			}
+			// probe commits a read-only sum over every account. A
+			// committed sum ≠ total is an immediate conservation
+			// violation against a serializable snapshot — and in the
+			// recorded history these wide reads are what turn a broken
+			// validation into a dependency cycle the checker can report.
+			probe := func() {
+				tx := m.Begin(th)
+				var sum uint64
+				var step func(i int)
+				step = func(i int) {
+					if i == len(addrs) {
+						tx.Commit(func(err error) {
+							if err != nil {
+								aborts++
+							} else {
+								commits++
+								if sum != total {
+									snapBad++
+									if snapBad <= 3 {
+										res.Violations = append(res.Violations,
+											fmt.Sprintf("conservation-snapshot: committed read-only Σ=%d want %d (m%d at %v)",
+												sum, total, m.ID, c.Now()))
+									}
+								}
+							}
+							drive()
+						})
+						return
+					}
+					tx.Read(addrs[i], 8, func(b []byte, err error) {
+						if err != nil {
+							bail(tx)
+							return
+						}
+						sum += u64(b)
+						step(i + 1)
+					})
+				}
+				step(0)
+			}
 			drive = func() {
 				if !m.Alive() || c.Now() > cfg.Duration {
+					return
+				}
+				if opts.History && rng.Intn(10) == 0 {
+					probe()
 					return
 				}
 				from := addrs[rng.Intn(cfg.Accounts)]
@@ -580,12 +666,48 @@ func Run(cfg Config) Result {
 	c.RunFor(500 * sim.Millisecond)
 	res.Commits, res.Aborts = commits, aborts
 
+	// finish closes out the run: it exports the recorded history and runs
+	// the strict-serializability checker over it. Every return below funnels
+	// through it, so even a run that already failed a liveness audit still
+	// gets its history judged (and its dump preserved).
+	finish := func() Result {
+		if snapBad > 3 {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("conservation-snapshot: ... and %d more bad snapshots", snapBad-3))
+		}
+		if c.Hist == nil {
+			return res
+		}
+		h := c.Hist.Export()
+		dump := cfg.HistDump
+		if cfg.HistCheck {
+			rep := history.Check(h)
+			res.HistEvents = rep.Stats.Events
+			res.HistCommitted = rep.Stats.Committed
+			res.HistInferred = rep.Stats.InferredCommitted
+			res.HistIndeterminate = rep.Stats.Indeterminate
+			res.OpacityChecked = rep.Stats.OpacityChecked
+			res.NonOpaque = rep.Stats.NonOpaque
+			for _, v := range rep.Violations {
+				res.Violations = append(res.Violations, "history: "+v.String())
+			}
+			if !rep.Ok() {
+				dump = true
+			}
+		}
+		if dump {
+			res.HistoryJSON = history.Dump(h)
+		}
+		return res
+	}
+
 	// Final state-integrity audit: after quiesce it must come back
 	// conclusive and clean. A divergence self-heals (repair + re-audit
 	// inside the run) so the retry loop converges unless something is
 	// genuinely broken; mid-run audits may skip, this one may not.
 	if cfg.Audit {
 		finalClean := false
+		var lastReports []core.AuditReport
 		for attempt := 0; attempt < 4 && !finalClean; attempt++ {
 			var reports []core.AuditReport
 			auditDone := false
@@ -595,6 +717,7 @@ func Run(cfg Config) Result {
 				res.Violations = append(res.Violations, "audit: final audit never completed")
 				break
 			}
+			lastReports = reports
 			nctx.tally(reports)
 			conclusive, diverged := true, false
 			for _, r := range reports {
@@ -613,6 +736,11 @@ func Run(cfg Config) Result {
 		}
 		if !finalClean {
 			res.Violations = append(res.Violations, "audit: final post-quiesce audit not conclusively clean")
+			for _, r := range lastReports {
+				if !r.Conclusive || !r.Clean {
+					res.Violations = append(res.Violations, "  "+r.String())
+				}
+			}
 		}
 	}
 
@@ -645,7 +773,7 @@ func Run(cfg Config) Result {
 	}
 	if member0 == nil {
 		res.Violations = append(res.Violations, "no machine reached the latest configuration")
-		return res
+		return finish()
 	}
 	// Agreement judged against the LATEST configuration's membership (a
 	// stale machine's own view would trivially include itself).
@@ -692,6 +820,27 @@ func Run(cfg Config) Result {
 		}
 	}
 
+	// Conservation judged from replica state itself: sum the committed
+	// payloads straight out of each account's primary replica memory,
+	// bypassing the transaction layer entirely — a broken read path cannot
+	// vouch for a broken commit path.
+	var stateSum uint64
+	stateReadable := true
+	for i, a := range addrs {
+		b, err := c.PeekObject(a, 8)
+		if err != nil {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("conservation-state: account %d unreadable from primary memory: %v", i, err))
+			stateReadable = false
+			break
+		}
+		stateSum += u64(b)
+	}
+	if stateReadable && stateSum != total {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("conservation-state: replica memory Σ=%d want %d", stateSum, total))
+	}
+
 	// Conservation + liveness: audit reads must succeed and sum to total.
 	reader := member0
 	var sum uint64
@@ -706,7 +855,7 @@ func Run(cfg Config) Result {
 		if err != nil {
 			res.Violations = append(res.Violations,
 				fmt.Sprintf("liveness: account %d unreadable: %v", i, err))
-			return res
+			return finish()
 		}
 		sum += u64(val)
 	}
@@ -733,7 +882,7 @@ func Run(cfg Config) Result {
 					dst, rep[0], rep[1], rep[2], rep[3]))
 		}
 	}
-	return res
+	return finish()
 }
 
 // Campaign runs n seeds and returns all results.

@@ -1,0 +1,81 @@
+package chaos
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"farm/internal/history"
+	"farm/internal/sim"
+)
+
+// shortConfig keeps the history tests fast: same machine count and fault
+// mix as the default campaign, shorter run.
+func shortConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Duration = 600 * sim.Millisecond
+	return cfg
+}
+
+// TestHistoryDumpDeterministic pins the replay contract for history
+// artifacts: two runs of the same seed must produce byte-identical dumps,
+// so a dump attached to a violation report is exactly what -replay will
+// regenerate.
+func TestHistoryDumpDeterministic(t *testing.T) {
+	cfg := shortConfig()
+	cfg.HistDump = true
+	cfg.Seed = 5
+
+	a := Run(cfg)
+	b := Run(cfg)
+	if len(a.HistoryJSON) == 0 {
+		t.Fatal("HistDump run produced no dump")
+	}
+	if !bytes.Equal(a.HistoryJSON, b.HistoryJSON) {
+		t.Fatalf("same seed, different history dumps (%d vs %d bytes)",
+			len(a.HistoryJSON), len(b.HistoryJSON))
+	}
+
+	h, err := history.Load(a.HistoryJSON)
+	if err != nil {
+		t.Fatalf("dump does not load: %v", err)
+	}
+	if len(h.Events) != a.HistEvents {
+		t.Fatalf("dump carries %d events, result reports %d", len(h.Events), a.HistEvents)
+	}
+	// Checking the reloaded dump offline reproduces the in-run verdict.
+	rep := history.Check(h)
+	if !rep.Ok() {
+		t.Fatalf("reloaded dump fails the checker: %v", rep.Violations)
+	}
+}
+
+// TestInjectedValidationBugCaught is the teeth test: break OCC read
+// validation on purpose and require the history checker to catch it with
+// a concrete dependency-cycle witness. A checker that stays green here
+// would be decoration.
+func TestInjectedValidationBugCaught(t *testing.T) {
+	cfg := shortConfig()
+	cfg.BugSkipValidation = true
+	cfg.Seed = 3
+
+	r := Run(cfg)
+	var cycle string
+	for _, v := range r.Violations {
+		if strings.HasPrefix(v, "history: cycle") {
+			cycle = v
+			break
+		}
+	}
+	if cycle == "" {
+		t.Fatalf("checker missed the injected validation bug; violations: %v", r.Violations)
+	}
+	// The witness names concrete transactions and edges.
+	if !strings.Contains(cycle, "→") || !strings.Contains(cycle, "T") {
+		t.Fatalf("cycle violation carries no witness: %s", cycle)
+	}
+	if len(r.HistoryJSON) == 0 {
+		t.Fatal("violating run must carry its history dump for offline replay")
+	}
+	t.Logf("caught: %s", cycle)
+}

@@ -64,6 +64,7 @@ func (m *Machine) handleRecordInner(lr *logReader, rec *proto.Record, seq uint64
 		m.pend[key] = rt
 	}
 	rt.frameSeqs = append(rt.frameSeqs, seq)
+	rt.lastChange = m.c.Eng.Now()
 	lr.frames[key] = append(lr.frames[key], seq)
 	if len(rec.Regions) > 0 {
 		rt.regionHint = rec.Regions

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
+	"farm/internal/fabric"
 	"farm/internal/sim"
 )
 
@@ -100,5 +102,104 @@ func TestClientSurvivesServerFailureByRetrying(t *testing.T) {
 	runUntil(t, c, sim.Second, func() bool { return got != nil })
 	if string(got) != "retryme!" {
 		t.Fatalf("retry read %q", got)
+	}
+}
+
+// TestClientSurvivesGrayServerByRetrying is the gray-NIC variant: the
+// server the client picked is not dead, just gray-failed (slow, inbound
+// cut) — its silence looks identical to a crash from the client's side.
+// The client retries against a healthy server, and once the gray fault
+// heals the original server serves again (the half that distinguishes
+// gray from dead).
+func TestClientSurvivesGrayServerByRetrying(t *testing.T) {
+	// Long lease: the gray episode stays inside lease margins, so the
+	// victim is never evicted — unlike a kill, a healed gray server must
+	// serve again.
+	o := Options{NumMachines: 5, Seed: 97, LeaseDuration: 50 * sim.Millisecond}
+	c, region := testCluster(t, o)
+	addr := writeObject(t, c, c.Machine(0), []byte("grayme!!"))
+	cl := c.NewClient()
+	c.RunFor(5 * sim.Millisecond)
+
+	// Gray a machine that is not the region's primary, so a retry against
+	// a healthy server can still reach the data.
+	primary := c.Machine(0).primaryOf(region)
+	victim := 1
+	for victim == primary {
+		victim++
+	}
+	retry := victim + 1
+	for retry == primary || retry >= o.NumMachines {
+		retry = (retry + 1) % o.NumMachines
+	}
+	c.DegradeMachine(victim, fabric.MachineFault{}.WithRxCut(true))
+
+	var got []byte
+	cl.Read(victim, addr, 8, func(data []byte, err error) { got = data })
+	c.RunFor(20 * sim.Millisecond)
+	if got != nil {
+		t.Fatal("gray server with a cut inbound path answered")
+	}
+	cl.Read(retry, addr, 8, func(data []byte, err error) {
+		if err != nil {
+			t.Errorf("retry: %v", err)
+		}
+		got = data
+	})
+	runUntil(t, c, sim.Second, func() bool { return got != nil })
+	if string(got) != "grayme!!" {
+		t.Fatalf("retry read %q", got)
+	}
+
+	// Heal: the gray server was silent, not dead; it serves again.
+	c.RestoreMachine(victim)
+	c.RunFor(10 * sim.Millisecond)
+	var healed []byte
+	cl.Read(victim, addr, 8, func(data []byte, err error) {
+		if err != nil {
+			t.Errorf("healed read: %v", err)
+		}
+		healed = data
+	})
+	runUntil(t, c, sim.Second, func() bool { return healed != nil })
+	if string(healed) != "grayme!!" {
+		t.Fatalf("healed read %q", healed)
+	}
+}
+
+// TestMappingRetryBudgetSurfacesUnavailable pins the capped-backoff budget
+// in readObject: when a region's only replica goes permanently gray (both
+// directions cut, never healed), a member-side read must burn through the
+// bounded mapping-retry budget and report ErrUnavailable in bounded
+// virtual time — not spin forever waiting for a heal that never comes.
+func TestMappingRetryBudgetSurfacesUnavailable(t *testing.T) {
+	o := Options{NumMachines: 5, Seed: 101, Replication: 1, LeaseDuration: 5 * sim.Millisecond}
+	c, region := testCluster(t, o)
+	addr := writeObject(t, c, c.Machine(0), []byte("unavail!"))
+
+	primary := c.Machine(0).primaryOf(region)
+	if primary < 0 {
+		t.Fatal("no primary")
+	}
+	reader := c.Machine((primary + 1) % o.NumMachines)
+
+	// Permanent gray failure: the sole replica's host neither sends nor
+	// receives, and no nemesis ever heals it.
+	c.DegradeMachine(primary, fabric.MachineFault{}.WithTxCut(true).WithRxCut(true))
+
+	start := c.Now()
+	var readErr error
+	var done bool
+	tx := reader.Begin(0)
+	tx.Read(addr, 8, func(_ []byte, err error) {
+		readErr, done = err, true
+		tx.Abort()
+	})
+	runUntil(t, c, 2*sim.Second, func() bool { return done })
+	if !errors.Is(readErr, ErrUnavailable) {
+		t.Fatalf("read error %v, want ErrUnavailable", readErr)
+	}
+	if elapsed := c.Now() - start; elapsed > 500*sim.Millisecond {
+		t.Fatalf("budget took %v to surface ErrUnavailable (want bounded ≪ 500ms)", elapsed)
 	}
 }

@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"farm/internal/fabric"
+	"farm/internal/history"
 	"farm/internal/proto"
+	"farm/internal/regionmem"
 	"farm/internal/sim"
 	"farm/internal/stats"
 	"farm/internal/trace"
@@ -53,6 +55,10 @@ type Cluster struct {
 	// timeline as the protocol spans.
 	Tracer *trace.Set
 
+	// Hist records every transaction's client-observable history for the
+	// offline strict-serializability checker (nil unless Opts.History).
+	Hist *history.Recorder
+
 	// LostRegions lists regions that lost all replicas (a fatal condition
 	// the CM signals, §5.2 step 4).
 	LostRegions []uint32
@@ -77,6 +83,9 @@ func New(opts Options) *Cluster {
 
 	if opts.Trace.Enabled {
 		c.Tracer = trace.NewSet(opts.Trace, opts.NumMachines)
+	}
+	if opts.History {
+		c.Hist = history.NewRecorder()
 	}
 
 	cfg := proto.Config{ID: 1, CM: 0, Domains: make(map[uint16]int)}
@@ -284,6 +293,37 @@ func (c *Cluster) noteLostRegion(region uint32) {
 func (c *Cluster) noteRegionRecovered(region uint32) {
 	c.RegionRecoveredAt[region] = c.Eng.Now()
 	c.trace("region-recovered", -1, int(region))
+}
+
+// PeekObject reads the committed payload of addr directly out of the
+// current primary replica's memory, bypassing the transaction layer
+// entirely. It is an audit/test observability hook: invariants over final
+// state (e.g. bank conservation) should be judged from what the replicas
+// actually store, not from what transactions reported reading. Returns
+// ErrUnavailable when no alive machine is primary for the region.
+func (c *Cluster) PeekObject(addr proto.Addr, size int) ([]byte, error) {
+	var best *Machine
+	for _, m := range c.Machines {
+		if !m.alive || m.primaryOf(addr.Region) != m.ID {
+			continue
+		}
+		rep := m.replicas[addr.Region]
+		if rep == nil || !rep.primary {
+			continue
+		}
+		if best == nil || m.config.ID > best.config.ID {
+			best = m
+		}
+	}
+	if best == nil {
+		return nil, ErrUnavailable
+	}
+	rep := best.replicas[addr.Region]
+	start := int(addr.Off) + regionmem.HeaderSize
+	if start+size > len(rep.mem) {
+		return nil, fabric.ErrBadAddress
+	}
+	return append([]byte(nil), rep.mem[start:start+size]...), nil
 }
 
 // TotalCommitted sums committed transactions across machines.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"farm/internal/fabric"
+	"farm/internal/history"
 	"farm/internal/nvram"
 	"farm/internal/proto"
 	"farm/internal/regionmem"
@@ -125,6 +126,22 @@ func (t *Tx) Commit(cb func(err error)) {
 		// Close the root trace span on whatever path reports the outcome.
 		inner := cb
 		cb = func(err error) { t.endTxSpan(err); inner(err) }
+	}
+	if t.hrec != nil {
+		// Record the reported outcome and its simulated time. Requeue
+		// paths below may wrap cb again on re-entry; Finish is idempotent,
+		// so only the first (outermost) report lands. A coordinator that
+		// dies before reporting leaves the event indeterminate — exactly
+		// what the checker's commit inference is for.
+		inner := cb
+		cb = func(err error) {
+			o := history.Committed
+			if err != nil {
+				o = history.Aborted
+			}
+			t.histFinish(o)
+			inner(err)
+		}
 	}
 
 	if len(t.writes) == 0 {
@@ -485,6 +502,13 @@ func (ct *coordTx) primariesOnly() []int {
 // primaries holding more than tr of them.
 func (m *Machine) validate(ct *coordTx) {
 	m.beginPhase(ct, "VALIDATE")
+	if m.c.Opts.SkipReadValidation {
+		// TEST-ONLY consistency bug (Options.SkipReadValidation): commit
+		// without checking that read versions still stand.
+		ct.phase = phaseCommitBackup
+		m.commitBackups(ct)
+		return
+	}
 	t := ct.tx
 	byPrimary := make(map[int][]*readEntry)
 	for _, addr := range addrKeys(t.reads) {
@@ -685,11 +709,51 @@ func (m *Machine) commitPrimaries(ct *coordTx) {
 	}
 }
 
+// selfLeaseOK reports whether this machine may tell its application a
+// transaction committed: every lease it watches is current, so it cannot
+// have been evicted without knowing it. Leases are exactly the mechanism
+// the paper uses to fence a machine before the surviving configuration
+// acts without it (§5.2) — a coordinator whose lease has lapsed may hold
+// hardware acks from a configuration that no longer exists, and recovery
+// may be deciding its transaction's real fate right now.
+func (m *Machine) selfLeaseOK() bool {
+	return m.lease == nil || m.lease.fresh()
+}
+
+// fencedReport runs an application-visible success report now if the
+// machine's membership is provably current, and defers it otherwise. A
+// deferred report flushes when (if ever) the lease is renewed; until then
+// the application sees the transaction as in flight — the honest answer,
+// since only recovery on the surviving configuration knows the outcome.
+func (m *Machine) fencedReport(report func()) {
+	if m.selfLeaseOK() {
+		report()
+		return
+	}
+	m.c.Counters.Inc("report_fenced", 1)
+	m.fencedReports = append(m.fencedReports, report)
+}
+
+// flushFencedReports delivers deferred outcome reports; called from the
+// lease tick so delivery is deterministic.
+func (m *Machine) flushFencedReports() {
+	if len(m.fencedReports) == 0 || !m.alive || !m.selfLeaseOK() {
+		return
+	}
+	reports := m.fencedReports
+	m.fencedReports = nil
+	for _, r := range reports {
+		r()
+	}
+}
+
 // reportCommitted finalizes a successful commit at the application.
 func (m *Machine) reportCommitted(ct *coordTx) {
-	m.Committed++
-	m.c.Counters.Inc("tx_committed", 1)
-	ct.cb(nil)
+	m.fencedReport(func() {
+		m.Committed++
+		m.c.Counters.Inc("tx_committed", 1)
+		ct.cb(nil)
+	})
 }
 
 // validateReadOnly is the read-only fast path: committed read-only
@@ -698,12 +762,14 @@ func (m *Machine) reportCommitted(ct *coordTx) {
 // RPC, like the read-write path (§4 step 2).
 func (t *Tx) validateReadOnly(cb func(error)) {
 	m := t.m
-	if len(t.reads) == 0 {
+	if m.c.Opts.SkipReadValidation || len(t.reads) == 0 {
 		m.c.Eng.After(m.c.Opts.CPULocal, func() {
 			if m.alive {
-				m.Committed++
-				m.c.Counters.Inc("tx_committed", 1)
-				cb(nil)
+				m.fencedReport(func() {
+					m.Committed++
+					m.c.Counters.Inc("tx_committed", 1)
+					cb(nil)
+				})
 			}
 		})
 		return
@@ -735,9 +801,15 @@ func (t *Tx) validateReadOnly(cb func(error)) {
 		}
 		outstanding--
 		if outstanding == 0 {
-			m.Committed++
-			m.c.Counters.Inc("tx_committed", 1)
-			cb(nil)
+			// Read-only commits serialize at their last read; the report is
+			// lease-fenced like the read-write path, so a coordinator that
+			// validated against replicas the configuration has moved past
+			// cannot vouch for a stale snapshot.
+			m.fencedReport(func() {
+				m.Committed++
+				m.c.Counters.Inc("tx_committed", 1)
+				cb(nil)
+			})
 		}
 	}
 	for _, pm := range intKeys(byPrimary) {

@@ -192,6 +192,21 @@ type Options struct {
 	// buffers are allocated and the hot paths pay one nil check.
 	Trace trace.Options
 
+	// History enables the client-side history recorder (internal/history):
+	// every transaction's invoke/complete interval in simulated time, its
+	// reads with the versions they observed, and its buffered writes are
+	// recorded for offline strict-serializability checking. Disabled by
+	// default; when disabled the recorder is nil and every hook in the
+	// transaction hot path is a single nil check with no allocations.
+	History bool
+
+	// SkipReadValidation disables commit-time read validation (§4 step 2)
+	// for read-write and read-only transactions alike. TEST-ONLY: it
+	// deliberately breaks strict serializability so the history checker
+	// can demonstrate it catches real consistency bugs; never enable it
+	// outside that experiment.
+	SkipReadValidation bool
+
 	// Seed drives all randomness.
 	Seed uint64
 }

@@ -185,6 +185,7 @@ func (lm *leaseManager) tick() {
 		}
 	}
 	lm.m.maybeWithdrawSuspicion()
+	lm.m.flushFencedReports()
 	lm.m.c.Eng.After(lm.renewInterval(), func() { lm.tick() })
 }
 

@@ -77,6 +77,10 @@ type remoteTx struct {
 	// regionHint caches the written-region list from any record, for
 	// recovery classification when the lock record is absent.
 	regionHint []uint32
+	// lastChange is when this entry last made protocol progress (a record,
+	// replicated state, or a recovery decision arrived). The stall sweep
+	// uses it to detect recovering transactions whose decision was lost.
+	lastChange sim.Time
 }
 
 // truncDomain tracks truncation state for one coordinator thread (§5.3
@@ -187,8 +191,14 @@ type Machine struct {
 	truncPending map[int]map[uint64]*coordTx
 
 	lease *leaseManager
-	cm    *cmState
-	recov *recoveryState
+	// fencedReports holds application outcome reports deferred because
+	// this machine's own lease lapsed (it may have been evicted without
+	// knowing). They flush from the lease tick once every watched lease is
+	// current again; on a machine that really was evicted they never fire
+	// and the outcomes stay indeterminate.
+	fencedReports []func()
+	cm            *cmState
+	recov         *recoveryState
 	// earlyNeedRec buffers NEED-RECOVERY messages racing our own
 	// NEW-CONFIG-COMMIT.
 	earlyNeedRec []earlyNeed

@@ -86,13 +86,18 @@ type recTx struct {
 
 // voteCollector gathers votes at the recovery coordinator.
 type voteCollector struct {
-	id              proto.TxID
-	regions         map[uint32]proto.Vote
-	known           map[uint32]bool
-	decided         bool
-	commit          bool
-	acksOutstanding int
-	participants    map[int]bool
+	id           proto.TxID
+	regions      map[uint32]proto.Vote
+	known        map[uint32]bool
+	decided      bool
+	commit       bool
+	participants map[int]bool
+	// acked records which participants acknowledged the decision. A set —
+	// not a countdown — because decisions are retransmitted (late voters,
+	// QUERY-DECISION) and duplicate acks must not trip truncation early:
+	// a premature TRUNCATE-RECOVERY at a participant that never saw an
+	// ABORT-RECOVERY would apply the aborted writes at its backups.
+	acked map[int]bool
 	// ctx is the "vote-decide" span, open from the collector's creation to
 	// the decision; decision fan-out reuses it as the causal context.
 	ctx trace.Ctx
@@ -479,6 +484,7 @@ func (m *Machine) installPendLock(id proto.TxID, lock *proto.Record) {
 		rt.lock = mergeRecords(rt.lock, lock)
 	}
 	rt.saw |= proto.SawLock
+	rt.lastChange = m.c.Eng.Now()
 	if lock != nil && len(lock.Regions) > 0 {
 		rt.regionHint = lock.Regions
 	}
@@ -722,6 +728,7 @@ func (m *Machine) onReplicateTxState(src int, r *proto.ReplicateTxState) {
 		rt.lock = r.Lock
 	}
 	rt.saw |= proto.SawLock
+	rt.lastChange = m.c.Eng.Now()
 	if r.Lock != nil {
 		rt.regionHint = r.Lock.Regions
 	}
@@ -854,6 +861,17 @@ func (m *Machine) onRequestVote(src int, rv *proto.RequestVote) {
 	if rv.Config != m.config.ID {
 		return
 	}
+	// Vote only after this configuration's drain has completed and (if the
+	// region is recovering) its lock recovery has merged every replica's
+	// knowledge: a premature vote from partial state could read as LOCK a
+	// transaction whose COMMIT-BACKUP exists only at a backup, turning a
+	// reported commit into an abort. The requester retries on its timeout.
+	if m.recov == nil || m.recov.configID != m.config.ID || !m.recov.drained {
+		return
+	}
+	if rr := m.recov.regions[rv.Region]; rr != nil && rr.phase < 2 {
+		return
+	}
 	k := mtlOf(rv.Tx)
 	vote := proto.VoteUnknown
 	var regions []uint32
@@ -948,12 +966,13 @@ func (m *Machine) decide(vc *voteCollector, commit bool) {
 			}
 		}
 	}
-	vc.acksOutstanding = 0
+	vc.acked = make(map[int]bool)
+	anySent := false
 	for _, p := range intKeys(vc.participants) {
 		if !m.isMember(p) {
 			continue
 		}
-		vc.acksOutstanding++
+		anySent = true
 		m.sendDecision(vc, p)
 	}
 	// Finish our own in-flight transaction, preserving any outcome
@@ -980,9 +999,20 @@ func (m *Machine) decide(vc *voteCollector, commit bool) {
 			ct.cb(ErrAborted)
 		}
 	}
-	if vc.acksOutstanding == 0 {
+	if !anySent {
 		m.sendTruncateRecovery(vc)
 	}
+}
+
+// decisionAcksComplete reports whether every member participant has
+// acknowledged the decision (non-members are fenced and never ack).
+func (m *Machine) decisionAcksComplete(vc *voteCollector) bool {
+	for p := range vc.participants {
+		if m.isMember(p) && !vc.acked[p] {
+			return false
+		}
+	}
+	return true
 }
 
 func (m *Machine) sendDecision(vc *voteCollector, dst int) {
@@ -998,11 +1028,19 @@ func (m *Machine) sendDecision(vc *voteCollector, dst int) {
 // backups; ABORT-RECOVERY releases locks (§5.3 step 7).
 func (m *Machine) onRecoveryDecision(src int, id proto.TxID, commit bool) {
 	k := mtlOf(id)
+	if m.truncDomainFor(id.Coord()).truncated(id.Local) {
+		// A retransmitted decision for a transaction we already truncated:
+		// recreating participant state here would leak a pend entry that no
+		// future truncation cleans. Just re-acknowledge.
+		m.send(src, &proto.RecoveryDecisionAck{Config: m.config.ID, Tx: id})
+		return
+	}
 	rt := m.pend[k]
 	if rt == nil {
 		rt = &remoteTx{id: id}
 		m.pend[k] = rt
 	}
+	rt.lastChange = m.c.Eng.Now()
 	if commit {
 		rt.saw |= proto.SawCommitRecovery
 		// Apply at primary regions now; backup regions apply at
@@ -1041,18 +1079,19 @@ func (m *Machine) releaseLocksRecovered(rt *remoteTx) {
 	}
 }
 
-// onRecoveryDecisionAck counts participant acks; when all are in, send
-// TRUNCATE-RECOVERY (§5.3 step 7).
-func (m *Machine) onRecoveryDecisionAck(a *proto.RecoveryDecisionAck) {
+// onRecoveryDecisionAck records a participant ack; when every member
+// participant has acknowledged, send TRUNCATE-RECOVERY (§5.3 step 7).
+// Duplicate acks (decision retransmissions) are idempotent.
+func (m *Machine) onRecoveryDecisionAck(src int, a *proto.RecoveryDecisionAck) {
 	if m.recov == nil {
 		return
 	}
 	vc := m.recov.votes[a.Tx]
-	if vc == nil || !vc.decided {
+	if vc == nil || !vc.decided || vc.acked[src] {
 		return
 	}
-	vc.acksOutstanding--
-	if vc.acksOutstanding == 0 {
+	vc.acked[src] = true
+	if m.decisionAcksComplete(vc) {
 		m.sendTruncateRecovery(vc)
 	}
 }
@@ -1081,4 +1120,87 @@ func (m *Machine) onTruncateRecovery(t *proto.TruncateRecovery) {
 		}
 		m.truncDomainFor(t.Tx.Coord()).add(t.Tx.Local)
 	}
+}
+
+// queryDecision asks a transaction's recovery coordinator what became of a
+// recovering transaction. Decisions and truncations are plain messages, so
+// a participant whose COMMIT/ABORT-RECOVERY or TRUNCATE-RECOVERY was lost
+// (gray NIC, one-way cut during the recovery window) would otherwise hold
+// its pend entry forever: backups never vote, so no protocol message ever
+// comes to break the tie. The stall sweep detects such entries and sends
+// this query; see onQueryDecision for the coordinator side.
+type queryDecision struct {
+	Config  uint64
+	Tx      proto.TxID
+	Regions []uint32
+}
+
+// sweepStuckRecovering is the participant side: find recovering pend
+// entries with no protocol progress for a full stall period and ask their
+// recovery coordinator to retransmit the outcome. Called from the tx stall
+// sweep; rate-limited to one query per entry per period by bumping
+// lastChange.
+func (m *Machine) sweepStuckRecovering(now sim.Time) {
+	if m.recov != nil && (m.recov.configID != m.config.ID || !m.recov.drained) {
+		return // recovery for this configuration is still classifying
+	}
+	d := m.c.Opts.TxStallTimeout
+	for _, k := range mtlKeys(m.pend) {
+		rt := m.pend[k]
+		if now-rt.lastChange < d || !m.txIsRecovering(rt) {
+			continue
+		}
+		regions := rt.regions()
+		if len(regions) == 0 {
+			continue
+		}
+		rt.lastChange = now
+		m.c.Counters.Inc("recovery_query", 1)
+		q := &queryDecision{Config: m.config.ID, Tx: rt.id, Regions: regions}
+		coord := m.recoveryCoordinator(rt.id)
+		if coord == m.ID {
+			m.onQueryDecision(m.ID, q)
+		} else {
+			m.sendCtx(coord, q, m.recoveryTraceCtx())
+		}
+	}
+}
+
+// onQueryDecision serves a participant stuck on a recovering transaction.
+// Three cases: the transaction was already truncated here (the participant
+// only missed TRUNCATE-RECOVERY); a decision exists (retransmit it, or the
+// truncation if this participant already acknowledged the decision); or no
+// vote collector exists at all — every region vote was lost — in which
+// case a fresh vote collection is started against the written regions'
+// primaries, which vote from their merged post-drain state.
+func (m *Machine) onQueryDecision(src int, q *queryDecision) {
+	if q.Config != m.config.ID || !m.isMember(src) {
+		return
+	}
+	if m.truncDomainFor(q.Tx.Coord()).truncated(q.Tx.Local) {
+		m.c.Counters.Inc("recovery_query_truncated", 1)
+		m.send(src, &proto.TruncateRecovery{Config: m.config.ID, Tx: q.Tx})
+		return
+	}
+	if m.recov != nil && m.recov.configID == m.config.ID {
+		if vc := m.recov.votes[q.Tx]; vc != nil {
+			if !vc.decided {
+				return // vote collection in progress; the sweep retries
+			}
+			vc.participants[src] = true
+			if vc.acked[src] {
+				// It has the decision; only its truncation was lost.
+				m.c.Counters.Inc("recovery_query_retruncate", 1)
+				m.sendCtx(src, &proto.TruncateRecovery{Config: m.config.ID, Tx: q.Tx}, vc.ctx)
+			} else {
+				m.c.Counters.Inc("recovery_query_redecide", 1)
+				m.sendDecision(vc, src)
+			}
+			return
+		}
+	}
+	// No collector: the decision or every vote for it was lost in flight.
+	m.c.Counters.Inc("recovery_query_revote", 1)
+	vc := m.armVoteCollector(q.Tx, q.Regions, map[int]bool{src: true})
+	m.requestMissingVotes(vc)
 }

@@ -352,9 +352,12 @@ func (t *transport) registerHandlers() {
 	proto.RegisterPriority(r, "ABORT-RECOVERY", nil,
 		func(src int, v *proto.AbortRecovery) { m.onRecoveryDecision(src, v.Tx, false) })
 	proto.RegisterPriority(r, "RECOVERY-DECISION-ACK", nil,
-		func(_ int, v *proto.RecoveryDecisionAck) { m.onRecoveryDecisionAck(v) })
+		func(src int, v *proto.RecoveryDecisionAck) { m.onRecoveryDecisionAck(src, v) })
 	proto.Register(r, "TRUNCATE-RECOVERY", nil,
 		func(_ int, v *proto.TruncateRecovery) { m.onTruncateRecovery(v) })
+	proto.RegisterPriority(r, "QUERY-DECISION",
+		func(v *queryDecision) int { return 28 + 4*len(v.Regions) },
+		func(src int, v *queryDecision) { m.onQueryDecision(src, v) })
 
 	// Data recovery (§5.4).
 	proto.Register(r, "DATA-REC-DONE", nil,

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"farm/internal/fabric"
+	"farm/internal/history"
 	"farm/internal/nvram"
 	"farm/internal/proto"
 	"farm/internal/regionmem"
@@ -57,6 +58,10 @@ type Tx struct {
 	// ctx is the root trace span of a sampled transaction (zero when this
 	// transaction is untraced); reads and commit phases hang off it.
 	ctx trace.Ctx
+
+	// hrec is the per-transaction history recording handle (nil when
+	// recording is disabled — the hist* hooks then cost one nil check).
+	hrec *history.TxRec
 }
 
 // Begin starts a transaction coordinated by worker thread `thread` of m.
@@ -73,7 +78,32 @@ func (m *Machine) Begin(thread int) *Tx {
 	if m.trb != nil && m.trb.SampleTx() {
 		t.ctx = m.trb.Begin("tx", "tx", t.started, 0, 0, int64(t.thread))
 	}
+	if m.c.Hist != nil {
+		t.hrec = m.c.Hist.Open(m.ID, t.thread, t.started)
+	}
 	return t
+}
+
+// histRead records a fresh object read with the version it observed.
+func (t *Tx) histRead(addr proto.Addr, version uint64) {
+	if t.hrec != nil {
+		t.hrec.Read(addr, version)
+	}
+}
+
+// histWrite records (or updates) a buffered write.
+func (t *Tx) histWrite(addr proto.Addr, version uint64, value []byte, alloc, free bool) {
+	if t.hrec != nil {
+		t.hrec.Write(addr, version, value, alloc, free)
+	}
+}
+
+// histFinish reports the transaction's outcome to the recorder
+// (idempotent; safe against commit-path callback re-wrapping).
+func (t *Tx) histFinish(o history.Outcome) {
+	if t.hrec != nil {
+		t.hrec.Finish(t.m.c.Eng.Now(), o)
+	}
 }
 
 // endTxSpan closes the transaction's root span (no-op when untraced).
@@ -144,6 +174,7 @@ func (t *Tx) Read(addr proto.Addr, size int, cb func(data []byte, err error)) {
 			return
 		}
 		t.reads[addr] = &readEntry{addr: addr, version: regionmem.Version(word), size: size, data: data}
+		t.histRead(addr, regionmem.Version(word))
 		cb(append([]byte(nil), data...), nil)
 	})
 }
@@ -155,6 +186,7 @@ func (t *Tx) Read(addr proto.Addr, size int, cb func(data []byte, err error)) {
 func (t *Tx) Write(addr proto.Addr, value []byte) {
 	if w, ok := t.writes[addr]; ok {
 		w.value = append(w.value[:0], value...)
+		t.histWrite(addr, w.version, value, w.isAlloc, !w.allocated)
 		return
 	}
 	r, ok := t.reads[addr]
@@ -168,6 +200,7 @@ func (t *Tx) Write(addr proto.Addr, value []byte) {
 		allocated: true,
 	}
 	t.order = append(t.order, addr)
+	t.histWrite(addr, r.version, value, false, false)
 }
 
 // Alloc allocates a new object of the given payload size and buffers its
@@ -203,6 +236,7 @@ func (t *Tx) tryAlloc(regions []uint32, i, size int, value []byte, cb func(proto
 			isAlloc:   true,
 		}
 		t.order = append(t.order, addr)
+		t.histWrite(addr, version, value, true, false)
 		cb(addr, nil)
 	})
 }
@@ -223,6 +257,7 @@ func (t *Tx) Free(addr proto.Addr) {
 		allocated: false,
 	}
 	t.order = append(t.order, addr)
+	t.histWrite(addr, r.version, t.writes[addr].value, false, true)
 }
 
 // ReadSetSize and WriteSetSize expose execution-phase footprints.
@@ -246,6 +281,7 @@ func (t *Tx) Abort() {
 	t.finished = true
 	t.releaseAllocs()
 	t.endTxSpan(errTxDone)
+	t.histFinish(history.UserAborted)
 	t.m.c.Counters.Inc("tx_user_abort", 1)
 }
 

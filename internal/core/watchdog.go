@@ -48,6 +48,10 @@ func (m *Machine) armTxStallSweep() {
 			m.c.Counters.Inc("tx_stall_aborted", 1)
 			m.abortTx(ct, ErrAborted)
 		}
+		// Participant side: recovering transactions whose COMMIT/ABORT-
+		// RECOVERY or TRUNCATE-RECOVERY was lost re-query their recovery
+		// coordinator (recovery.go).
+		m.sweepStuckRecovering(now)
 		m.armTxStallSweep()
 	})
 }

@@ -1,0 +1,876 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+
+	"farm/internal/proto"
+	"farm/internal/sim"
+)
+
+// Violation is one checker finding.
+type Violation struct {
+	// Kind is "cycle", "dirty-read" or "duplicate-install".
+	Kind string
+	// Desc is the human-readable witness (for cycles: the full edge walk
+	// with keys and versions).
+	Desc string
+	// Txs lists the event ids involved.
+	Txs []uint64
+}
+
+// String renders the violation.
+func (v Violation) String() string { return v.Kind + ": " + v.Desc }
+
+// Stats quantifies a checked history.
+type Stats struct {
+	Events        int
+	Committed     int
+	Aborted       int
+	UserAborted   int
+	Indeterminate int
+	// InferredCommitted counts indeterminate transactions whose installs
+	// were observed by later reads or writers, proving they committed.
+	InferredCommitted int
+	// AmbiguousVersions counts observed versions explainable by more than
+	// one indeterminate writer; no edges are drawn for them (conservative:
+	// never a violation).
+	AmbiguousVersions int
+	// UnknownVersionReads counts reads of versions with no recorded
+	// installer and no genesis explanation (only possible when the history
+	// does not start at cluster birth).
+	UnknownVersionReads int
+	// PreGenesisReads counts reads at or below a key's allocation-time
+	// version (initial state, no installer needed).
+	PreGenesisReads int
+	Keys            int
+	Installs        int
+	Nodes           int
+	Edges           int
+	// OpacityChecked/NonOpaque quantify the opacity probe: aborted
+	// transactions with ≥2 reads whose read sets were checked for snapshot
+	// consistency against the committed serialization, and how many were
+	// NOT consistent with any single point in it. FaRM OCC legitimately
+	// exposes such reads to doomed transactions (validation catches them at
+	// commit), so NonOpaque is a measurement, not a violation — the
+	// baseline the global-time/opacity roadmap item starts from.
+	OpacityChecked int
+	NonOpaque      int
+}
+
+// Report is the checker's output for one history.
+type Report struct {
+	Violations []Violation
+	Stats      Stats
+}
+
+// Ok reports whether the history passed.
+func (r *Report) Ok() bool { return len(r.Violations) == 0 }
+
+// String renders a one-line summary.
+func (r *Report) String() string {
+	s := r.Stats
+	status := "strict-serializable"
+	if !r.Ok() {
+		status = fmt.Sprintf("%d VIOLATIONS", len(r.Violations))
+	}
+	return fmt.Sprintf(
+		"history: %d events (%d committed, %d aborted, %d user-aborted, %d indeterminate, %d inferred-committed) %d keys %d installs graph %d nodes %d edges opacity %d/%d non-opaque → %s",
+		s.Events, s.Committed, s.Aborted, s.UserAborted, s.Indeterminate, s.InferredCommitted,
+		s.Keys, s.Installs, s.Nodes, s.Edges, s.NonOpaque, s.OpacityChecked, status)
+}
+
+// maxCycleReports bounds how many distinct cycles one report spells out.
+const maxCycleReports = 4
+
+// edge kinds in the dependency serialization graph.
+const (
+	eWW = iota // write-write: consecutive installs of one key
+	eWR        // write-read: installer → reader of that version
+	eRW        // read-write (anti): reader of v → installer of next version
+	eRT        // real-time: complete(a) < invoke(b), via barrier nodes
+)
+
+type edge struct {
+	to     int
+	kind   uint8
+	key    proto.Addr
+	v1, v2 uint64
+}
+
+func (e edge) label() string {
+	switch e.kind {
+	case eWW:
+		return fmt.Sprintf("ww(%s v%d→v%d)", e.key, e.v1, e.v2)
+	case eWR:
+		return fmt.Sprintf("wr(%s v%d)", e.key, e.v1)
+	case eRW:
+		return fmt.Sprintf("rw(%s v%d→v%d)", e.key, e.v1, e.v2)
+	default:
+		return "rt"
+	}
+}
+
+// inst is one known install: a committed (or inferred-committed) event
+// that set key's version to version.
+type inst struct {
+	version uint64
+	ev      *Event
+}
+
+// keyState accumulates everything the checker knows about one key.
+type keyState struct {
+	key proto.Addr
+	// genesis is the lowest version observed by any allocation of this key
+	// (the initial header version; reads at or below it need no installer).
+	genesis    uint64
+	hasGenesis bool
+	// committed maps installed version → installing committed events
+	// (len > 1 is a duplicate-install violation).
+	committed map[uint64][]*Event
+	// indet/aborted map installed version → indeterminate/aborted events
+	// that would have installed it had they committed.
+	indet   map[uint64][]*Event
+	aborted map[uint64][]*Event
+	// obs lists versions observed installed (reads by anyone, plus
+	// allocation-observed versions above genesis — those prove a Free
+	// chain). Sorted, deduplicated.
+	obs []uint64
+	// installs is the sorted committed install list, built after
+	// inference settles.
+	installs []inst
+}
+
+// Check analyses one recorded history and reports every
+// strict-serializability violation it can prove, plus statistics.
+//
+// Method: FaRM writers lock at the exact version they observed and install
+// observed+1, and allocation/free go through the same path, so each key's
+// version numbers form one continuous chain — version order is numeric
+// order, recovered directly from the recorded versions. The checker builds
+// the dependency serialization graph over committed transactions (ww, wr,
+// rw edges from the version order; real-time edges from the recorded
+// intervals, compressed through a barrier chain) and reports any cycle with
+// a minimal witness. Indeterminate outcomes (coordinator died before
+// reporting) are inferred committed only when their installs were observed
+// and no other writer explains them; ambiguous versions get no edges.
+func Check(h *History) *Report {
+	rep := &Report{}
+	c := &checker{h: h, rep: rep, byID: make(map[uint64]*Event, len(h.Events))}
+	for _, ev := range h.Events {
+		c.byID[ev.ID] = ev
+		rep.Stats.Events++
+		switch ev.Outcome {
+		case Committed:
+			rep.Stats.Committed++
+		case Aborted:
+			rep.Stats.Aborted++
+		case UserAborted:
+			rep.Stats.UserAborted++
+		default:
+			rep.Stats.Indeterminate++
+		}
+	}
+	c.indexKeys()
+	c.inferIndeterminates()
+	c.finishKeys()
+	c.auditReads()
+	c.buildGraph()
+	c.findCycles()
+	if !c.cyclic {
+		c.opacityProbe()
+	}
+	return rep
+}
+
+type checker struct {
+	h    *History
+	rep  *Report
+	byID map[uint64]*Event
+
+	keys    map[proto.Addr]*keyState
+	keyList []proto.Addr
+	// inferred marks indeterminate events proven committed.
+	inferred map[uint64]bool
+
+	// graph state: node ids are indexes into nodes; barriers follow the
+	// event nodes and have nil entries.
+	nodes    []*Event
+	nodeOf   map[uint64]int // event id → node
+	adj      [][]edge
+	edgeSeen map[uint64]bool
+	barrier  []sim.Time // barrier node index - len(events-part) → time
+	nbase    int        // first barrier node index
+	cyclic   bool
+}
+
+// committedNow reports whether ev is committed outright or by inference.
+func (c *checker) committedNow(ev *Event) bool {
+	return ev.Outcome == Committed || c.inferred[ev.ID]
+}
+
+func (c *checker) key(k proto.Addr) *keyState {
+	ks := c.keys[k]
+	if ks == nil {
+		ks = &keyState{
+			key:       k,
+			committed: make(map[uint64][]*Event),
+			indet:     make(map[uint64][]*Event),
+			aborted:   make(map[uint64][]*Event),
+		}
+		c.keys[k] = ks
+		c.keyList = append(c.keyList, k)
+	}
+	return ks
+}
+
+// indexKeys populates per-key install candidates, genesis versions and
+// observations.
+func (c *checker) indexKeys() {
+	c.keys = make(map[proto.Addr]*keyState)
+	c.inferred = make(map[uint64]bool)
+	for _, ev := range c.h.Events {
+		for i := range ev.Writes {
+			w := &ev.Writes[i]
+			ks := c.key(w.Addr)
+			installed := w.Version + 1
+			switch ev.Outcome {
+			case Committed:
+				ks.committed[installed] = append(ks.committed[installed], ev)
+			case Indeterminate:
+				ks.indet[installed] = append(ks.indet[installed], ev)
+			case Aborted, UserAborted:
+				// Neither installs anything: reported aborts roll back and
+				// user aborts never reach commit. Observing their would-be
+				// versions is a dirty read.
+				ks.aborted[installed] = append(ks.aborted[installed], ev)
+			}
+			if w.Alloc {
+				if !ks.hasGenesis || w.Version < ks.genesis {
+					ks.genesis, ks.hasGenesis = w.Version, true
+				}
+			}
+		}
+		for _, r := range ev.Reads {
+			ks := c.key(r.Addr)
+			ks.obs = append(ks.obs, r.Version)
+		}
+	}
+	// Allocation-observed versions above genesis prove a Free installed
+	// them (a slot reallocated after a committed Free observes the freed
+	// version). They participate in inference like read observations.
+	for _, k := range c.keyList {
+		ks := c.keys[k]
+		for _, evs := range [][]*Event{flatten(ks.committed), flatten(ks.indet), flatten(ks.aborted)} {
+			for _, ev := range evs {
+				for i := range ev.Writes {
+					w := &ev.Writes[i]
+					if w.Addr == k && w.Alloc && ks.hasGenesis && w.Version > ks.genesis {
+						ks.obs = append(ks.obs, w.Version)
+					}
+				}
+			}
+		}
+		sort.Slice(ks.obs, func(i, j int) bool { return ks.obs[i] < ks.obs[j] })
+		ks.obs = dedupU64(ks.obs)
+	}
+	sort.Slice(c.keyList, func(i, j int) bool { return addrLess(c.keyList[i], c.keyList[j]) })
+	c.rep.Stats.Keys = len(c.keyList)
+}
+
+func flatten(m map[uint64][]*Event) []*Event {
+	var out []*Event
+	for _, evs := range m {
+		out = append(out, evs...)
+	}
+	return out
+}
+
+func dedupU64(s []uint64) []uint64 {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func addrLess(a, b proto.Addr) bool {
+	if a.Region != b.Region {
+		return a.Region < b.Region
+	}
+	return a.Off < b.Off
+}
+
+// inferIndeterminates resolves indeterminate outcomes from observations:
+// an observed version with no committed installer and exactly one
+// indeterminate candidate proves that candidate committed — provided none
+// of its other installs collide with a committed install (contradictory
+// evidence stays unresolved). Runs to fixpoint because one inference adds
+// installs that may explain or disambiguate others.
+func (c *checker) inferIndeterminates() {
+	for changed := true; changed; {
+		changed = false
+		for _, k := range c.keyList {
+			ks := c.keys[k]
+			for _, v := range ks.obs {
+				if ks.hasGenesis && v <= ks.genesis {
+					continue
+				}
+				if len(ks.committed[v]) > 0 {
+					continue
+				}
+				var cand *Event
+				ambiguous := false
+				for _, ev := range ks.indet[v] {
+					if c.inferred[ev.ID] {
+						continue // already moved to committed
+					}
+					if cand != nil {
+						ambiguous = true
+						break
+					}
+					cand = ev
+				}
+				if cand == nil || ambiguous {
+					continue
+				}
+				// All of the candidate's installs must be collision-free.
+				ok := true
+				for i := range cand.Writes {
+					w := &cand.Writes[i]
+					if len(c.keys[w.Addr].committed[w.Version+1]) > 0 {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				c.inferred[cand.ID] = true
+				c.rep.Stats.InferredCommitted++
+				for i := range cand.Writes {
+					w := &cand.Writes[i]
+					wks := c.key(w.Addr)
+					wks.committed[w.Version+1] = append(wks.committed[w.Version+1], cand)
+				}
+				changed = true
+			}
+		}
+	}
+}
+
+// finishKeys freezes the per-key committed install lists and reports
+// duplicate installs — two committed transactions installing the same
+// version of one key is impossible under correct locking (TryLock requires
+// the exact prior version and commit bumps it), so any duplicate is a
+// protocol bug in itself.
+func (c *checker) finishKeys() {
+	for _, k := range c.keyList {
+		ks := c.keys[k]
+		versions := make([]uint64, 0, len(ks.committed))
+		for v := range ks.committed {
+			versions = append(versions, v)
+		}
+		sort.Slice(versions, func(i, j int) bool { return versions[i] < versions[j] })
+		for _, v := range versions {
+			evs := ks.committed[v]
+			if len(evs) > 1 {
+				ids := make([]uint64, 0, len(evs))
+				for _, ev := range evs {
+					ids = append(ids, ev.ID)
+				}
+				sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+				c.rep.Stats.Installs++ // count the version once
+				c.rep.Violations = append(c.rep.Violations, Violation{
+					Kind: "duplicate-install",
+					Desc: fmt.Sprintf("key %s version %d installed by %d committed transactions %v", k, v, len(evs), ids),
+					Txs:  ids,
+				})
+				ks.installs = append(ks.installs, inst{version: v, ev: evs[0]})
+				continue
+			}
+			c.rep.Stats.Installs++
+			ks.installs = append(ks.installs, inst{version: v, ev: evs[0]})
+		}
+	}
+}
+
+// auditReads classifies every read with no committed installer: initial
+// state, ambiguity, unknown-start, or — the violation — a dirty read whose
+// only possible installer reported an abort (reported aborts install
+// nothing; observing their writes means isolation broke).
+func (c *checker) auditReads() {
+	type dirtyKey struct {
+		key proto.Addr
+		v   uint64
+	}
+	seenDirty := make(map[dirtyKey]bool)
+	seenAmbig := make(map[dirtyKey]bool)
+	for _, ev := range c.h.Events {
+		for _, r := range ev.Reads {
+			ks := c.keys[r.Addr]
+			if len(ks.committed[r.Version]) > 0 {
+				continue
+			}
+			if ks.hasGenesis && r.Version <= ks.genesis {
+				c.rep.Stats.PreGenesisReads++
+				continue
+			}
+			live := 0
+			for _, iev := range ks.indet[r.Version] {
+				if !c.inferred[iev.ID] {
+					live++
+				}
+			}
+			if live > 0 {
+				if !seenAmbig[dirtyKey{r.Addr, r.Version}] {
+					seenAmbig[dirtyKey{r.Addr, r.Version}] = true
+					c.rep.Stats.AmbiguousVersions++
+				}
+				continue
+			}
+			if ab := ks.aborted[r.Version]; len(ab) > 0 {
+				dk := dirtyKey{r.Addr, r.Version}
+				if !seenDirty[dk] {
+					seenDirty[dk] = true
+					ids := []uint64{ev.ID}
+					for _, aev := range ab {
+						ids = append(ids, aev.ID)
+					}
+					c.rep.Violations = append(c.rep.Violations, Violation{
+						Kind: "dirty-read",
+						Desc: fmt.Sprintf("T%d read key %s at version %d, installed only by aborted transaction(s) %v — reported aborts must install nothing", ev.ID, r.Addr, r.Version, ids[1:]),
+						Txs:  ids,
+					})
+				}
+				continue
+			}
+			c.rep.Stats.UnknownVersionReads++
+		}
+	}
+}
+
+// buildGraph constructs the dependency serialization graph over committed
+// (and inferred-committed) transactions: ww/wr/rw edges from the per-key
+// version order, plus real-time edges compressed through a barrier chain —
+// one barrier node per distinct completion time, chained in time order,
+// with T→barrier(complete(T)) and barrier(max time < invoke(T))→T. The
+// chain encodes exactly the relation complete(a) < invoke(b) in O(n)
+// nodes and edges instead of O(n²) direct edges.
+func (c *checker) buildGraph() {
+	c.nodeOf = make(map[uint64]int)
+	for _, ev := range c.h.Events {
+		if c.committedNow(ev) {
+			c.nodeOf[ev.ID] = len(c.nodes)
+			c.nodes = append(c.nodes, ev)
+		}
+	}
+	c.nbase = len(c.nodes)
+
+	// Barrier chain over distinct completion times.
+	times := make([]sim.Time, 0, len(c.nodes))
+	for _, ev := range c.nodes {
+		if ev.Complete >= 0 {
+			times = append(times, ev.Complete)
+		}
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	for i, t := range times {
+		if i == 0 || t != c.barrier[len(c.barrier)-1] {
+			c.barrier = append(c.barrier, t)
+		}
+	}
+	total := c.nbase + len(c.barrier)
+	c.adj = make([][]edge, total)
+	c.edgeSeen = make(map[uint64]bool)
+
+	for i := 1; i < len(c.barrier); i++ {
+		c.addEdge(c.nbase+i-1, c.nbase+i, edge{kind: eRT})
+	}
+	for n, ev := range c.nodes {
+		if ev.Complete >= 0 {
+			c.addEdge(n, c.nbase+barrierAt(c.barrier, ev.Complete), edge{kind: eRT})
+		}
+		if b := lastBarrierBefore(c.barrier, ev.Invoke); b >= 0 {
+			c.addEdge(c.nbase+b, n, edge{kind: eRT})
+		}
+	}
+
+	// Data edges from the version order.
+	for _, k := range c.keyList {
+		ks := c.keys[k]
+		for i := 1; i < len(ks.installs); i++ {
+			a, b := ks.installs[i-1], ks.installs[i]
+			na, nb := c.nodeOf[a.ev.ID], c.nodeOf[b.ev.ID]
+			if na != nb {
+				c.addEdge(na, nb, edge{kind: eWW, key: k, v1: a.version, v2: b.version})
+			}
+		}
+	}
+	for _, ev := range c.h.Events {
+		if !c.committedNow(ev) {
+			continue
+		}
+		n := c.nodeOf[ev.ID]
+		for _, r := range ev.Reads {
+			ks := c.keys[r.Addr]
+			if i, ok := findInstall(ks.installs, r.Version); ok {
+				if w := c.nodeOf[ks.installs[i].ev.ID]; w != n {
+					c.addEdge(w, n, edge{kind: eWR, key: r.Addr, v1: r.Version})
+				}
+			}
+			if i := nextInstall(ks.installs, r.Version); i >= 0 {
+				if w := c.nodeOf[ks.installs[i].ev.ID]; w != n {
+					c.addEdge(n, w, edge{kind: eRW, key: r.Addr, v1: r.Version, v2: ks.installs[i].version})
+				}
+			}
+		}
+	}
+	c.rep.Stats.Nodes = c.nbase
+	for _, es := range c.adj {
+		c.rep.Stats.Edges += len(es)
+	}
+}
+
+func (c *checker) addEdge(from, to int, e edge) {
+	if from == to {
+		return
+	}
+	ek := uint64(from)<<32 | uint64(uint32(to))
+	if c.edgeSeen[ek] {
+		return
+	}
+	c.edgeSeen[ek] = true
+	e.to = to
+	c.adj[from] = append(c.adj[from], e)
+}
+
+// barrierAt returns the barrier index whose time equals t (t is always a
+// recorded completion time).
+func barrierAt(barrier []sim.Time, t sim.Time) int {
+	return sort.Search(len(barrier), func(i int) bool { return barrier[i] >= t })
+}
+
+// lastBarrierBefore returns the largest barrier index with time < t, or -1.
+func lastBarrierBefore(barrier []sim.Time, t sim.Time) int {
+	return sort.Search(len(barrier), func(i int) bool { return barrier[i] >= t }) - 1
+}
+
+// findInstall locates the install with exactly version v.
+func findInstall(installs []inst, v uint64) (int, bool) {
+	i := sort.Search(len(installs), func(i int) bool { return installs[i].version >= v })
+	if i < len(installs) && installs[i].version == v {
+		return i, true
+	}
+	return 0, false
+}
+
+// nextInstall locates the first install with version > v, or -1.
+func nextInstall(installs []inst, v uint64) int {
+	i := sort.Search(len(installs), func(i int) bool { return installs[i].version > v })
+	if i < len(installs) {
+		return i
+	}
+	return -1
+}
+
+// findCycles runs Tarjan SCC over the graph and reports every non-trivial
+// component as a strict-serializability violation, spelling out a shortest
+// cycle through it (consecutive barrier hops collapse to one rt edge).
+func (c *checker) findCycles() {
+	sccs := tarjanSCC(c.adj)
+	reported := 0
+	extra := 0
+	for _, scc := range sccs {
+		if len(scc) < 2 {
+			continue
+		}
+		c.cyclic = true
+		if reported >= maxCycleReports {
+			extra++
+			continue
+		}
+		reported++
+		c.reportCycle(scc)
+	}
+	if extra > 0 {
+		c.rep.Violations = append(c.rep.Violations, Violation{
+			Kind: "cycle",
+			Desc: fmt.Sprintf("%d further cyclic components suppressed", extra),
+		})
+	}
+}
+
+// reportCycle formats a shortest cycle through the component.
+func (c *checker) reportCycle(scc []int) {
+	in := make(map[int]bool, len(scc))
+	for _, n := range scc {
+		in[n] = true
+	}
+	// Anchor at the transaction node with the smallest event id (a pure
+	// barrier component is impossible: the chain is acyclic).
+	start := -1
+	for _, n := range scc {
+		if n < c.nbase && (start == -1 || c.nodes[n].ID < c.nodes[start].ID) {
+			start = n
+		}
+	}
+	if start == -1 {
+		return
+	}
+	path := shortestCycle(c.adj, in, start)
+	var ids []uint64
+	desc := fmt.Sprintf("T%d", c.nodes[start].ID)
+	ids = append(ids, c.nodes[start].ID)
+	pendingRT := false
+	for _, e := range path {
+		if e.to >= c.nbase {
+			pendingRT = true // collapse barrier hops into one rt edge
+			continue
+		}
+		label := e.label()
+		if pendingRT {
+			label = "rt"
+			pendingRT = false
+		}
+		desc += fmt.Sprintf(" →%s T%d", label, c.nodes[e.to].ID)
+		ids = append(ids, c.nodes[e.to].ID)
+	}
+	c.rep.Violations = append(c.rep.Violations, Violation{
+		Kind: "cycle",
+		Desc: "not strictly serializable: " + desc,
+		Txs:  ids[:len(ids)-1],
+	})
+}
+
+// shortestCycle BFSes inside the component from start back to itself and
+// returns the edge walk (ending with the edge into start).
+func shortestCycle(adj [][]edge, in map[int]bool, start int) []edge {
+	type step struct {
+		node int
+		prev int // index into steps, -1 for roots
+		via  edge
+	}
+	steps := make([]step, 0, len(in))
+	seen := make(map[int]int, len(in)) // node → step index
+	pushSuccessors := func(si int) []edge {
+		s := steps[si]
+		for _, e := range adj[s.node] {
+			if !in[e.to] {
+				continue
+			}
+			if e.to == start {
+				// Reconstruct.
+				var rev []edge
+				rev = append(rev, e)
+				for i := si; i >= 0; i = steps[i].prev {
+					if steps[i].prev >= 0 || steps[i].node != start {
+						rev = append(rev, steps[i].via)
+					}
+				}
+				// rev holds edges from last to first, excluding the root
+				// placeholder; reverse.
+				out := make([]edge, 0, len(rev))
+				for i := len(rev) - 1; i >= 0; i-- {
+					out = append(out, rev[i])
+				}
+				return out
+			}
+			if _, ok := seen[e.to]; ok {
+				continue
+			}
+			seen[e.to] = len(steps)
+			steps = append(steps, step{node: e.to, prev: si, via: e})
+		}
+		return nil
+	}
+	steps = append(steps, step{node: start, prev: -1})
+	seen[start] = 0
+	for qi := 0; qi < len(steps); qi++ {
+		if cyc := pushSuccessors(qi); cyc != nil {
+			return cyc
+		}
+	}
+	return nil
+}
+
+// tarjanSCC computes strongly connected components iteratively.
+func tarjanSCC(adj [][]edge) [][]int {
+	n := len(adj)
+	index := make([]int, n)
+	low := make([]int, n)
+	onstack := make([]bool, n)
+	stack := make([]int, 0, n)
+	var sccs [][]int
+	next := 1
+	type frame struct{ v, ei int }
+	frames := make([]frame, 0, 64)
+	for s := 0; s < n; s++ {
+		if index[s] != 0 {
+			continue
+		}
+		frames = append(frames[:0], frame{v: s})
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			if f.ei == 0 {
+				index[v], low[v] = next, next
+				next++
+				stack = append(stack, v)
+				onstack[v] = true
+			}
+			descended := false
+			for f.ei < len(adj[v]) {
+				w := adj[v][f.ei].to
+				f.ei++
+				if index[w] == 0 {
+					frames = append(frames, frame{v: w})
+					descended = true
+					break
+				}
+				if onstack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if descended {
+				continue
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var scc []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onstack[w] = false
+					scc = append(scc, w)
+					if w == v {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	return sccs
+}
+
+// opacityProbe checks each aborted transaction's read set for snapshot
+// consistency by virtual insertion into the committed serialization: the
+// transaction must come after the installers of the versions it read (P)
+// and before the installers of the next versions of those keys (S); the
+// snapshot is consistent iff no s∈S reaches any p∈P (including s=p). Runs
+// only on acyclic graphs; BFS is pruned by topological position (nothing
+// past max pos(P) can reach into P).
+func (c *checker) opacityProbe() {
+	topo := topoPositions(c.adj)
+	var queue []int
+	visited := make([]uint32, len(c.adj))
+	round := uint32(0)
+	for _, ev := range c.h.Events {
+		if ev.Outcome != Aborted && ev.Outcome != UserAborted {
+			continue
+		}
+		if len(ev.Reads) < 2 {
+			continue
+		}
+		c.rep.Stats.OpacityChecked++
+		var preds, succs []int
+		maxPred := -1
+		inPred := make(map[int]bool)
+		for _, r := range ev.Reads {
+			ks := c.keys[r.Addr]
+			if i, ok := findInstall(ks.installs, r.Version); ok {
+				n := c.nodeOf[ks.installs[i].ev.ID]
+				if !inPred[n] {
+					inPred[n] = true
+					preds = append(preds, n)
+					if topo[n] > maxPred {
+						maxPred = topo[n]
+					}
+				}
+			}
+			if i := nextInstall(ks.installs, r.Version); i >= 0 {
+				succs = append(succs, c.nodeOf[ks.installs[i].ev.ID])
+			}
+		}
+		if len(preds) == 0 || len(succs) == 0 {
+			continue
+		}
+		round++
+		nonOpaque := false
+		queue = queue[:0]
+		for _, s := range succs {
+			if inPred[s] {
+				nonOpaque = true
+				break
+			}
+			if topo[s] <= maxPred && visited[s] != round {
+				visited[s] = round
+				queue = append(queue, s)
+			}
+		}
+		for qi := 0; qi < len(queue) && !nonOpaque; qi++ {
+			for _, e := range c.adj[queue[qi]] {
+				if e.to < len(visited) && visited[e.to] != round && topo[e.to] <= maxPred {
+					if inPred[e.to] {
+						nonOpaque = true
+						break
+					}
+					visited[e.to] = round
+					queue = append(queue, e.to)
+				}
+			}
+		}
+		if nonOpaque {
+			c.rep.Stats.NonOpaque++
+		}
+	}
+}
+
+// topoPositions assigns each node its position in a topological order of
+// the (acyclic) graph via iterative DFS postorder.
+func topoPositions(adj [][]edge) []int {
+	n := len(adj)
+	pos := make([]int, n)
+	state := make([]uint8, n) // 0 unvisited, 1 on stack, 2 done
+	next := n
+	type frame struct{ v, ei int }
+	frames := make([]frame, 0, 64)
+	for s := 0; s < n; s++ {
+		if state[s] != 0 {
+			continue
+		}
+		frames = append(frames[:0], frame{v: s})
+		state[s] = 1
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			descended := false
+			for f.ei < len(adj[f.v]) {
+				w := adj[f.v][f.ei].to
+				f.ei++
+				if state[w] == 0 {
+					state[w] = 1
+					frames = append(frames, frame{v: w})
+					descended = true
+					break
+				}
+			}
+			if descended {
+				continue
+			}
+			state[f.v] = 2
+			next--
+			pos[f.v] = next
+			frames = frames[:len(frames)-1]
+		}
+	}
+	return pos
+}

@@ -1,0 +1,198 @@
+// Package history records and checks transaction histories.
+//
+// The recorder captures, per transaction, the client-observable facts the
+// paper's consistency claim (§3: committed transactions are strictly
+// serializable) is about: the real-time invoke/complete interval in
+// simulated time, every read with the object version it observed, and every
+// buffered write with the version it locked at. Because FaRM stamps a
+// version into every object header and a committing writer installs exactly
+// observed-version+1, the version order of each object is directly
+// recoverable from the history — no exponential search over serial orders
+// is needed. The offline checker (checker.go) exploits that to build the
+// transaction dependency serialization graph in polynomial time and report
+// any cycle as a strict-serializability violation with a minimal witness,
+// in the spirit of Elle/Porcupine but with the search collapsed by the
+// recorded versions.
+//
+// The recorder is deterministic (event ids are assigned in Begin order on
+// the single simulation goroutine, times are virtual) and zero-allocation
+// when disabled: a disabled cluster holds a nil *Recorder and every hook in
+// the transaction hot path is a nil-check, mirroring internal/trace.
+package history
+
+import (
+	"farm/internal/proto"
+	"farm/internal/sim"
+)
+
+// Outcome is the client-visible fate of a transaction.
+type Outcome uint8
+
+const (
+	// Indeterminate: the transaction was invoked but no outcome was ever
+	// reported (the coordinator died mid-commit, or the run ended first).
+	// Its writes may or may not have been installed; the checker infers
+	// which from later observations when it can.
+	Indeterminate Outcome = iota
+	// Committed: the commit callback reported success.
+	Committed
+	// Aborted: the commit callback reported an error (conflict, recovery
+	// abort, unavailability). Reported aborts install no writes.
+	Aborted
+	// UserAborted: the application abandoned the transaction before
+	// Commit; no remote state ever existed.
+	UserAborted
+)
+
+// String names the outcome (also its JSON encoding).
+func (o Outcome) String() string {
+	switch o {
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	case UserAborted:
+		return "user-aborted"
+	default:
+		return "indeterminate"
+	}
+}
+
+// MarshalJSON encodes the outcome as its name.
+func (o Outcome) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + o.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes an outcome name.
+func (o *Outcome) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"committed"`:
+		*o = Committed
+	case `"aborted"`:
+		*o = Aborted
+	case `"user-aborted"`:
+		*o = UserAborted
+	default:
+		*o = Indeterminate
+	}
+	return nil
+}
+
+// Read is one object read: the address and the version the header carried.
+type Read struct {
+	Addr    proto.Addr `json:"addr"`
+	Version uint64     `json:"ver"`
+}
+
+// Write is one buffered write. Version is the version observed at read or
+// alloc time — the version the commit protocol locks at; a successful
+// commit installs Version+1. Alloc marks a freshly allocated slot, Free a
+// deallocation (the allocation bit clears; the payload zeroes).
+type Write struct {
+	Addr    proto.Addr `json:"addr"`
+	Version uint64     `json:"ver"`
+	Value   []byte     `json:"val,omitempty"`
+	Alloc   bool       `json:"alloc,omitempty"`
+	Free    bool       `json:"free,omitempty"`
+}
+
+// Event is one transaction's recorded history.
+type Event struct {
+	// ID is the 1-based event id, assigned in Begin order (deterministic:
+	// the simulation is single-threaded).
+	ID uint64 `json:"id"`
+	// Machine/Thread locate the coordinator.
+	Machine int `json:"m"`
+	Thread  int `json:"t"`
+	// Invoke and Complete bound the transaction in simulated time.
+	// Complete is -1 while no outcome has been reported.
+	Invoke   sim.Time `json:"inv"`
+	Complete sim.Time `json:"cmp"`
+	Outcome  Outcome  `json:"out"`
+	Reads    []Read   `json:"reads,omitempty"`
+	Writes   []Write  `json:"writes,omitempty"`
+}
+
+// History is a complete recorded run.
+type History struct {
+	Schema string   `json:"schema"`
+	Events []*Event `json:"events"`
+}
+
+// Schema identifies the dump format.
+const Schema = "farm/history/v1"
+
+// Recorder accumulates events for one cluster. All methods run on the
+// simulation goroutine; no locking.
+type Recorder struct {
+	events []*Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Open records a transaction invocation and returns its per-transaction
+// recording handle.
+func (r *Recorder) Open(machine, thread int, at sim.Time) *TxRec {
+	ev := &Event{
+		ID:       uint64(len(r.events)) + 1,
+		Machine:  machine,
+		Thread:   thread,
+		Invoke:   at,
+		Complete: -1,
+	}
+	r.events = append(r.events, ev)
+	return &TxRec{ev: ev}
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Export snapshots the recorded history.
+func (r *Recorder) Export() *History {
+	return &History{Schema: Schema, Events: r.events}
+}
+
+// TxRec records one transaction. The transaction layer guarantees at most
+// one Read per distinct address (repeated reads are served from the read
+// cache); Write deduplicates by address because applications may overwrite
+// their own buffered writes.
+type TxRec struct {
+	ev   *Event
+	done bool
+}
+
+// Read records an object read and the version it observed.
+func (t *TxRec) Read(addr proto.Addr, version uint64) {
+	t.ev.Reads = append(t.ev.Reads, Read{Addr: addr, Version: version})
+}
+
+// Write records (or updates) a buffered write. The value is copied.
+func (t *TxRec) Write(addr proto.Addr, version uint64, value []byte, alloc, free bool) {
+	for i := range t.ev.Writes {
+		if t.ev.Writes[i].Addr == addr {
+			w := &t.ev.Writes[i]
+			w.Value = append(w.Value[:0], value...)
+			w.Free = free
+			return
+		}
+	}
+	t.ev.Writes = append(t.ev.Writes, Write{
+		Addr:    addr,
+		Version: version,
+		Value:   append([]byte(nil), value...),
+		Alloc:   alloc,
+		Free:    free,
+	})
+}
+
+// Finish records the outcome. Idempotent: commit-path requeues can wrap
+// the completion callback more than once; only the first report counts.
+func (t *TxRec) Finish(at sim.Time, o Outcome) {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.ev.Complete = at
+	t.ev.Outcome = o
+}

@@ -1,0 +1,94 @@
+package history
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestRecorderDumpRoundtrip(t *testing.T) {
+	r := NewRecorder()
+	t1 := r.Open(0, 3, 100)
+	t1.Read(keyA, 7)
+	t1.Write(keyA, 7, []byte{1, 2, 3}, false, false)
+	t1.Write(keyA, 7, []byte{9, 9}, false, false) // overwrite dedups by addr
+	t1.Finish(250, Committed)
+	t1.Finish(999, Aborted) // idempotent: second report ignored
+
+	t2 := r.Open(1, 0, 300)
+	t2.Read(keyB, 2)
+	t2.Finish(400, UserAborted)
+
+	t3 := r.Open(2, 1, 500) // never finished → indeterminate
+	t3.Read(keyA, 8)
+
+	h := r.Export()
+	if len(h.Events) != 3 || r.Len() != 3 {
+		t.Fatalf("want 3 events, got %d", len(h.Events))
+	}
+	e1 := h.Events[0]
+	if e1.ID != 1 || e1.Machine != 0 || e1.Thread != 3 || e1.Invoke != 100 || e1.Complete != 250 || e1.Outcome != Committed {
+		t.Fatalf("event 1: %+v", e1)
+	}
+	if len(e1.Writes) != 1 || !bytes.Equal(e1.Writes[0].Value, []byte{9, 9}) {
+		t.Fatalf("write dedup: %+v", e1.Writes)
+	}
+	if h.Events[2].Complete != -1 || h.Events[2].Outcome != Indeterminate {
+		t.Fatalf("unfinished event: %+v", h.Events[2])
+	}
+
+	dump := Dump(h)
+	loaded, err := Load(dump)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if !reflect.DeepEqual(h, loaded) {
+		t.Fatalf("roundtrip mismatch:\n%+v\nvs\n%+v", h, loaded)
+	}
+	if !bytes.Equal(dump, Dump(loaded)) {
+		t.Fatalf("re-dump not byte-identical")
+	}
+}
+
+func TestLoadRejectsUnknownSchema(t *testing.T) {
+	if _, err := Load([]byte(`{"schema":"bogus/v9","events":[]}`)); err == nil {
+		t.Fatalf("unknown schema accepted")
+	}
+	if _, err := Load([]byte(`not json`)); err == nil {
+		t.Fatalf("garbage accepted")
+	}
+}
+
+func TestWriteRecordsAllocAndFree(t *testing.T) {
+	r := NewRecorder()
+	tx := r.Open(0, 0, 0)
+	tx.Write(keyA, 4, []byte{5}, true, false)
+	tx.Write(keyB, 9, nil, false, true)
+	tx.Finish(10, Committed)
+	evs := r.Export().Events
+	if !evs[0].Writes[0].Alloc {
+		t.Fatalf("alloc bit lost: %+v", evs[0].Writes[0])
+	}
+	if !evs[0].Writes[1].Free {
+		t.Fatalf("free bit lost: %+v", evs[0].Writes[1])
+	}
+	if evs[0].Writes[0].Version != 4 || evs[0].Writes[1].Version != 9 {
+		t.Fatalf("versions: %+v", evs[0].Writes)
+	}
+}
+
+func TestEmptyValueRoundtrip(t *testing.T) {
+	// A Free's zeroed value and a nil value must survive dump/load.
+	r := NewRecorder()
+	tx := r.Open(0, 0, 0)
+	tx.Write(keyA, 1, []byte{0, 0, 0, 0}, false, true)
+	tx.Finish(5, Committed)
+	h := r.Export()
+	loaded, err := Load(Dump(h))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if !bytes.Equal(loaded.Events[0].Writes[0].Value, []byte{0, 0, 0, 0}) {
+		t.Fatalf("value lost: %+v", loaded.Events[0].Writes[0])
+	}
+}
