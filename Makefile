@@ -19,13 +19,19 @@ short:
 bench:
 	go test -bench . -benchmem -run XXX ./internal/sim ./internal/fabric .
 
-# Simulator performance gate: re-measure the scale suite (TATP at 9, 50
-# and 100 machines) and compare against the committed BENCH_sim.json —
-# fails on a >10% events/sec regression or any steady-state engine
-# allocation. Refresh the baseline after a deliberate change with
+# Simulator performance gate: re-measure the scale suite (TATP and bank
+# at 9, 50 and 100 machines, each under both coalescing policies) and
+# compare against the committed BENCH_sim.json — fails on a >25%
+# events/sec regression (wall-clock, noisy, hence generous), a >10%
+# growth in committed-tx p99 or msgs/tx (both deterministic, so those
+# gates never fire on host noise), or any steady-state engine
+# allocation. Prints the fresh-vs-committed and
+# adaptive-vs-fixed tables; the fresh report lands in
+# BENCH_sim.fresh.json (gitignored; CI uploads it on failure). Refresh
+# the baseline after a deliberate change with
 # `go run ./cmd/farm-perf -update`.
 perf:
-	go run ./cmd/farm-perf -out /tmp/BENCH_sim.json
+	go run ./cmd/farm-perf -out BENCH_sim.fresh.json
 
 figures:
 	go run ./cmd/farm-bench -fig all
@@ -67,5 +73,7 @@ vet:
 	go vet ./...
 	gofmt -l .
 
+# The chaos campaign under the race detector legitimately needs more
+# than go test's default 10m package budget.
 race:
-	go test -race ./...
+	go test -race -timeout 30m ./...

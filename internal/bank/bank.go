@@ -1,0 +1,152 @@
+// Package bank implements the uniform bank-transfer microbenchmark used
+// across the repo's experiments: fixed-size accounts spread over a set of
+// regions, two-account transfers that exercise the full four-phase commit
+// (locks at two primaries, backup fan-out), and read-only audits that
+// exercise validation-only commits. It is the write-heavy counterpart to
+// TATP's read-dominated mix, so latency experiments report both ends of
+// the spectrum.
+//
+// The chaos harness keeps its own inlined transfer driver (it needs
+// fault-aware bookkeeping wired into the nemesis loop); this package is
+// the reusable, measurement-friendly form for benchmarks.
+package bank
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"farm/internal/core"
+	"farm/internal/loadgen"
+	"farm/internal/proto"
+	"farm/internal/sim"
+)
+
+// auditReads is how many accounts one read-only audit scans.
+const auditReads = 4
+
+// Workload holds the opened accounts.
+type Workload struct {
+	C        *core.Cluster
+	Accounts []proto.Addr
+	Initial  uint64
+}
+
+// Setup creates `regions` fresh regions and opens `accounts` accounts with
+// `initial` balance each. Accounts are opened in batches of eight per
+// setup transaction, rotating the allocating machine so the allocator's
+// local-primary preference spreads accounts across the cluster.
+func Setup(c *core.Cluster, accounts, regions int, initial uint64) (*Workload, error) {
+	if _, err := c.CreateRegions(0, regions, 0); err != nil {
+		return nil, err
+	}
+	w := &Workload{C: c, Accounts: make([]proto.Addr, accounts), Initial: initial}
+	const perTx = 8
+	for base := 0; base < accounts; base += perTx {
+		base := base
+		m := c.Machine(base / perTx % len(c.Machines))
+		err := loadgen.RunSync(c, m, 0, func(tx *core.Tx, done func(error)) {
+			var open func(i int)
+			open = func(i int) {
+				if i >= perTx || base+i >= accounts {
+					done(nil)
+					return
+				}
+				tx.Alloc(8, u64b(initial), nil, func(a proto.Addr, err error) {
+					if err != nil {
+						done(err)
+						return
+					}
+					w.Accounts[base+i] = a
+					open(i + 1)
+				})
+			}
+			open(0)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bank: open accounts at %d: %w", base, err)
+		}
+	}
+	return w, nil
+}
+
+// Total is the conserved sum of all balances.
+func (w *Workload) Total() uint64 { return w.Initial * uint64(len(w.Accounts)) }
+
+// Mix returns the standard operation mix: 90% two-account transfers and
+// 10% read-only audits.
+func (w *Workload) Mix() loadgen.Op {
+	return func(m *core.Machine, thread int, rng *sim.Rand, done func(bool)) {
+		if rng.Intn(10) == 0 {
+			w.Audit(m, thread, rng, done)
+			return
+		}
+		w.Transfer(m, thread, rng, done)
+	}
+}
+
+// Transfer moves a small random amount between two uniformly chosen
+// accounts: read both, check funds, write both, full commit protocol. An
+// insufficient balance still commits — as a read-only transaction through
+// validation — because the business outcome ("declined") is a completed
+// operation, not a conflict.
+func (w *Workload) Transfer(m *core.Machine, thread int, rng *sim.Rand, done func(bool)) {
+	n := len(w.Accounts)
+	from := w.Accounts[rng.Intn(n)]
+	to := w.Accounts[rng.Intn(n)]
+	for to == from {
+		to = w.Accounts[rng.Intn(n)]
+	}
+	amount := uint64(rng.Intn(9) + 1)
+	tx := m.Begin(thread)
+	tx.Read(from, 8, func(fb []byte, err error) {
+		if err != nil {
+			tx.Abort()
+			done(false)
+			return
+		}
+		tx.Read(to, 8, func(tb []byte, err error) {
+			if err != nil {
+				tx.Abort()
+				done(false)
+				return
+			}
+			if u64(fb) < amount {
+				tx.Commit(func(err error) { done(err == nil) })
+				return
+			}
+			tx.Write(from, u64b(u64(fb)-amount))
+			tx.Write(to, u64b(u64(tb)+amount))
+			tx.Commit(func(err error) { done(err == nil) })
+		})
+	})
+}
+
+// Audit reads a handful of uniformly chosen accounts and commits without
+// writing, exercising the read-validation-only commit path.
+func (w *Workload) Audit(m *core.Machine, thread int, rng *sim.Rand, done func(bool)) {
+	tx := m.Begin(thread)
+	var read func(i int)
+	read = func(i int) {
+		if i == auditReads {
+			tx.Commit(func(err error) { done(err == nil) })
+			return
+		}
+		tx.Read(w.Accounts[rng.Intn(len(w.Accounts))], 8, func(_ []byte, err error) {
+			if err != nil {
+				tx.Abort()
+				done(false)
+				return
+			}
+			read(i + 1)
+		})
+	}
+	read(0)
+}
+
+func u64(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+func u64b(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}

@@ -1,0 +1,58 @@
+package bank
+
+import (
+	"testing"
+
+	"farm/internal/core"
+	"farm/internal/loadgen"
+	"farm/internal/sim"
+)
+
+// TestBankConservation drives the full mix for a while and then audits
+// that the sum of all balances is exactly what Setup deposited — the
+// transfer transactions must neither mint nor destroy money under
+// concurrent conflicting commits.
+func TestBankConservation(t *testing.T) {
+	c := core.New(core.Options{NumMachines: 5, Seed: 3})
+	const accounts, initial = 64, 100
+	w, err := Setup(c, accounts, 3, initial)
+	if err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	machines := []int{0, 1, 2, 3, 4}
+	g := loadgen.New(c, w.Mix())
+	g.Start(machines, 2, 2)
+	c.RunFor(20 * sim.Millisecond)
+	g.Stop()
+	c.RunFor(5 * sim.Millisecond) // drain in-flight operations
+	if g.Committed() == 0 {
+		t.Fatal("no transactions committed")
+	}
+	var sum uint64
+	err = loadgen.RunSync(c, c.Machine(0), 0, func(tx *core.Tx, done func(error)) {
+		var read func(i int)
+		read = func(i int) {
+			if i == accounts {
+				done(nil)
+				return
+			}
+			tx.Read(w.Accounts[i], 8, func(b []byte, err error) {
+				if err != nil {
+					done(err)
+					return
+				}
+				sum += u64(b)
+				read(i + 1)
+			})
+		}
+		read(0)
+	})
+	if err != nil {
+		t.Fatalf("final audit: %v", err)
+	}
+	if sum != w.Total() {
+		t.Fatalf("conservation violated: Σ=%d want %d after %d commits / %d aborts",
+			sum, w.Total(), g.Committed(), g.Aborted())
+	}
+	t.Logf("bank: %d commits, %d aborts, Σ=%d", g.Committed(), g.Aborted(), sum)
+}

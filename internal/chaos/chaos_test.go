@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"farm/internal/core"
 	"farm/internal/sim"
 	"farm/internal/trace"
 )
@@ -70,6 +71,10 @@ func TestRunIsDeterministicAt50Machines(t *testing.T) {
 	cfg.Machines = 50
 	cfg.Accounts = 100
 	cfg.MaxKills = 3
+	// Pinned explicitly (it is also the default): 50 machines means 2,500
+	// independently adapting send queues, the densest exercise of the
+	// adaptive flush policy's determinism.
+	cfg.CoalescePolicy = core.CoalesceAdaptive
 	// Injection quiesces 200ms before the end of the run (so every fault
 	// has time to heal before the final audit); the duration must clear
 	// that window or no fault ever fires.
@@ -86,6 +91,30 @@ func TestRunIsDeterministicAt50Machines(t *testing.T) {
 	}
 	if len(a.Violations) != 0 {
 		t.Fatalf("50-machine run violated invariants: %v", a.Violations)
+	}
+}
+
+// TestChaosSeedWithAdaptiveCoalescing runs one faulted seed with the
+// adaptive flush policy pinned explicitly (budget flushes, doorbells, and
+// interval adaptation all active under kills, partitions and gray NICs),
+// requires a clean run, and replays it: the adaptive policy is part of
+// the determinism contract, so the replay must be identical.
+func TestChaosSeedWithAdaptiveCoalescing(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CoalescePolicy = core.CoalesceAdaptive
+	cfg.Seed = 42
+	cfg.Duration = 600 * sim.Millisecond
+	cfg.FaultEvery = 100 * sim.Millisecond
+	a := Run(cfg)
+	t.Log(a)
+	if len(a.Violations) > 0 {
+		t.Fatalf("adaptive-coalescing chaos run violated invariants: %v", a)
+	}
+	if a.Commits == 0 || a.Faults() == 0 {
+		t.Fatalf("run exercised nothing: %v", a)
+	}
+	if b := Run(cfg); !reflect.DeepEqual(a, b) {
+		t.Fatalf("adaptive policy broke seed replay:\n  %v\n  %v", a, b)
 	}
 }
 

@@ -160,7 +160,8 @@ func (m *Machine) processLock(rt *remoteTx, rec *proto.Record) {
 		rt.lockedObjs = nil
 		m.c.Counters.Inc("lock_failed", 1)
 	}
-	m.send(int(rec.Tx.Machine), &proto.LockReply{Tx: rec.Tx, OK: ok})
+	// Doorbell: the coordinator's lock phase is blocked on this reply.
+	m.sendDoorbell(int(rec.Tx.Machine), &proto.LockReply{Tx: rec.Tx, OK: ok})
 }
 
 // applyCommitPrimary installs a committed transaction's writes at regions
@@ -285,7 +286,8 @@ func (m *Machine) rpcAllocSlot(from int, id uint64, req *allocSlotReq) {
 		return // §5.2: no slot reservations for non-member coordinators
 	}
 	off, ver, err := m.allocSlotLocal(req.Region, req.Size)
-	m.send(from, &rpcReply{ID: id, Body: &allocSlotResp{
+	// Doorbell: the coordinator's execute phase is blocked on this slot.
+	m.sendDoorbell(from, &rpcReply{ID: id, Body: &allocSlotResp{
 		Region: req.Region, OK: err == nil, Off: off, Version: ver,
 	}})
 }
@@ -306,7 +308,8 @@ func (m *Machine) rpcValidate(from int, id uint64, req *proto.ValidateReq) {
 			break
 		}
 	}
-	m.send(from, &rpcReply{ID: id, Body: &proto.ValidateReply{OK: ok}})
+	// Doorbell: a read-only commit is blocked on this validation verdict.
+	m.sendDoorbell(from, &rpcReply{ID: id, Body: &proto.ValidateReply{OK: ok}})
 }
 
 // rpcMapping answers a region-placement cache miss. The response is a bare
@@ -341,5 +344,6 @@ func (m *Machine) onValidateReq(src int, req *proto.ValidateReq) {
 			break
 		}
 	}
-	m.send(src, &proto.ValidateReply{Tx: req.Tx, OK: ok})
+	// Doorbell: the coordinator's validate phase is blocked on this reply.
+	m.sendDoorbell(src, &proto.ValidateReply{Tx: req.Tx, OK: ok})
 }

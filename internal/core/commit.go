@@ -422,6 +422,10 @@ func (m *Machine) sendLocks(ct *coordTx) {
 				return
 			}
 			m.writeRecord(ct, pm, rec, nil)
+			// Phase-end doorbell: the LOCK record is on the wire; any
+			// transport traffic queued toward pm departs with it instead
+			// of trailing the phase by a flush interval.
+			m.tp.flushHint(pm)
 		})
 	}
 }
@@ -469,6 +473,7 @@ func (m *Machine) abortTx(ct *coordTx, err error) {
 					m.queueTruncation(ct, ct.primariesOnly())
 				}
 			})
+			m.tp.flushHint(pm) // phase-end doorbell
 		})
 	}
 	// Backups never see this transaction: release their COMMIT-BACKUP
@@ -576,7 +581,9 @@ func (m *Machine) validate(ct *coordTx) {
 				req.Addrs = append(req.Addrs, r.addr)
 				req.Versions = append(req.Versions, r.version)
 			}
-			m.sendFromThreadCtx(t.thread, pm, req, ct.phaseCtx)
+			// Doorbell: this request is the validate phase's entire
+			// fan-out to pm; it should depart with the phase.
+			m.sendFromThreadCtxDoorbell(t.thread, pm, req, ct.phaseCtx)
 		default:
 			for _, r := range entries {
 				r := r
@@ -665,6 +672,7 @@ func (m *Machine) commitBackups(ct *coordTx) {
 					m.commitPrimaries(ct)
 				}
 			})
+			m.tp.flushHint(bm) // phase-end doorbell
 		})
 	}
 }
@@ -705,6 +713,7 @@ func (m *Machine) commitPrimaries(ct *coordTx) {
 					m.queueTruncation(ct, ct.participants)
 				}
 			})
+			m.tp.flushHint(pm) // phase-end doorbell
 		})
 	}
 }
@@ -837,7 +846,8 @@ func (t *Tx) validateReadOnly(cb func(error)) {
 			m.rpcWaiters[id] = func(resp interface{}) {
 				finish(resp.(*proto.ValidateReply).OK)
 			}
-			m.sendFromThread(t.thread, pm, &rpcEnvelope{ID: id, From: m.ID, Body: req, Ctx: t.ctx})
+			// Doorbell: a read-only commit waits on nothing else.
+			m.sendFromThreadDoorbell(t.thread, pm, &rpcEnvelope{ID: id, From: m.ID, Body: req, Ctx: t.ctx})
 		default:
 			for _, r := range entries {
 				r := r

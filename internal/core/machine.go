@@ -278,6 +278,7 @@ type msgTask struct {
 	msg   interface{}
 	ctx   trace.Ctx
 	send  bool
+	bell  bool // ring the phase-end doorbell after enqueueing
 	runFn func()
 }
 
@@ -294,14 +295,21 @@ func (m *Machine) getTask() *msgTask {
 
 func (t *msgTask) run() {
 	m := t.m
-	h, src, dst, msg, ctx, send := t.h, t.src, t.dst, t.msg, t.ctx, t.send
-	t.h, t.msg, t.ctx, t.send = nil, nil, trace.Ctx{}, false
+	h, src, dst, msg, ctx, send, bell := t.h, t.src, t.dst, t.msg, t.ctx, t.send, t.bell
+	t.h, t.msg, t.ctx, t.send, t.bell = nil, nil, trace.Ctx{}, false, false
 	m.taskFree = append(m.taskFree, t)
 	if !m.alive {
 		return
 	}
 	if send {
 		m.tp.enqueue(dst, msg, ctx)
+		if bell {
+			// The doorbell rides the same deferred task as the enqueue, so
+			// the flush happens at the same simulated instant on the same
+			// worker thread — deterministic, and the message it follows is
+			// guaranteed to be in the queue it flushes.
+			m.tp.flushHint(dst)
+		}
 		return
 	}
 	if m.trb != nil && ctx.Valid() {
@@ -753,6 +761,21 @@ func (m *Machine) sendCtx(dst int, msg interface{}, ctx trace.Ctx) {
 	m.pool.Dispatch(m.c.Opts.CPUMsg, tk.runFn)
 }
 
+// sendDoorbell is send plus the phase-end doorbell: after the message
+// joins its destination's coalescing queue, the queue flushes immediately
+// (transport.flushHint) instead of waiting out the flush timer. Used on
+// the commit protocol's latency-critical legs — LOCK-REPLY, validation
+// requests and replies, RPC replies — where one message is the phase's
+// entire fan-out to that destination and nothing further is coming.
+func (m *Machine) sendDoorbell(dst int, msg interface{}) {
+	if !m.alive {
+		return
+	}
+	tk := m.getTask()
+	tk.send, tk.bell, tk.dst, tk.msg, tk.ctx = true, true, dst, msg, m.curCtx
+	m.pool.Dispatch(m.c.Opts.CPUMsg, tk.runFn)
+}
+
 // sendFromThread is send with the CPU cost charged to a specific thread.
 func (m *Machine) sendFromThread(thread, dst int, msg interface{}) {
 	m.sendFromThreadCtx(thread, dst, msg, m.curCtx)
@@ -765,5 +788,22 @@ func (m *Machine) sendFromThreadCtx(thread, dst int, msg interface{}, ctx trace.
 	}
 	tk := m.getTask()
 	tk.send, tk.dst, tk.msg, tk.ctx = true, dst, msg, ctx
+	m.pool.ByIndex(thread).Do(m.c.Opts.CPUMsg, tk.runFn)
+}
+
+// sendFromThreadDoorbell is sendDoorbell with the CPU cost charged to a
+// specific thread.
+func (m *Machine) sendFromThreadDoorbell(thread, dst int, msg interface{}) {
+	m.sendFromThreadCtxDoorbell(thread, dst, msg, m.curCtx)
+}
+
+// sendFromThreadCtxDoorbell is sendFromThreadDoorbell with an explicit
+// causal context.
+func (m *Machine) sendFromThreadCtxDoorbell(thread, dst int, msg interface{}, ctx trace.Ctx) {
+	if !m.alive {
+		return
+	}
+	tk := m.getTask()
+	tk.send, tk.bell, tk.dst, tk.msg, tk.ctx = true, true, dst, msg, ctx
 	m.pool.ByIndex(thread).Do(m.c.Opts.CPUMsg, tk.runFn)
 }

@@ -23,27 +23,45 @@ import (
 //     precomputed at registration, so the receive path allocates nothing.
 //   - Per-destination send queues: FaRM's first design principle is to
 //     reduce message counts (§1, §4). Small control messages to the same
-//     destination within one coalescing interval travel as a single fabric
-//     frame (fabric.Batch); the receiver dispatches them individually, so
-//     handlers and per-message CPU costs are unchanged.
+//     destination travel as a single fabric frame (fabric.Batch); the
+//     receiver dispatches them individually, so handlers and per-message
+//     CPU costs are unchanged. When a queue flushes is the adaptive
+//     policy's job (CoalescePolicy): byte/message budgets flush busy
+//     queues immediately, phase-end doorbells (flushHint) flush
+//     commit-critical traffic without waiting out the timer, and the
+//     per-queue timer interval stretches under sustained load and shrinks
+//     when the destination goes idle — all from simulated state only, so
+//     runs replay byte-identically.
 //   - Accounting: per-type sent/wire-byte counters and per-type delivery
 //     latency histograms (enqueue → handler dispatch) via internal/stats.
 
 // batchFrameOverhead models the transport header of one coalesced frame.
 const batchFrameOverhead = 16
 
-// sendQueue buffers outbound messages for one destination until the
-// armed flush timer fires. Messages accumulate directly into a pooled
-// fabric.Batch frame (b.Ctxs is parallel to b.Msgs only while tracing is
-// enabled; untraced runs never append to it), and flushFn is the queue's
-// single pre-bound flush closure, so steady-state coalescing allocates
-// nothing: the fabric recycles the frame after delivery and the queue
-// grabs a fresh one from the pool on the next enqueue.
+// sendQueue buffers outbound messages for one destination until a flush:
+// the armed timer firing, a budget crossing, or a phase-end doorbell
+// (flushHint). Messages accumulate directly into a pooled fabric.Batch
+// frame (b.Ctxs is parallel to b.Msgs only while tracing is enabled;
+// untraced runs never append to it), and flushFn is the queue's single
+// pre-bound flush closure, so steady-state coalescing allocates nothing:
+// the fabric recycles the frame after delivery and the queue grabs a
+// fresh one from the pool on the next enqueue.
+//
+// interval is the queue's current adaptive flush interval — per
+// destination, adjusted only from simulated events (enqueue budget
+// crossings and timer firings), so it is a deterministic function of the
+// run. lastFlush remembers when the queue last went empty; a long gap
+// before the next arm means the destination went idle and the interval
+// shrinks back toward the minimum.
 type sendQueue struct {
-	b       *fabric.Batch
-	bytes   int
-	armed   bool
-	flushFn func()
+	dst       int
+	b         *fabric.Batch
+	bytes     int
+	armed     bool
+	interval  sim.Time
+	lastFlush sim.Time
+	timer     sim.Timer
+	flushFn   func()
 }
 
 // rpcHandler serves one request type arriving inside an rpcEnvelope.
@@ -54,20 +72,42 @@ type rpcHandler struct {
 
 // transport is one machine's message layer.
 type transport struct {
-	m        *Machine
-	reg      *proto.Registry
-	rpc      map[reflect.Type]*rpcHandler
-	queues   map[int]*sendQueue
-	interval sim.Time
+	m      *Machine
+	reg    *proto.Registry
+	rpc    map[reflect.Type]*rpcHandler
+	queues map[int]*sendQueue
+
+	// Flush policy (from Options): interval is the base (and fixed-policy)
+	// flush delay, negative when coalescing is disabled. Under the adaptive
+	// policy, queues flush early at the byte/message budgets and their
+	// timers wander within [minInterval, maxInterval].
+	interval    sim.Time
+	adaptive    bool
+	budgetBytes int
+	budgetMsgs  int
+	minInterval sim.Time
+	maxInterval sim.Time
+
+	// Pre-resolved counter cells for the flush paths.
+	cUnknown     *uint64
+	cFlushBudget *uint64
+	cFlushTimer  *uint64
+	cFlushBell   *uint64
 }
 
 func newTransport(m *Machine) *transport {
+	o := m.c.Opts
 	t := &transport{
-		m:        m,
-		reg:      proto.NewRegistry(),
-		rpc:      make(map[reflect.Type]*rpcHandler),
-		queues:   make(map[int]*sendQueue),
-		interval: m.c.Opts.CoalesceInterval,
+		m:           m,
+		reg:         proto.NewRegistry(),
+		rpc:         make(map[reflect.Type]*rpcHandler),
+		queues:      make(map[int]*sendQueue),
+		interval:    o.CoalesceInterval,
+		adaptive:    o.CoalescePolicy == CoalesceAdaptive,
+		budgetBytes: o.CoalesceMaxBytes,
+		budgetMsgs:  o.CoalesceMaxMsgs,
+		minInterval: o.CoalesceMinInterval,
+		maxInterval: o.CoalesceMaxInterval,
 	}
 	t.registerHandlers()
 	t.registerRPCHandlers()
@@ -79,6 +119,10 @@ func newTransport(m *Machine) *transport {
 		h.SentCell = ctr.Cell(h.SentCounter)
 		h.BytesCell = ctr.Cell(h.BytesCounter)
 	})
+	t.cUnknown = ctr.Cell("msg unknown")
+	t.cFlushBudget = ctr.Cell("coalesce_flush_budget")
+	t.cFlushTimer = ctr.Cell("coalesce_flush_timer")
+	t.cFlushBell = ctr.Cell("coalesce_flush_doorbell")
 	return t
 }
 
@@ -91,25 +135,31 @@ func newTransport(m *Machine) *transport {
 // timer. ctx is the sender's causal context (zero when untraced).
 func (t *transport) enqueue(dst int, msg interface{}, ctx trace.Ctx) {
 	h := t.reg.Lookup(msg)
-	sz := h.SizeOf(msg)
-	if h != nil {
-		*h.SentCell++
-		*h.BytesCell += uint64(sz)
+	if h == nil {
+		// Unregistered types have no wire format or receive handler; count
+		// and drop here at the send side instead of shipping bytes the
+		// receiver will only discard. The guard must run before any use of
+		// h's counter cells — h.SizeOf tolerates a nil receiver, but
+		// h.SentCell does not.
+		*t.cUnknown++
+		return
 	}
-	if t.m.trb != nil && ctx.Valid() && h != nil {
+	sz := h.SizeOf(msg)
+	*h.SentCell++
+	*h.BytesCell += uint64(sz)
+	if t.m.trb != nil && ctx.Valid() {
 		// h.SentCounter ("sent NAME") doubles as the precomputed event
 		// name; the charged wire bytes ride along as the span attribute.
 		t.m.trb.Event("msg", h.SentCounter, t.m.c.Eng.Now(), ctx.Trace, ctx.Span, int64(sz))
 	}
-	if t.interval <= 0 || (h != nil && h.Priority) {
+	if t.interval < 0 || h.Priority {
 		t.sendDirect(dst, msg, sz, ctx)
 		return
 	}
 	q := t.queues[dst]
 	if q == nil {
-		q = &sendQueue{}
-		d := dst
-		q.flushFn = func() { t.flush(d) }
+		q = &sendQueue{dst: dst, interval: t.interval}
+		q.flushFn = func() { t.timerFlush(q) }
 		t.queues[dst] = q
 	}
 	if q.b == nil {
@@ -122,10 +172,47 @@ func (t *transport) enqueue(dst int, msg interface{}, ctx trace.Ctx) {
 		q.b.Ctxs = append(q.b.Ctxs, ctx)
 	}
 	q.bytes += sz
+	if t.adaptive && (len(q.b.Msgs) >= t.budgetMsgs || q.bytes >= t.budgetBytes) {
+		// Budget crossed: the frame already carries enough to be worth a
+		// send on its own, so it departs now — and the queue is clearly
+		// under sustained load, so the timer stretches to gather bigger
+		// frames next time.
+		*t.cFlushBudget++
+		q.interval = t.stretched(q.interval)
+		t.fire(q)
+		return
+	}
 	if !q.armed {
 		q.armed = true
-		t.m.c.Eng.After(t.interval, q.flushFn)
+		iv := t.interval
+		if t.adaptive {
+			// An arm after the queue sat empty for longer than its own
+			// interval means the destination went idle: shrink back toward
+			// the minimum so sparse traffic stops paying peak-load delays.
+			if now := t.m.c.Eng.Now(); now-q.lastFlush > q.interval {
+				q.interval = t.shrunk(q.interval)
+			}
+			iv = q.interval
+		}
+		q.timer = t.m.c.Eng.AfterTimer(iv, q.flushFn)
 	}
+}
+
+// stretched and shrunk move an adaptive interval one step toward its
+// bound; both are pure functions of the argument, so the policy stays
+// deterministic.
+func (t *transport) stretched(iv sim.Time) sim.Time {
+	if iv *= 2; iv > t.maxInterval {
+		return t.maxInterval
+	}
+	return iv
+}
+
+func (t *transport) shrunk(iv sim.Time) sim.Time {
+	if iv /= 2; iv < t.minInterval {
+		return t.minInterval
+	}
+	return iv
 }
 
 // sendDirect transmits one uncoalesced message, charging its modeled wire
@@ -140,16 +227,51 @@ func (t *transport) sendDirect(dst int, msg interface{}, sz int, ctx trace.Ctx) 
 	t.m.nic.SendSized(fabric.MachineID(dst), msg, sz)
 }
 
-// flush drains one destination's queue into a single fabric frame. A
-// machine that died since enqueueing sends nothing — the same messages
-// would have been dropped by the old per-send alive check — and its frame
-// goes back to the pool.
-func (t *transport) flush(dst int) {
+// timerFlush is the armed timer's path: the queue flushes because its
+// interval elapsed. Under the adaptive policy the timer's own harvest
+// steers the interval — a near-empty frame means the interval is too long
+// for the current traffic (shrink), a frame at half the message budget or
+// more means budget flushes are imminent anyway (stretch).
+func (t *transport) timerFlush(q *sendQueue) {
+	if !q.armed {
+		return
+	}
+	if t.adaptive && q.b != nil {
+		if n := len(q.b.Msgs); n <= 1 {
+			q.interval = t.shrunk(q.interval)
+		} else if 2*n >= t.budgetMsgs {
+			q.interval = t.stretched(q.interval)
+		}
+	}
+	*t.cFlushTimer++
+	t.fire(q)
+}
+
+// flushHint is the phase-end doorbell: a commit-protocol step that just
+// finished fanning out to dst rings it so whatever the step queued departs
+// now instead of waiting out the flush timer. It is a hint — empty queues
+// and the fixed policy (the A/B baseline, which models the pre-doorbell
+// transport) ignore it — so callers ring unconditionally.
+func (t *transport) flushHint(dst int) {
+	if !t.adaptive {
+		return
+	}
 	q := t.queues[dst]
 	if q == nil || !q.armed {
 		return
 	}
+	*t.cFlushBell++
+	t.fire(q)
+}
+
+// fire drains one destination's queue into a single fabric frame,
+// cancelling any armed timer. A machine that died since enqueueing sends
+// nothing — the same messages would have been dropped by the old per-send
+// alive check — and its frame goes back to the pool.
+func (t *transport) fire(q *sendQueue) {
 	q.armed = false
+	q.timer.Stop() // no-op when fire runs from the timer itself
+	q.lastFlush = t.m.c.Eng.Now()
 	b, bytes := q.b, q.bytes
 	q.b, q.bytes = nil, 0
 	if b == nil {
@@ -159,7 +281,7 @@ func (t *transport) flush(dst int) {
 		t.m.nic.ReleaseBatch(b)
 		return
 	}
-	t.m.nic.SendBatch(fabric.MachineID(dst), b, bytes+batchFrameOverhead)
+	t.m.nic.SendBatch(fabric.MachineID(q.dst), b, bytes+batchFrameOverhead)
 }
 
 // dispatchRPC routes an rpcEnvelope body to its registered service method.

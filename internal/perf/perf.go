@@ -1,14 +1,19 @@
-// Package perf is the simulator's performance trajectory: scale
-// experiments (TATP at 50 and 100+ simulated machines, thousands of
-// simulated client threads) measured in host terms — events per
-// wall-second, simulated transactions per wall-second, allocations per
-// event. cmd/farm-perf runs the suite, writes BENCH_sim.json, and checks
-// it against the committed baseline so engine regressions fail CI instead
-// of silently eroding the scale ceiling.
+// Package perf is the simulator's performance trajectory, measured at two
+// levels. Host-level: events per wall-second, simulated transactions per
+// wall-second, allocations per event — how big a cluster the simulator
+// can chew through. Protocol-level: committed-transaction latency
+// percentiles (virtual time), fabric messages and wire bytes per
+// committed transaction, abort rate — what the transport and commit
+// pipeline actually cost, measured deterministically so regressions are
+// exact, not noise. Every workload/scale point runs twice, once per
+// coalescing policy, so the adaptive-vs-fixed trade-off is part of the
+// committed record. cmd/farm-perf runs the suite, writes BENCH_sim.json,
+// and checks it against the committed baseline so regressions fail CI
+// instead of silently eroding the scale ceiling.
 //
-// Simulated metrics (tx/s of virtual time) belong to internal/exper and
-// EXPERIMENTS.md; this package measures the *simulator*, not the system
-// under simulation.
+// Simulated system throughput experiments (Figures 7–8 style sweeps)
+// belong to internal/exper and EXPERIMENTS.md; this package measures the
+// simulator and the protocol hot path, not the paper's cluster.
 package perf
 
 import (
@@ -19,22 +24,28 @@ import (
 	"testing"
 	"time"
 
+	"farm/internal/bank"
 	"farm/internal/core"
 	"farm/internal/loadgen"
 	"farm/internal/sim"
 	"farm/internal/tatp"
 )
 
-// SchemaVersion identifies the BENCH_sim.json layout.
-const SchemaVersion = "farm/bench-sim/v1"
+// SchemaVersion identifies the BENCH_sim.json layout. v2 added the
+// protocol-level columns (policy, tx_p50_us, tx_p99_us, msgs_per_tx,
+// wire_bytes_per_tx, abort_rate) and the bank workload points.
+const SchemaVersion = "farm/bench-sim/v2"
 
 // PointSpec describes one scale run.
 type PointSpec struct {
 	Name        string
+	Workload    string // "tatp" or "bank"
+	Policy      core.CoalescePolicy
 	Machines    int
-	Threads     int // worker threads per machine
-	Concurrency int // outstanding ops per client thread
-	Subscribers uint64
+	Threads     int    // worker threads per machine
+	Concurrency int    // outstanding ops per client thread
+	Subscribers uint64 // tatp: database size
+	Accounts    int    // bank: database size
 	Regions     int
 	Warm        sim.Time
 	Measure     sim.Time
@@ -45,6 +56,9 @@ type PointSpec struct {
 type Point struct {
 	Name     string `json:"name"`
 	Workload string `json:"workload"`
+	// Policy is the transport coalescing policy the run used
+	// ("adaptive" or "fixed").
+	Policy   string `json:"policy"`
 	Machines int    `json:"machines"`
 	// ClientThreads is machines × threads × concurrency: the number of
 	// closed-loop simulated clients driving load.
@@ -68,6 +82,20 @@ type Point struct {
 	// transactions per second of virtual time), for cross-checking
 	// against internal/exper numbers.
 	SimTxPerSec float64 `json:"sim_tx_per_sec"`
+	// TxP50Us and TxP99Us are committed-transaction latency percentiles
+	// in microseconds of virtual time, over the measure window. Virtual
+	// time is deterministic: these regress exactly, never noisily.
+	TxP50Us float64 `json:"tx_p50_us"`
+	TxP99Us float64 `json:"tx_p99_us"`
+	// MsgsPerTx is fabric sends per committed transaction over the
+	// window (all traffic included — lease, heartbeat and recovery
+	// overhead is part of the protocol's real cost).
+	MsgsPerTx float64 `json:"msgs_per_tx"`
+	// WireBytesPerTx is fabric payload+frame bytes per committed
+	// transaction over the window.
+	WireBytesPerTx float64 `json:"wire_bytes_per_tx"`
+	// AbortRate is aborted / (committed + aborted) over the window.
+	AbortRate float64 `json:"abort_rate"`
 	// AllocsPerEvent is heap allocations per engine event during the
 	// window (workload allocations included, so it bounds the engine's
 	// own cost from above).
@@ -90,18 +118,37 @@ type Report struct {
 	Points               []Point `json:"points"`
 }
 
-// DefaultSpecs is the committed trajectory: the seed scale for context,
-// then the paper-scale runs. Windows are sized so the full suite runs in
-// well under a minute of host time.
+// FixedSuffix marks the fixed-policy twin of an adaptive point; farm-perf
+// pairs "<name>" with "<name>-fixed" for its A/B table.
+const FixedSuffix = "-fixed"
+
+// DefaultSpecs is the committed trajectory: both workloads at the seed
+// scale and the paper scales, each as an adaptive/fixed policy pair.
+// Windows are sized so the full suite runs in a few minutes of host time.
 func DefaultSpecs() []PointSpec {
-	return []PointSpec{
-		{Name: "tatp-9", Machines: 9, Threads: 8, Concurrency: 4,
+	base := []PointSpec{
+		{Name: "tatp-9", Workload: "tatp", Machines: 9, Threads: 8, Concurrency: 4,
 			Subscribers: 2000, Regions: 6, Warm: sim.Millisecond, Measure: 10 * sim.Millisecond, Seed: 1},
-		{Name: "tatp-50", Machines: 50, Threads: 8, Concurrency: 4,
+		{Name: "tatp-50", Workload: "tatp", Machines: 50, Threads: 8, Concurrency: 4,
 			Subscribers: 10000, Regions: 12, Warm: sim.Millisecond, Measure: 4 * sim.Millisecond, Seed: 1},
-		{Name: "tatp-100", Machines: 100, Threads: 8, Concurrency: 4,
+		{Name: "tatp-100", Workload: "tatp", Machines: 100, Threads: 8, Concurrency: 4,
 			Subscribers: 10000, Regions: 12, Warm: sim.Millisecond, Measure: 3 * sim.Millisecond, Seed: 1},
+		{Name: "bank-9", Workload: "bank", Machines: 9, Threads: 8, Concurrency: 4,
+			Accounts: 4096, Regions: 6, Warm: sim.Millisecond, Measure: 10 * sim.Millisecond, Seed: 1},
+		{Name: "bank-50", Workload: "bank", Machines: 50, Threads: 8, Concurrency: 4,
+			Accounts: 12288, Regions: 12, Warm: sim.Millisecond, Measure: 4 * sim.Millisecond, Seed: 1},
+		{Name: "bank-100", Workload: "bank", Machines: 100, Threads: 8, Concurrency: 4,
+			Accounts: 12288, Regions: 12, Warm: sim.Millisecond, Measure: 3 * sim.Millisecond, Seed: 1},
 	}
+	specs := make([]PointSpec, 0, 2*len(base))
+	for _, s := range base {
+		s.Policy = core.CoalesceAdaptive
+		specs = append(specs, s)
+		s.Name += FixedSuffix
+		s.Policy = core.CoalesceFixed
+		specs = append(specs, s)
+	}
+	return specs
 }
 
 // options sizes cluster knobs to the machine count: big clusters shrink
@@ -109,7 +156,8 @@ func DefaultSpecs() []PointSpec {
 // bounded — a 100-machine cluster with default 256 KB rings would need
 // gigabytes for rings alone.
 func (s PointSpec) options() core.Options {
-	o := core.Options{NumMachines: s.Machines, Threads: s.Threads, Seed: s.Seed}
+	o := core.Options{NumMachines: s.Machines, Threads: s.Threads, Seed: s.Seed,
+		CoalescePolicy: s.Policy}
 	switch {
 	case s.Machines >= 80:
 		o.LogCapacity = 1 << 15
@@ -119,18 +167,35 @@ func (s PointSpec) options() core.Options {
 	return o
 }
 
+// bankInitial is the per-account starting balance for bank points; the
+// value only matters in that it keeps declined transfers rare.
+const bankInitial = 1000
+
 // Run executes one scale run and measures it.
 func Run(s PointSpec) (Point, error) {
 	c := core.New(s.options())
-	w, err := tatp.Setup(c, s.Subscribers, s.Regions)
-	if err != nil {
-		return Point{}, err
+	var op loadgen.Op
+	switch s.Workload {
+	case "bank":
+		w, err := bank.Setup(c, s.Accounts, s.Regions, bankInitial)
+		if err != nil {
+			return Point{}, err
+		}
+		op = w.Mix()
+	case "tatp", "":
+		w, err := tatp.Setup(c, s.Subscribers, s.Regions)
+		if err != nil {
+			return Point{}, err
+		}
+		op = w.Mix()
+	default:
+		return Point{}, fmt.Errorf("unknown workload %q", s.Workload)
 	}
 	machines := make([]int, s.Machines)
 	for i := range machines {
 		machines[i] = i
 	}
-	g := loadgen.New(c, w.Mix())
+	g := loadgen.New(c, op)
 	g.Warmup = s.Warm
 	g.Start(machines, s.Threads, s.Concurrency)
 	c.RunFor(s.Warm)
@@ -138,23 +203,36 @@ func Run(s PointSpec) (Point, error) {
 	runtime.GC()
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
-	ev0, cm0 := c.Eng.Executed(), g.Committed()
+	ev0, cm0, ab0 := c.Eng.Executed(), g.Committed(), g.Aborted()
+	msg0 := c.Net.Counters.Get("msg_send")
+	byt0 := c.Net.Counters.Get("msg_send_bytes")
 	t0 := time.Now()
 	c.RunFor(s.Measure)
 	wall := time.Since(t0).Seconds()
 	runtime.ReadMemStats(&ms1)
-	ev, cm := c.Eng.Executed()-ev0, g.Committed()-cm0
+	ev, cm, ab := c.Eng.Executed()-ev0, g.Committed()-cm0, g.Aborted()-ab0
+	msgs := c.Net.Counters.Get("msg_send") - msg0
+	bytes := c.Net.Counters.Get("msg_send_bytes") - byt0
+	// The latency histogram records committed operations after Warmup,
+	// which is exactly the measure window.
+	lat := g.Latency.Summarize()
 
 	p := Point{
 		Name:          s.Name,
-		Workload:      "tatp",
+		Workload:      s.Workload,
+		Policy:        s.Policy.String(),
 		Machines:      s.Machines,
 		ClientThreads: s.Machines * s.Threads * s.Concurrency,
 		SimulatedMS:   s.Measure.Millis(),
 		WallSeconds:   wall,
 		HostEvents:    ev,
 		Committed:     cm,
+		TxP50Us:       float64(lat.P50) / float64(sim.Microsecond),
+		TxP99Us:       float64(lat.P99) / float64(sim.Microsecond),
 		HeapMB:        float64(ms1.HeapAlloc) / (1 << 20),
+	}
+	if p.Workload == "" {
+		p.Workload = "tatp"
 	}
 	if wall > 0 {
 		p.EventsPerSec = float64(ev) / wall
@@ -162,6 +240,13 @@ func Run(s PointSpec) (Point, error) {
 	}
 	if s.Measure > 0 {
 		p.SimTxPerSec = float64(cm) / s.Measure.Seconds()
+	}
+	if cm > 0 {
+		p.MsgsPerTx = float64(msgs) / float64(cm)
+		p.WireBytesPerTx = float64(bytes) / float64(cm)
+	}
+	if cm+ab > 0 {
+		p.AbortRate = float64(ab) / float64(cm+ab)
 	}
 	if ev > 0 {
 		p.AllocsPerEvent = float64(ms1.Mallocs-ms0.Mallocs) / float64(ev)
@@ -203,8 +288,9 @@ func RunAll(specs []PointSpec, progress func(string)) (*Report, error) {
 		}
 		r.Points = append(r.Points, p)
 		if progress != nil {
-			progress(fmt.Sprintf("%-10s %3d machines %5d clients  %8.0f ev/s  %7.0f tx/wall-s  %.2f allocs/ev  %.1fs wall",
-				p.Name, p.Machines, p.ClientThreads, p.EventsPerSec, p.TxPerWallSec, p.AllocsPerEvent, p.WallSeconds))
+			progress(fmt.Sprintf("%-14s %3dm %-8s %8.0f ev/s  p50 %6.1fµs  p99 %7.1fµs  %5.2f msg/tx  %6.0f B/tx  %4.1f%% abort  %.1fs wall",
+				p.Name, p.Machines, p.Policy, p.EventsPerSec, p.TxP50Us, p.TxP99Us,
+				p.MsgsPerTx, p.WireBytesPerTx, p.AbortRate*100, p.WallSeconds))
 		}
 	}
 	return r, nil
@@ -232,12 +318,29 @@ func LoadReport(path string) (*Report, error) {
 	return &r, nil
 }
 
+// Point returns the named point, or nil.
+func (r *Report) Point(name string) *Point {
+	for i := range r.Points {
+		if r.Points[i].Name == name {
+			return &r.Points[i]
+		}
+	}
+	return nil
+}
+
 // Compare checks got against a committed baseline: every baseline point
-// must be present and not regress events/sec by more than threshold
-// (0.10 = 10%). The engine's zero-alloc contract is also enforced here —
-// wall-clock noise cannot fake an allocation. It returns a list of
-// human-readable violations, empty when the report passes.
-func Compare(baseline, got *Report, threshold float64) []string {
+// must be present, events/sec must not regress by more than wall
+// (0.25 = 25%), and the protocol-level metrics — committed-tx p99 and
+// messages per transaction — must not grow by more than exact. The two
+// thresholds exist because the metrics have different noise floors:
+// events/sec is a wall-clock measure that swings with host load, while
+// the protocol metrics are deterministic functions of the simulation and
+// regress bit-exactly, so their gate can be tight without ever firing on
+// noise. A baseline whose protocol field is zero (a v1 report, or a
+// window with no commits) skips that gate. The engine's zero-alloc
+// contract is also enforced here. It returns a list of human-readable
+// violations, empty when the report passes.
+func Compare(baseline, got *Report, wall, exact float64) []string {
 	var bad []string
 	if got.EngineAllocsPerEvent > 0 {
 		bad = append(bad, fmt.Sprintf(
@@ -253,11 +356,24 @@ func Compare(baseline, got *Report, threshold float64) []string {
 			bad = append(bad, fmt.Sprintf("point %q missing from new report", b.Name))
 			continue
 		}
-		floor := b.EventsPerSec * (1 - threshold)
-		if g.EventsPerSec < floor {
+		if floor := b.EventsPerSec * (1 - wall); g.EventsPerSec < floor {
 			bad = append(bad, fmt.Sprintf(
 				"%s: %.0f events/sec is a >%.0f%% regression from baseline %.0f",
-				b.Name, g.EventsPerSec, threshold*100, b.EventsPerSec))
+				b.Name, g.EventsPerSec, wall*100, b.EventsPerSec))
+		}
+		if b.TxP99Us > 0 {
+			if ceil := b.TxP99Us * (1 + exact); g.TxP99Us > ceil {
+				bad = append(bad, fmt.Sprintf(
+					"%s: committed-tx p99 %.1fµs is a >%.0f%% regression from baseline %.1fµs",
+					b.Name, g.TxP99Us, exact*100, b.TxP99Us))
+			}
+		}
+		if b.MsgsPerTx > 0 {
+			if ceil := b.MsgsPerTx * (1 + exact); g.MsgsPerTx > ceil {
+				bad = append(bad, fmt.Sprintf(
+					"%s: %.2f msgs/tx is a >%.0f%% regression from baseline %.2f",
+					b.Name, g.MsgsPerTx, exact*100, b.MsgsPerTx))
+			}
 		}
 	}
 	return bad

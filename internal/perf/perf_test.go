@@ -85,7 +85,7 @@ func TestCompare(t *testing.T) {
 		{Name: "a", EventsPerSec: 950}, // -5%: inside a 10% threshold
 		{Name: "b", EventsPerSec: 800}, // improvement
 	}}
-	if bad := Compare(base, ok, 0.10); len(bad) != 0 {
+	if bad := Compare(base, ok, 0.10, 0.10); len(bad) != 0 {
 		t.Fatalf("clean report flagged: %v", bad)
 	}
 
@@ -93,18 +93,67 @@ func TestCompare(t *testing.T) {
 		{Name: "a", EventsPerSec: 850}, // -15%: beyond threshold
 		{Name: "b", EventsPerSec: 500},
 	}}
-	if bad := Compare(base, regressed, 0.10); len(bad) != 1 {
+	if bad := Compare(base, regressed, 0.10, 0.10); len(bad) != 1 {
 		t.Fatalf("want exactly the point-a regression, got: %v", bad)
 	}
 
 	missing := &Report{Points: []Point{{Name: "a", EventsPerSec: 1000}}}
-	if bad := Compare(base, missing, 0.10); len(bad) != 1 {
+	if bad := Compare(base, missing, 0.10, 0.10); len(bad) != 1 {
 		t.Fatalf("want exactly the missing-b violation, got: %v", bad)
 	}
 
 	// The zero-alloc contract is enforced regardless of speed.
 	leaky := &Report{EngineAllocsPerEvent: 0.5, Points: base.Points}
-	if bad := Compare(base, leaky, 0.10); len(bad) != 1 {
+	if bad := Compare(base, leaky, 0.10, 0.10); len(bad) != 1 {
 		t.Fatalf("want exactly the allocs violation, got: %v", bad)
 	}
+}
+
+// TestCompareProtocolGates exercises the v2 gates: committed-tx p99 and
+// msgs/tx regress against ceilings, and a v1 baseline (zero fields)
+// skips them instead of flagging every fresh report.
+func TestCompareProtocolGates(t *testing.T) {
+	base := &Report{Points: []Point{
+		{Name: "a", EventsPerSec: 1000, TxP99Us: 100, MsgsPerTx: 4.0},
+	}}
+	ok := &Report{Points: []Point{
+		{Name: "a", EventsPerSec: 1000, TxP99Us: 105, MsgsPerTx: 4.2}, // +5%: inside
+	}}
+	if bad := Compare(base, ok, 0.10, 0.10); len(bad) != 0 {
+		t.Fatalf("clean report flagged: %v", bad)
+	}
+	slow := &Report{Points: []Point{
+		{Name: "a", EventsPerSec: 1000, TxP99Us: 120, MsgsPerTx: 4.0}, // p99 +20%
+	}}
+	if bad := Compare(base, slow, 0.25, 0.10); len(bad) != 1 {
+		t.Fatalf("want exactly the p99 violation, got: %v", bad)
+	}
+	chatty := &Report{Points: []Point{
+		{Name: "a", EventsPerSec: 1000, TxP99Us: 100, MsgsPerTx: 5.0}, // msgs/tx +25%
+	}}
+	if bad := Compare(base, chatty, 0.25, 0.10); len(bad) != 1 {
+		t.Fatalf("want exactly the msgs/tx violation, got: %v", bad)
+	}
+	// A v1 baseline has no protocol fields: both gates must skip.
+	v1 := &Report{Points: []Point{{Name: "a", EventsPerSec: 1000}}}
+	if bad := Compare(v1, chatty, 0.25, 0.10); len(bad) != 0 {
+		t.Fatalf("v1 baseline fired protocol gates: %v", bad)
+	}
+}
+
+// TestBankPointRuns is the completion gate for the bank workload in the
+// perf harness: a small bank point must set up, measure, and report
+// non-zero protocol metrics.
+func TestBankPointRuns(t *testing.T) {
+	spec := PointSpec{Name: "bank-tiny", Workload: "bank", Machines: 5, Threads: 2, Concurrency: 2,
+		Accounts: 256, Regions: 3, Warm: sim.Millisecond, Measure: 2 * sim.Millisecond, Seed: 1}
+	p, err := Run(spec)
+	if err != nil {
+		t.Fatalf("bank point failed: %v", err)
+	}
+	if p.Committed == 0 || p.TxP99Us <= 0 || p.MsgsPerTx <= 0 || p.WireBytesPerTx <= 0 {
+		t.Fatalf("bank point missing protocol metrics: %+v", p)
+	}
+	t.Logf("bank-tiny: %d committed, p50 %.1fµs p99 %.1fµs, %.2f msgs/tx",
+		p.Committed, p.TxP50Us, p.TxP99Us, p.MsgsPerTx)
 }

@@ -124,6 +124,24 @@ func (h *Histogram) Median() sim.Time { return h.Percentile(50) }
 // P99 is Percentile(99).
 func (h *Histogram) P99() sim.Time { return h.Percentile(99) }
 
+// Summary is a plain-value snapshot of a histogram's headline statistics,
+// in the form benchmark reports serialize (all durations sim.Time).
+type Summary struct {
+	Count uint64
+	P50   sim.Time
+	P99   sim.Time
+	Mean  sim.Time
+	Max   sim.Time
+}
+
+// Summarize snapshots the distribution; a zero Summary means no samples.
+func (h *Histogram) Summarize() Summary {
+	if h.total == 0 {
+		return Summary{}
+	}
+	return Summary{Count: h.total, P50: h.Median(), P99: h.P99(), Mean: h.Mean(), Max: h.Max()}
+}
+
 // Merge folds other into h.
 func (h *Histogram) Merge(other *Histogram) {
 	if other.total == 0 {

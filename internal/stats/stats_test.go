@@ -45,6 +45,25 @@ func TestHistogramPercentileAccuracy(t *testing.T) {
 	}
 }
 
+// TestHistogramSummarize pins the Summary snapshot to the histogram's own
+// accessors (the perf report serializes Summaries, so they must agree)
+// and requires the empty histogram to summarize to the zero value.
+func TestHistogramSummarize(t *testing.T) {
+	h := NewHistogram()
+	if s := h.Summarize(); s != (Summary{}) {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+	for i := 1; i <= 1000; i++ {
+		h.Record(sim.Time(i * 37))
+	}
+	s := h.Summarize()
+	if s.Count != h.Count() || s.P50 != h.Median() || s.P99 != h.P99() ||
+		s.Mean != h.Mean() || s.Max != h.Max() {
+		t.Fatalf("summary disagrees with accessors: %+v vs n=%d p50=%v p99=%v mean=%v max=%v",
+			s, h.Count(), h.Median(), h.P99(), h.Mean(), h.Max())
+	}
+}
+
 func TestHistogramMergeEqualsCombinedRecording(t *testing.T) {
 	a, b, both := NewHistogram(), NewHistogram(), NewHistogram()
 	for i := 1; i < 500; i++ {
